@@ -1,0 +1,426 @@
+// Package fex_test is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (see DESIGN.md §4 for the index):
+//
+//	BenchmarkFigure6_SplashClangVsGCC      Figure 6  (normalized runtime barplot)
+//	BenchmarkFigure7_NginxThroughputLatency Figure 7 (throughput–latency curves)
+//	BenchmarkTable1_SupportedInventory     Table I   (supported experiments)
+//	BenchmarkTable2_RIPESecurity           Table II  (RIPE success/fail counts)
+//	BenchmarkTable3_ExtensionEffort        §IV LoC-effort evaluation
+//	BenchmarkFigureA_ImageSize             §II-A image-size footnote
+//
+// plus ablation benches for the design decisions the paper calls out
+// (rebuild-per-experiment vs --no-build, dry runs, repetition counts,
+// thread scaling). Absolute numbers are not expected to match the paper's
+// testbed; the benches assert and report the published *shape* via
+// b.ReportMetric.
+package fex_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"fex/internal/container"
+	"fex/internal/core"
+	"fex/internal/security"
+	"fex/internal/stats"
+	"fex/internal/toolchain"
+	"fex/internal/workload"
+)
+
+// newFexB builds a framework instance for a benchmark.
+func newFexB(b *testing.B, installs ...string) *core.Fex {
+	b.Helper()
+	fx, err := core.New(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range installs {
+		if _, err := fx.Install(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fx
+}
+
+var printOnce sync.Map
+
+// printTable prints a regenerated table exactly once per bench name, so
+// the harness output carries the same rows/series the paper reports.
+func printTable(name, content string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n=== %s ===\n%s\n", name, content)
+	}
+}
+
+// BenchmarkFigure6_SplashClangVsGCC regenerates Figure 6: SPLASH-3
+// normalized runtime of Clang over native GCC, per benchmark plus the
+// geometric mean. Reported metrics: the fft ratio (the paper's outlier)
+// and the geomean.
+func BenchmarkFigure6_SplashClangVsGCC(b *testing.B) {
+	fx := newFexB(b, "gcc-6.1", "clang-3.8.0", "splash_inputs")
+	var fftRatio, geomean float64
+	for i := 0; i < b.N; i++ {
+		report, err := fx.Run(core.Config{
+			Experiment: "splash",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Input:      workload.SizeTest,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benches, _ := report.Table.Strings("bench")
+		types, _ := report.Table.Strings("type")
+		cycles, _ := report.Table.Floats("cycles")
+		byKey := map[[2]string]float64{}
+		nameSet := map[string]bool{}
+		for j := range benches {
+			byKey[[2]string{benches[j], types[j]}] = cycles[j]
+			nameSet[benches[j]] = true
+		}
+		names := make([]string, 0, len(nameSet))
+		for n := range nameSet {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var ratios []float64
+		var rows string
+		for _, n := range names {
+			r := byKey[[2]string{n, "clang_native"}] / byKey[[2]string{n, "gcc_native"}]
+			ratios = append(ratios, r)
+			if n == "fft" {
+				fftRatio = r
+			}
+			rows += fmt.Sprintf("%-16s %.3f\n", n, r)
+		}
+		gm, err := stats.GeoMean(ratios)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geomean = gm
+		rows += fmt.Sprintf("%-16s %.3f\n", "All (geomean)", gm)
+		printTable("Figure 6: normalized runtime w.r.t. native GCC", rows)
+	}
+	// Shape assertions: Clang slightly worse overall, much worse on fft.
+	if geomean <= 1.0 || geomean >= 1.5 {
+		b.Fatalf("geomean %v outside the published shape (slightly above 1)", geomean)
+	}
+	if fftRatio <= 1.3 {
+		b.Fatalf("fft ratio %v — fft must be the Figure 6 outlier", fftRatio)
+	}
+	b.ReportMetric(fftRatio, "fft-ratio")
+	b.ReportMetric(geomean, "geomean-ratio")
+}
+
+// BenchmarkFigure7_NginxThroughputLatency regenerates Figure 7: the
+// throughput–latency sweep of the web server under GCC and Clang builds.
+// Reported metrics: peak achieved throughput per build type; the shape
+// assertion is that Clang's knee is below GCC's.
+func BenchmarkFigure7_NginxThroughputLatency(b *testing.B) {
+	fx := newFexB(b, "gcc-6.1", "clang-3.8.0", "nginx-1.4.1")
+	if err := fx.RegisterExperiment(&core.Experiment{
+		Name: "nginx_bench",
+		Kind: core.KindThroughputLatency,
+		NewRunner: func(fx *core.Fex) (core.Runner, error) {
+			return &core.ServerBenchRunner{
+				App:      "nginx",
+				Duration: 300 * time.Millisecond,
+				Workers:  4,
+			}, nil
+		},
+		Collect:  core.NetCollect,
+		CSVKinds: core.NetCSVKinds(),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var peakGCC, peakClang float64
+	for i := 0; i < b.N; i++ {
+		report, err := fx.Run(core.Config{
+			Experiment: "nginx_bench",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		types, _ := report.Table.Strings("type")
+		tput, _ := report.Table.Floats("throughput")
+		lat, _ := report.Table.Floats("latency_ms")
+		peakGCC, peakClang = 0, 0
+		var rows string
+		for j := range types {
+			rows += fmt.Sprintf("%-14s tput=%8.0f req/s  lat=%8.2f ms\n", types[j], tput[j], lat[j])
+			switch types[j] {
+			case "gcc_native":
+				if tput[j] > peakGCC {
+					peakGCC = tput[j]
+				}
+			case "clang_native":
+				if tput[j] > peakClang {
+					peakClang = tput[j]
+				}
+			}
+		}
+		printTable("Figure 7: nginx throughput-latency sweep", rows)
+	}
+	b.ReportMetric(peakGCC, "gcc-peak-rps")
+	b.ReportMetric(peakClang, "clang-peak-rps")
+	// Shape: Clang saturates at or below GCC (generous slack: live
+	// network measurement on a shared host is noisy).
+	if peakClang > peakGCC*1.15 {
+		b.Fatalf("clang peak %v clearly above gcc peak %v — shape violated", peakClang, peakGCC)
+	}
+}
+
+// BenchmarkTable1_SupportedInventory regenerates Table I from the live
+// registries.
+func BenchmarkTable1_SupportedInventory(b *testing.B) {
+	fx := newFexB(b)
+	var inv core.Inventory
+	for i := 0; i < b.N; i++ {
+		inv = fx.BuildInventory()
+	}
+	printTable("Table I: currently supported experiments", inv.String())
+	b.ReportMetric(float64(len(inv.BenchmarkSuites)), "suites")
+	b.ReportMetric(float64(len(inv.Types)), "build-types")
+	b.ReportMetric(float64(len(inv.Plots)), "plot-kinds")
+}
+
+// BenchmarkTable2_RIPESecurity regenerates Table II: RIPE successful and
+// failed attack counts for GCC and Clang native builds.
+func BenchmarkTable2_RIPESecurity(b *testing.B) {
+	fx := newFexB(b, "gcc-6.1", "clang-3.8.0", "ripe")
+	var gccSucc, clangSucc float64
+	for i := 0; i < b.N; i++ {
+		report, err := fx.Run(core.Config{
+			Experiment: "ripe",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("Table II: RIPE security benchmark results", report.Table.String())
+		types, _ := report.Table.Strings("type")
+		succ, _ := report.Table.Floats("successful")
+		for j := range types {
+			switch types[j] {
+			case "gcc_native":
+				gccSucc = succ[j]
+			case "clang_native":
+				clangSucc = succ[j]
+			}
+		}
+	}
+	if gccSucc != 64 || clangSucc != 38 {
+		b.Fatalf("got gcc=%v clang=%v, want 64/38 (Table II)", gccSucc, clangSucc)
+	}
+	b.ReportMetric(gccSucc, "gcc-successful")
+	b.ReportMetric(clangSucc, "clang-successful")
+}
+
+// BenchmarkTable3_ExtensionEffort regenerates the §IV effort evaluation:
+// LoC of the three case-study extension units, measured over this
+// repository with a real LoC counter.
+func BenchmarkTable3_ExtensionEffort(b *testing.B) {
+	var results []core.EffortResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = core.MeasureEffort(".", core.CaseStudyUnits())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var rows string
+	byName := map[string]core.EffortResult{}
+	for _, r := range results {
+		rows += fmt.Sprintf("%-10s paper=%4d LoC   measured=%4d LoC (%d files)\n",
+			r.Name, r.PaperLoC, r.MeasuredLoC, r.Files)
+		byName[r.Name] = r
+		b.ReportMetric(float64(r.MeasuredLoC), r.Name+"-loc")
+	}
+	printTable("Extension effort (paper vs measured)", rows)
+	// Shape: every unit in the low hundreds, ordering RIPE < Nginx < SPLASH.
+	if !(byName["ripe"].MeasuredLoC < byName["nginx"].MeasuredLoC &&
+		byName["nginx"].MeasuredLoC < byName["splash-3"].MeasuredLoC) {
+		b.Fatalf("effort ordering violated: %+v", results)
+	}
+}
+
+// BenchmarkFigureA_ImageSize regenerates the §II-A footnote: the shipped
+// image is ~1.04 GB (122 MB Ubuntu + 300 MB sources + helpers), versus
+// ~17 GB for a fully pre-installed image.
+func BenchmarkFigureA_ImageSize(b *testing.B) {
+	var im *container.Image
+	for i := 0; i < b.N; i++ {
+		var err error
+		im, err = container.BuildBaseImage(container.BaseImageConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var rows string
+	for _, part := range im.Breakdown() {
+		rows += fmt.Sprintf("%-20s %7.1f MB\n", part.Layer, float64(part.Bytes)/(1<<20))
+	}
+	rows += fmt.Sprintf("%-20s %7.2f GB (fully installed: %d GB)\n",
+		"total", float64(im.Size())/(1<<30), container.FullyInstalledBytes/(1<<30))
+	printTable("Image size breakdown (§II-A footnote)", rows)
+	b.ReportMetric(float64(im.Size())/(1<<30), "image-GB")
+}
+
+// BenchmarkAblation_RebuildVsNoBuild quantifies the cost of the paper's
+// rebuild-before-every-experiment rule against --no-build reuse.
+func BenchmarkAblation_RebuildVsNoBuild(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		noBuild bool
+	}{{"rebuild", false}, {"no-build", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			fx := newFexB(b, "gcc-6.1")
+			cfg := core.Config{
+				Experiment: "micro",
+				BuildTypes: []string{"gcc_native"},
+				Benchmarks: []string{"array_read"},
+				Input:      workload.SizeTest,
+				NoBuild:    mode.noBuild,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fx.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_DryRun quantifies the Phoenix dry-run hook's cost
+// (the per_benchmark_action of §II-A).
+func BenchmarkAblation_DryRun(b *testing.B) {
+	fx := newFexB(b, "gcc-6.1")
+	noDry := core.Hooks{
+		PerBenchmarkAction: func(rc *core.RunContext, buildType string, w workload.Workload) error {
+			_, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+			return err
+		},
+	}
+	for _, mode := range []struct {
+		name  string
+		hooks core.Hooks
+	}{{"with-dry-run", core.Hooks{}}, {"without-dry-run", noDry}} {
+		mode := mode
+		// Register outside the measured callback: the benchmark framework
+		// re-invokes the callback while calibrating b.N.
+		name := "phoenix_dry_" + mode.name
+		if err := fx.RegisterExperiment(&core.Experiment{
+			Name: name,
+			Kind: core.KindPerformance,
+			NewRunner: func(fx *core.Fex) (core.Runner, error) {
+				return &core.BenchRunner{Suite: "phoenix", Hooks: mode.hooks}, nil
+			},
+			Collect: core.GenericCollect,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.Config{
+				Experiment: name,
+				BuildTypes: []string{"gcc_native"},
+				Benchmarks: []string{"histogram"},
+				Input:      workload.SizeTest,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fx.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ThreadScaling reports the modeled speedup of the fft
+// kernel across thread counts (the -m sweep behind the lineplot family).
+func BenchmarkAblation_ThreadScaling(b *testing.B) {
+	gcc := toolchain.GCC()
+	w := mustLookup(b)
+	artifact, err := gcc.Compile(toolchain.SourceUnit{
+		Benchmark: w, CFLAGS: []string{"-O2"}, BuildType: "gcc_native",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.DefaultInput(workload.SizeSmall)
+	base := 0.0
+	for _, threads := range []int{1, 2, 4, 8} {
+		threads := threads
+		b.Run(fmt.Sprintf("m=%d", threads), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				s, err := artifact.Execute(in, threads)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = s.Cycles
+			}
+			if threads == 1 {
+				base = cycles
+			}
+			b.ReportMetric(cycles, "modeled-cycles")
+			if base > 0 {
+				b.ReportMetric(base/cycles, "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_RepetitionEstimate exercises the Kalibera–Jones-style
+// repetition estimator over a realistic pilot sample (the statistics the
+// paper lists as future work).
+func BenchmarkAblation_RepetitionEstimate(b *testing.B) {
+	pilot := []float64{100.2, 99.1, 101.7, 100.9, 98.8, 100.4, 99.7, 101.1}
+	var n int
+	for i := 0; i < b.N; i++ {
+		var err error
+		n, err = stats.RequiredRepetitions(pilot, 0.95, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "required-reps")
+}
+
+// BenchmarkRIPEMatrix measures raw testbed evaluation speed (850 attack
+// forms per iteration).
+func BenchmarkRIPEMatrix(b *testing.B) {
+	prof := toolchain.GCC()
+	artifact, err := prof.Compile(toolchain.SourceUnit{
+		Benchmark: mustLookup(b), CFLAGS: []string{"-O2"}, BuildType: "gcc_native",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := security.RunTestbed("gcc_native", artifact.Security)
+		if res.Total() != 850 {
+			b.Fatal("matrix size changed")
+		}
+	}
+}
+
+// mustLookup returns the fft workload via a fresh registry.
+func mustLookup(b *testing.B) workload.Workload {
+	b.Helper()
+	fx, err := core.New(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := fx.Registry().Lookup("splash", "fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}

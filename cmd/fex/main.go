@@ -1,0 +1,330 @@
+// Command fex is the framework's command-line entry point, mirroring the
+// paper's fex.py:
+//
+//	fex <action> -n <name> [other arguments]
+//
+// Actions:
+//
+//	install  -n <artifact>                 run the setup stage for one artifact
+//	run      -n <experiment> -t <types...> build, run, and collect an experiment
+//	collect  -n <experiment>               re-run the collect stage from the stored log
+//	plot     -n <experiment> -t <kind>     render a plot from collected results
+//	list                                   print the supported-experiments inventory (Table I)
+//
+// Flags (matching §III-B): -t build types / plot kind, -b benchmark
+// filter, -m thread counts, -r repetitions, -i input class, -d debug
+// builds, -v verbose, --no-build, -o host output directory, --state state
+// file (container persistence between invocations).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"fex/internal/core"
+	"fex/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fex:", err)
+		os.Exit(1)
+	}
+}
+
+// cliArgs holds parsed command-line arguments.
+type cliArgs struct {
+	action    string
+	name      string
+	types     []string
+	benches   []string
+	threads   []int
+	reps      int
+	input     string
+	debug     bool
+	verbose   bool
+	noBuild   bool
+	outDir    string
+	stateFile string
+}
+
+func parseArgs(argv []string) (cliArgs, error) {
+	if len(argv) == 0 {
+		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|list> -n <name> [args]")
+	}
+	args := cliArgs{action: argv[0], reps: 1}
+	i := 1
+	next := func() (string, bool) {
+		if i < len(argv) && !strings.HasPrefix(argv[i], "-") {
+			v := argv[i]
+			i++
+			return v, true
+		}
+		return "", false
+	}
+	multi := func() []string {
+		var out []string
+		for {
+			v, ok := next()
+			if !ok {
+				return out
+			}
+			out = append(out, v)
+		}
+	}
+	for i < len(argv) {
+		flag := argv[i]
+		i++
+		switch flag {
+		case "-n":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-n requires a value")
+			}
+			args.name = v
+		case "-t":
+			args.types = multi()
+			if len(args.types) == 0 {
+				return args, errors.New("-t requires at least one value")
+			}
+		case "-b":
+			args.benches = multi()
+		case "-m":
+			vals := multi()
+			threads, err := core.ParseThreadList(vals)
+			if err != nil {
+				return args, err
+			}
+			args.threads = threads
+		case "-r":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-r requires a value")
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return args, fmt.Errorf("bad -r value %q: %w", v, err)
+			}
+			args.reps = n
+		case "-i":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-i requires a value")
+			}
+			args.input = v
+		case "-d":
+			args.debug = true
+		case "-v":
+			args.verbose = true
+		case "--no-build":
+			args.noBuild = true
+		case "-o":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-o requires a directory")
+			}
+			args.outDir = v
+		case "--state":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("--state requires a file path")
+			}
+			args.stateFile = v
+		default:
+			return args, fmt.Errorf("unknown flag %q", flag)
+		}
+	}
+	return args, nil
+}
+
+func run(argv []string) error {
+	args, err := parseArgs(argv)
+	if err != nil {
+		return err
+	}
+
+	var verbose *os.File
+	if args.verbose {
+		verbose = os.Stderr
+	}
+	fx, err := core.New(core.Options{Verbose: verbose})
+	if err != nil {
+		return err
+	}
+	if args.stateFile != "" {
+		if f, err := os.Open(args.stateFile); err == nil {
+			loadErr := fx.LoadState(f)
+			_ = f.Close()
+			if loadErr != nil {
+				return fmt.Errorf("load state %s: %w", args.stateFile, loadErr)
+			}
+		}
+	}
+	saveState := func() error {
+		if args.stateFile == "" {
+			return nil
+		}
+		f, err := os.Create(args.stateFile)
+		if err != nil {
+			return fmt.Errorf("save state: %w", err)
+		}
+		defer f.Close()
+		return fx.SaveState(f)
+	}
+
+	switch args.action {
+	case "install":
+		if args.name == "" {
+			return errors.New("install requires -n <artifact>")
+		}
+		names, err := fx.Install(args.name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("installed: %s\n", strings.Join(names, ", "))
+		return saveState()
+
+	case "run":
+		if args.name == "" {
+			return errors.New("run requires -n <experiment>")
+		}
+		cfg, err := buildConfig(fx, args)
+		if err != nil {
+			return err
+		}
+		// Convenience: the CLI installs compiler prerequisites implicitly;
+		// scripted setups call `fex install` explicitly first.
+		if err := fx.InstallPrerequisites(cfg.BuildTypes...); err != nil {
+			return err
+		}
+		report, err := fx.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("experiment %s: %d measurements\n", report.Experiment, report.Measurements)
+		fmt.Print(report.Table.String())
+		if args.outDir != "" {
+			if err := exportFile(fx, report.CSVPath, args.outDir); err != nil {
+				return err
+			}
+			if err := exportFile(fx, report.LogPath, args.outDir); err != nil {
+				return err
+			}
+		}
+		return saveState()
+
+	case "collect":
+		if args.name == "" {
+			return errors.New("collect requires -n <experiment>")
+		}
+		tbl, err := fx.Collect(args.name)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.String())
+		return saveState()
+
+	case "plot":
+		if args.name == "" {
+			return errors.New("plot requires -n <experiment>")
+		}
+		kind := ""
+		if len(args.types) > 0 {
+			kind = args.types[0]
+		}
+		svg, err := fx.Plot(args.name, kind)
+		if err != nil {
+			return err
+		}
+		outDir := args.outDir
+		if outDir == "" {
+			outDir = "."
+		}
+		out := filepath.Join(outDir, args.name+"_"+orDefault(kind, "default")+".svg")
+		if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+			return fmt.Errorf("write plot: %w", err)
+		}
+		fmt.Printf("wrote %s\n", out)
+		return saveState()
+
+	case "analyze":
+		// fex analyze -n <experiment> -t <typeA> <typeB> [-b metric]
+		if args.name == "" {
+			return errors.New("analyze requires -n <experiment>")
+		}
+		if len(args.types) != 2 {
+			return errors.New("analyze requires -t <typeA> <typeB>")
+		}
+		metric := ""
+		if len(args.benches) == 1 {
+			metric = args.benches[0]
+		}
+		report, err := fx.Analyze(args.name, metric, args.types[0], args.types[1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.String())
+		return nil
+
+	case "list":
+		fmt.Print(fx.BuildInventory().String())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, list)", args.action)
+	}
+}
+
+func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
+	cfg := core.Config{
+		Experiment: args.name,
+		BuildTypes: args.types,
+		Benchmarks: args.benches,
+		Threads:    args.threads,
+		Reps:       args.reps,
+		Debug:      args.debug,
+		Verbose:    args.verbose,
+		NoBuild:    args.noBuild,
+	}
+	if args.input != "" {
+		cls, err := workload.ParseSizeClass(args.input)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Input = cls
+	}
+	if len(cfg.BuildTypes) == 0 {
+		exp, err := fx.Experiment(args.name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.BuildTypes = exp.DefaultTypes
+	}
+	return cfg, nil
+}
+
+func exportFile(fx *core.Fex, containerPath, outDir string) error {
+	data, err := fx.ReadResult(containerPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	out := filepath.Join(outDir, filepath.Base(containerPath))
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fmt.Errorf("export %s: %w", containerPath, err)
+	}
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

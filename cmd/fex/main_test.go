@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsRunFlags(t *testing.T) {
+	args, err := parseArgs([]string{
+		"run", "-n", "splash",
+		"-t", "gcc_native", "clang_native",
+		"-b", "fft", "lu",
+		"-m", "1", "2", "4",
+		"-r", "10",
+		"-i", "test",
+		"-d", "-v", "--no-build",
+		"-o", "/tmp/out",
+		"--state", "/tmp/state",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args.action != "run" || args.name != "splash" {
+		t.Errorf("action/name: %q/%q", args.action, args.name)
+	}
+	if len(args.types) != 2 || args.types[1] != "clang_native" {
+		t.Errorf("types %v", args.types)
+	}
+	if len(args.benches) != 2 || len(args.threads) != 3 || args.threads[2] != 4 {
+		t.Errorf("benches %v threads %v", args.benches, args.threads)
+	}
+	if args.reps != 10 || args.input != "test" {
+		t.Errorf("reps/input: %d/%q", args.reps, args.input)
+	}
+	if !args.debug || !args.verbose || !args.noBuild {
+		t.Error("boolean flags not parsed")
+	}
+	if args.outDir != "/tmp/out" || args.stateFile != "/tmp/state" {
+		t.Errorf("paths: %q %q", args.outDir, args.stateFile)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := [][]string{
+		{},                       // no action
+		{"run", "-n"},            // -n without value
+		{"run", "-t"},            // -t without values
+		{"run", "-r", "notanum"}, // bad -r
+		{"run", "-m", "x"},       // bad -m
+		{"run", "--bogus"},       // unknown flag
+		{"run", "-o"},            // -o without value
+	}
+	for _, argv := range cases {
+		if _, err := parseArgs(argv); err == nil {
+			t.Errorf("parseArgs(%v): expected error", argv)
+		}
+	}
+}
+
+func TestCLIListAction(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIUnknownAction(t *testing.T) {
+	err := run([]string{"frobnicate"})
+	if err == nil || !strings.Contains(err.Error(), "unknown action") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCLIInstallRunRoundtripWithState(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "fex.state")
+
+	// Invocation 1: install RIPE sources; state persisted.
+	if err := run([]string{"install", "-n", "ripe", "--state", state}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("state file missing: %v", err)
+	}
+
+	// Invocation 2: a fresh process-equivalent run picks the install up
+	// from the state file and executes the Table II experiment.
+	if err := run([]string{
+		"run", "-n", "ripe",
+		"-t", "gcc_native", "clang_native",
+		"--state", state,
+		"-o", dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "ripe.csv"))
+	if err != nil {
+		t.Fatalf("exported csv missing: %v", err)
+	}
+	if !strings.Contains(string(csv), "gcc_native,64,786,850") {
+		t.Errorf("Table II row missing from exported csv:\n%s", csv)
+	}
+
+	// Invocation 3: collect again from stored state.
+	if err := run([]string{"collect", "-n", "ripe", "--state", state}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIRunMicroAndPlot(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "fex.state")
+	if err := run([]string{
+		"run", "-n", "micro",
+		"-t", "gcc_native", "gcc_asan",
+		"-b", "array_read",
+		"-i", "test",
+		"--state", state,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"plot", "-n", "micro", "-t", "perf", "-o", dir, "--state", state,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "micro_perf.svg"))
+	if err != nil {
+		t.Fatalf("plot file missing: %v", err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("plot is not SVG")
+	}
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "fex.state")
+	if err := run([]string{
+		"run", "-n", "micro",
+		"-t", "gcc_native", "gcc_asan",
+		"-b", "array_read",
+		"-i", "test", "-r", "3",
+		"--state", state,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"analyze", "-n", "micro", "-t", "gcc_native", "gcc_asan", "--state", state,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong arity is rejected.
+	if err := run([]string{"analyze", "-n", "micro", "-t", "gcc_native", "--state", state}); err == nil {
+		t.Error("expected error for single -t value")
+	}
+}
+
+func TestCLIPlotWithoutRunFails(t *testing.T) {
+	if err := run([]string{"plot", "-n", "splash", "-t", "perf"}); err == nil {
+		t.Error("expected error plotting without collected results")
+	}
+}
+
+func TestCLIRunRequiresName(t *testing.T) {
+	for _, action := range []string{"run", "install", "collect", "plot", "analyze"} {
+		if err := run([]string{action}); err == nil {
+			t.Errorf("%s without -n accepted", action)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package httpd implements the standalone web-server application FEX
+// evaluates in §IV-B (Nginx) and ships alongside (Apache): a real static
+// HTTP server over TCP sockets.
+//
+// The server plays Nginx's role in Figure 7: a Runner configures and
+// starts it under a given build type, drives it with a remote load
+// generator, and collects throughput–latency curves. Build types differ in
+// per-request CPU cost (the compiled artifact's codegen quality), which is
+// what moves the saturation knee between the GCC and Clang curves.
+package httpd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerModel selects the concurrency architecture.
+type WorkerModel int
+
+// Worker models: Nginx uses a small set of event workers; Apache a
+// process/thread per connection (modeled as unbounded goroutines).
+const (
+	ModelEventWorkers WorkerModel = iota + 1
+	ModelPerConnection
+)
+
+// Config configures a server instance.
+type Config struct {
+	// Addr is the listen address; use "127.0.0.1:0" for an ephemeral port.
+	Addr string
+	// Pages maps URL paths (e.g. "/index.html") to static content.
+	Pages map[string][]byte
+	// WorkUnits is the per-request CPU work (checksum passes over the
+	// page) — the knob build types turn: a slower compiler's binary does
+	// proportionally more units.
+	WorkUnits int
+	// Model selects the concurrency architecture (default event workers).
+	Model WorkerModel
+	// Workers bounds concurrent request processing under
+	// ModelEventWorkers (default 4, like nginx worker_processes).
+	Workers int
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	Requests     uint64
+	BytesServed  uint64
+	NotFound     uint64
+	ActiveServed int64
+}
+
+// Server is a running HTTP server.
+type Server struct {
+	cfg      Config
+	listener net.Listener
+	srv      *http.Server
+	sem      chan struct{}
+
+	requests    atomic.Uint64
+	bytesServed atomic.Uint64
+	notFound    atomic.Uint64
+	active      atomic.Int64
+
+	mu       sync.Mutex
+	stopped  bool
+	done     chan struct{}
+	serveErr error
+}
+
+// ErrStopped reports use of a stopped server.
+var ErrStopped = errors.New("httpd: server stopped")
+
+// Start launches the server. It returns once the listener is bound, so
+// Addr is immediately usable.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Model == 0 {
+		cfg.Model = ModelEventWorkers
+	}
+	if cfg.WorkUnits <= 0 {
+		cfg.WorkUnits = 1
+	}
+	if len(cfg.Pages) == 0 {
+		return nil, errors.New("httpd: no pages configured")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		done:     make(chan struct{}),
+	}
+	if cfg.Model == ModelEventWorkers {
+		s.sem = make(chan struct{}, cfg.Workers)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		err := s.srv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// URL returns the base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	if s.sem != nil {
+		// Event-worker model: bounded concurrency, like nginx workers.
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	page, ok := s.cfg.Pages[r.URL.Path]
+	if !ok {
+		s.notFound.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	// Per-request CPU work: this is where the build type's codegen
+	// quality shows up as latency and a lower saturation throughput.
+	sum := burnWork(page, s.cfg.WorkUnits)
+
+	w.Header().Set("Content-Type", "text/html")
+	w.Header().Set("Content-Length", strconv.Itoa(len(page)))
+	w.Header().Set("X-Checksum", strconv.FormatUint(uint64(sum), 16))
+	if _, err := w.Write(page); err != nil {
+		return
+	}
+	s.requests.Add(1)
+	s.bytesServed.Add(uint64(len(page)))
+}
+
+// burnWork hashes the page `units` times — deterministic CPU work standing
+// in for request parsing, TLS, and filter chains.
+func burnWork(page []byte, units int) uint32 {
+	var sum uint32
+	for u := 0; u < units; u++ {
+		h := fnv.New32a()
+		_, _ = h.Write(page)
+		sum ^= h.Sum32()
+	}
+	return sum
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.requests.Load(),
+		BytesServed:  s.bytesServed.Load(),
+		NotFound:     s.notFound.Load(),
+		ActiveServed: s.active.Load(),
+	}
+}
+
+// Stop gracefully shuts the server down and waits for the serve loop.
+func (s *Server) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.serveErr != nil {
+		return s.serveErr
+	}
+	return err
+}
+
+// StaticSite builds a deterministic page set: a 2K index page (the object
+// size of Figure 7: "Remote clients fetch a 2K static web-page") plus a
+// few auxiliary pages.
+func StaticSite() map[string][]byte {
+	page := make([]byte, 2048)
+	for i := range page {
+		page[i] = byte('a' + i%26)
+	}
+	copy(page, []byte("<html><body>fex static page</body></html>"))
+	return map[string][]byte{
+		"/index.html": page,
+		"/small.html": []byte("<html><body>ok</body></html>"),
+		"/large.html": append(append([]byte{}, page...), page...),
+	}
+}

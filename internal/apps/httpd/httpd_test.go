@@ -1,0 +1,175 @@
+package httpd
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Pages == nil {
+		cfg.Pages = StaticSite()
+	}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Stop(ctx)
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestServesStaticPage(t *testing.T) {
+	s := startTestServer(t, Config{})
+	resp, body := get(t, s.URL()+"/index.html")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(body) != 2048 {
+		t.Errorf("page size %d, want the 2K page of Figure 7", len(body))
+	}
+	if resp.Header.Get("X-Checksum") == "" {
+		t.Error("checksum header missing")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s := startTestServer(t, Config{})
+	resp, _ := get(t, s.URL()+"/missing.html")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if s.Stats().NotFound != 1 {
+		t.Errorf("stats %+v", s.Stats())
+	}
+}
+
+func TestStatsCountRequests(t *testing.T) {
+	s := startTestServer(t, Config{})
+	for i := 0; i < 5; i++ {
+		_, _ = get(t, s.URL()+"/small.html")
+	}
+	st := s.Stats()
+	if st.Requests != 5 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if st.BytesServed == 0 {
+		t.Error("no bytes recorded")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startTestServer(t, Config{Workers: 2})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(s.URL() + "/index.html")
+			if err != nil {
+				errs <- err
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- errors.New("bad status")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Stats().Requests; got != 32 {
+		t.Errorf("requests = %d", got)
+	}
+}
+
+func TestWorkUnitsIncreaseServiceTime(t *testing.T) {
+	fast := startTestServer(t, Config{WorkUnits: 1})
+	slow := startTestServer(t, Config{WorkUnits: 4000})
+	measure := func(url string) time.Duration {
+		// Warm up connection reuse effects.
+		_, _ = get(t, url)
+		start := time.Now()
+		for i := 0; i < 20; i++ {
+			_, _ = get(t, url)
+		}
+		return time.Since(start)
+	}
+	f := measure(fast.URL() + "/index.html")
+	sl := measure(slow.URL() + "/index.html")
+	if sl <= f {
+		t.Errorf("4000 work units (%v) not slower than 1 (%v)", sl, f)
+	}
+}
+
+func TestPerConnectionModel(t *testing.T) {
+	s := startTestServer(t, Config{Model: ModelPerConnection})
+	resp, _ := get(t, s.URL()+"/index.html")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	s, err := Start(Config{Pages: StaticSite()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(ctx); !errors.Is(err, ErrStopped) {
+		t.Errorf("second stop: %v", err)
+	}
+}
+
+func TestStartRequiresPages(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("expected error for empty page set")
+	}
+}
+
+func TestStaticSiteHas2KIndex(t *testing.T) {
+	site := StaticSite()
+	if len(site["/index.html"]) != 2048 {
+		t.Errorf("index page %d bytes", len(site["/index.html"]))
+	}
+}
+
+func TestBurnWorkDeterministic(t *testing.T) {
+	page := []byte("content")
+	if burnWork(page, 3) != burnWork(page, 3) {
+		t.Error("burnWork not deterministic")
+	}
+	if burnWork(page, 1) == 0 {
+		t.Error("burnWork returned zero hash")
+	}
+}

@@ -1,0 +1,373 @@
+// Package kvcache implements the Memcached-style standalone application
+// FEX ships (Table I lists Memcached among additional benchmarks): a TCP
+// key-value cache speaking a memcached-like text protocol with LRU
+// eviction and sharded storage.
+//
+// Protocol (one command per line, CRLF or LF terminated):
+//
+//	set <key> <bytes>\r\n<data>\r\n   -> STORED
+//	get <key>\r\n                     -> VALUE <key> <bytes>\r\n<data>\r\nEND  |  END
+//	delete <key>\r\n                  -> DELETED | NOT_FOUND
+//	stats\r\n                         -> STAT lines + END
+//	quit\r\n                          -> closes the connection
+package kvcache
+
+import (
+	"bufio"
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Config configures a cache server.
+type Config struct {
+	// Addr is the listen address; "127.0.0.1:0" for ephemeral.
+	Addr string
+	// CapacityBytes bounds the stored value bytes per shard group before
+	// LRU eviction kicks in (default 64 MiB).
+	CapacityBytes int64
+	// Shards is the number of independent lock shards (default 8).
+	Shards int
+	// WorkUnits is per-op CPU work standing in for the build type's
+	// codegen quality (same knob as httpd).
+	WorkUnits int
+}
+
+// Stats snapshots cache counters.
+type Stats struct {
+	Gets, Sets, Deletes uint64
+	Hits, Misses        uint64
+	Evictions           uint64
+	BytesStored         int64
+	Items               int64
+}
+
+type entry struct {
+	key   string
+	value []byte
+	elem  *list.Element
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*entry
+	lru   *list.List // front = most recently used
+	bytes int64
+	cap   int64
+}
+
+func newShard(capBytes int64) *shard {
+	return &shard{
+		items: make(map[string]*entry),
+		lru:   list.New(),
+		cap:   capBytes,
+	}
+}
+
+func (sh *shard) get(key string) ([]byte, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(e.elem)
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, true
+}
+
+func (sh *shard) set(key string, value []byte) (evicted int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[key]; ok {
+		sh.bytes += int64(len(value)) - int64(len(e.value))
+		e.value = append([]byte(nil), value...)
+		sh.lru.MoveToFront(e.elem)
+	} else {
+		e := &entry{key: key, value: append([]byte(nil), value...)}
+		e.elem = sh.lru.PushFront(e)
+		sh.items[key] = e
+		sh.bytes += int64(len(value))
+	}
+	for sh.bytes > sh.cap && sh.lru.Len() > 1 {
+		oldest := sh.lru.Back()
+		if oldest == nil {
+			break
+		}
+		victim, ok := oldest.Value.(*entry)
+		if !ok {
+			break
+		}
+		sh.lru.Remove(oldest)
+		delete(sh.items, victim.key)
+		sh.bytes -= int64(len(victim.value))
+		evicted++
+	}
+	return evicted
+}
+
+func (sh *shard) delete(key string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	sh.lru.Remove(e.elem)
+	delete(sh.items, key)
+	sh.bytes -= int64(len(e.value))
+	return true
+}
+
+func (sh *shard) stats() (int64, int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.bytes, int64(len(sh.items))
+}
+
+// Server is a running cache server.
+type Server struct {
+	cfg      Config
+	listener net.Listener
+	shards   []*shard
+
+	gets, sets, dels atomic.Uint64
+	hits, misses     atomic.Uint64
+	evictions        atomic.Uint64
+
+	mu      sync.Mutex
+	stopped bool
+	wg      sync.WaitGroup
+	conns   map[net.Conn]struct{}
+}
+
+// ErrStopped reports use of a stopped server.
+var ErrStopped = errors.New("kvcache: server stopped")
+
+// Start launches the server.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.CapacityBytes <= 0 {
+		cfg.CapacityBytes = 64 << 20
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.WorkUnits <= 0 {
+		cfg.WorkUnits = 1
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvcache: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		shards:   make([]*shard, cfg.Shards),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	perShard := cfg.CapacityBytes / int64(cfg.Shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(perShard)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New32a()
+	_, _ = io.WriteString(h, key)
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+func (s *Server) burn(data []byte) {
+	var sum uint32
+	for u := 0; u < s.cfg.WorkUnits; u++ {
+		h := fnv.New32a()
+		_, _ = h.Write(data)
+		sum ^= h.Sum32()
+	}
+	_ = sum
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "get":
+			if len(fields) != 2 {
+				writeLine(w, "ERROR")
+				break
+			}
+			s.gets.Add(1)
+			key := fields[1]
+			if v, ok := s.shardFor(key).get(key); ok {
+				s.hits.Add(1)
+				s.burn(v)
+				writeLine(w, fmt.Sprintf("VALUE %s %d", key, len(v)))
+				_, _ = w.Write(v)
+				writeLine(w, "")
+			} else {
+				s.misses.Add(1)
+			}
+			writeLine(w, "END")
+		case "set":
+			if len(fields) != 3 {
+				writeLine(w, "ERROR")
+				break
+			}
+			size, err := strconv.Atoi(fields[2])
+			if err != nil || size < 0 || size > 8<<20 {
+				writeLine(w, "CLIENT_ERROR bad data chunk")
+				break
+			}
+			data := make([]byte, size+2)
+			if _, err := io.ReadFull(r, data); err != nil {
+				return
+			}
+			value := data[:size]
+			s.sets.Add(1)
+			s.burn(value)
+			if ev := s.shardFor(fields[1]).set(fields[1], value); ev > 0 {
+				s.evictions.Add(uint64(ev))
+			}
+			writeLine(w, "STORED")
+		case "delete":
+			if len(fields) != 2 {
+				writeLine(w, "ERROR")
+				break
+			}
+			s.dels.Add(1)
+			if s.shardFor(fields[1]).delete(fields[1]) {
+				writeLine(w, "DELETED")
+			} else {
+				writeLine(w, "NOT_FOUND")
+			}
+		case "stats":
+			st := s.Stats()
+			writeLine(w, fmt.Sprintf("STAT gets %d", st.Gets))
+			writeLine(w, fmt.Sprintf("STAT sets %d", st.Sets))
+			writeLine(w, fmt.Sprintf("STAT hits %d", st.Hits))
+			writeLine(w, fmt.Sprintf("STAT misses %d", st.Misses))
+			writeLine(w, fmt.Sprintf("STAT evictions %d", st.Evictions))
+			writeLine(w, fmt.Sprintf("STAT bytes %d", st.BytesStored))
+			writeLine(w, fmt.Sprintf("STAT items %d", st.Items))
+			writeLine(w, "END")
+		case "quit":
+			_ = w.Flush()
+			return
+		default:
+			writeLine(w, "ERROR")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func writeLine(w *bufio.Writer, s string) {
+	_, _ = w.WriteString(s)
+	_, _ = w.WriteString("\r\n")
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Server) Stats() Stats {
+	var bytes, items int64
+	for _, sh := range s.shards {
+		b, it := sh.stats()
+		bytes += b
+		items += it
+	}
+	return Stats{
+		Gets:        s.gets.Load(),
+		Sets:        s.sets.Load(),
+		Deletes:     s.dels.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		BytesStored: bytes,
+		Items:       items,
+	}
+}
+
+// Stop closes the listener and all connections, then waits for handlers.
+func (s *Server) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	s.stopped = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	_ = s.listener.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

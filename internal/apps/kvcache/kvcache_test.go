@@ -1,0 +1,273 @@
+package kvcache
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) cmd(format string, args ...any) string {
+	fmt.Fprintf(c.conn, format+"\r\n", args...)
+	line, _ := c.r.ReadString('\n')
+	return strings.TrimRight(line, "\r\n")
+}
+
+func (c *client) set(key, value string) string {
+	fmt.Fprintf(c.conn, "set %s %d\r\n%s\r\n", key, len(value), value)
+	line, _ := c.r.ReadString('\n')
+	return strings.TrimRight(line, "\r\n")
+}
+
+func (c *client) get(key string) (string, bool) {
+	fmt.Fprintf(c.conn, "get %s\r\n", key)
+	line, _ := c.r.ReadString('\n')
+	line = strings.TrimRight(line, "\r\n")
+	if line == "END" {
+		return "", false
+	}
+	var k string
+	var n int
+	if _, err := fmt.Sscanf(line, "VALUE %s %d", &k, &n); err != nil {
+		return "", false
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", false
+	}
+	end, _ := c.r.ReadString('\n')
+	_ = end
+	return string(buf[:n]), true
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Stop(ctx)
+	})
+	return s
+}
+
+func TestSetGet(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dial(t, s.Addr())
+	if got := c.set("k1", "value-1"); got != "STORED" {
+		t.Fatalf("set: %q", got)
+	}
+	v, ok := c.get("k1")
+	if !ok || v != "value-1" {
+		t.Errorf("get: %q %t", v, ok)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dial(t, s.Addr())
+	if _, ok := c.get("missing"); ok {
+		t.Error("missing key returned a value")
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d", st.Misses)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dial(t, s.Addr())
+	c.set("k", "old")
+	c.set("k", "new-value")
+	v, ok := c.get("k")
+	if !ok || v != "new-value" {
+		t.Errorf("get after overwrite: %q", v)
+	}
+	if st := s.Stats(); st.Items != 1 {
+		t.Errorf("items = %d", st.Items)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dial(t, s.Addr())
+	c.set("k", "v")
+	if got := c.cmd("delete k"); got != "DELETED" {
+		t.Errorf("delete: %q", got)
+	}
+	if got := c.cmd("delete k"); got != "NOT_FOUND" {
+		t.Errorf("second delete: %q", got)
+	}
+	if _, ok := c.get("k"); ok {
+		t.Error("deleted key still readable")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard with a tiny capacity: old entries must be evicted.
+	s := startServer(t, Config{CapacityBytes: 512, Shards: 1})
+	c := dial(t, s.Addr())
+	for i := 0; i < 20; i++ {
+		c.set(fmt.Sprintf("key-%02d", i), strings.Repeat("x", 100))
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	if st.BytesStored > 1024 {
+		t.Errorf("bytes stored %d exceeds capacity", st.BytesStored)
+	}
+	// The most recent key survives.
+	if _, ok := c.get("key-19"); !ok {
+		t.Error("most recent key evicted")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	s := startServer(t, Config{CapacityBytes: 350, Shards: 1})
+	c := dial(t, s.Addr())
+	c.set("a", strings.Repeat("x", 100))
+	c.set("b", strings.Repeat("y", 100))
+	c.set("c", strings.Repeat("z", 100))
+	// Touch "a" so "b" is the LRU victim.
+	c.get("a")
+	c.set("d", strings.Repeat("w", 100))
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used key evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("least recently used key survived")
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dial(t, s.Addr())
+	c.set("k", "v")
+	c.get("k")
+	first := c.cmd("stats")
+	if !strings.HasPrefix(first, "STAT ") {
+		t.Errorf("stats line %q", first)
+	}
+	// Drain until END.
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(line) == "END" {
+			break
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dial(t, s.Addr())
+	if got := c.cmd("bogus"); got != "ERROR" {
+		t.Errorf("bogus command: %q", got)
+	}
+	if got := c.cmd("get"); got != "ERROR" {
+		t.Errorf("get without key: %q", got)
+	}
+	if got := c.cmd("set k notanumber"); got != "CLIENT_ERROR bad data chunk" {
+		t.Errorf("bad size: %q", got)
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dial(t, s.Addr())
+	fmt.Fprintf(c.conn, "quit\r\n")
+	_ = c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.r.ReadByte(); err == nil {
+		t.Error("connection still open after quit")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t, Config{Shards: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				fmt.Fprintf(conn, "set %s 3\r\nabc\r\n", key)
+				if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "STORED" {
+					t.Errorf("set %s failed: %q", key, line)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Sets != 160 {
+		t.Errorf("sets = %d, want 160", st.Sets)
+	}
+}
+
+func TestStopRejectsSecondCall(t *testing.T) {
+	s, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(ctx); !errors.Is(err, ErrStopped) {
+		t.Errorf("second stop: %v", err)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	s := startServer(t, Config{Shards: 8})
+	c := dial(t, s.Addr())
+	for i := 0; i < 64; i++ {
+		c.set(fmt.Sprintf("key-%d", i), "v")
+	}
+	nonEmpty := 0
+	for _, sh := range s.shards {
+		_, items := sh.stats()
+		if items > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 4 {
+		t.Errorf("only %d of 8 shards used", nonEmpty)
+	}
+}

@@ -1,0 +1,115 @@
+package container
+
+// This file constructs the FEX base image the paper ships: "Our current
+// image is 1.04GB, with 122MB Ubuntu files, 300MB of benchmarks' source
+// files, and the rest helper packages" (§II-A, footnote 1). The image
+// contains only benchmark sources, makefiles, and framework scripts;
+// compilers, libraries, and additional benchmarks are installed at the
+// setup stage precisely so the image stays distributable (a fully
+// pre-installed image would be ~17 GB).
+
+const (
+	mib = int64(1) << 20
+	gib = int64(1) << 30
+
+	// UbuntuBaseBytes is the Ubuntu 16.04 userland layer size (122 MB).
+	UbuntuBaseBytes = 122 * mib
+	// BenchmarkSourcesBytes is the benchmark source layer size (300 MB).
+	BenchmarkSourcesBytes = 300 * mib
+	// FullyInstalledBytes is what the image would swell to with every
+	// dependency pre-installed (~17 GB) — the design alternative the paper
+	// rejects.
+	FullyInstalledBytes = 17 * gib
+)
+
+// helperPackages are the framework's own tools; per the paper they "are
+// used by the framework itself and do not influence the experiments".
+// Sizes are calibrated so the total image lands at ~1.04 GB.
+func helperPackages() []Package {
+	return []Package{
+		{Name: "git", Version: "2.7.4", SizeBytes: 31 * mib, Purpose: "fetch benchmark sources"},
+		{Name: "python3", Version: "3.5.2", SizeBytes: 140 * mib, Purpose: "experiment scripts"},
+		{Name: "python3-pandas", Version: "0.17.1", SizeBytes: 130 * mib, Purpose: "collect stage"},
+		{Name: "python3-matplotlib", Version: "1.5.1", SizeBytes: 120 * mib, Purpose: "plot stage"},
+		{Name: "wget", Version: "1.17.1", SizeBytes: 3 * mib, Purpose: "setup-stage downloads"},
+		{Name: "perf", Version: "4.4", SizeBytes: 6 * mib, Purpose: "performance counters"},
+		{Name: "make", Version: "4.1", SizeBytes: 1 * mib, Purpose: "build step"},
+		{Name: "bash", Version: "4.3", SizeBytes: 5 * mib, Purpose: "installation scripts"},
+		{Name: "coreutils", Version: "8.25", SizeBytes: 15 * mib, Purpose: "base tooling"},
+		{Name: "build-essential-lite", Version: "12.1", SizeBytes: 190 * mib, Purpose: "headers for setup-stage builds"},
+	}
+}
+
+// BaseImageConfig controls base-image construction.
+type BaseImageConfig struct {
+	// Tag is the image tag; defaults to "latest".
+	Tag string
+	// SourceTrees maps suite names to the size of their source trees;
+	// nil uses a default set totalling ~300 MB.
+	SourceTrees map[string]int64
+}
+
+// BuildBaseImage constructs the shippable FEX image: Ubuntu base layer,
+// benchmark source layer, framework scripts layer, helper packages layer.
+func BuildBaseImage(cfg BaseImageConfig) (*Image, error) {
+	tag := cfg.Tag
+	if tag == "" {
+		tag = "latest"
+	}
+	trees := cfg.SourceTrees
+	if trees == nil {
+		trees = map[string]int64{
+			"phoenix": 40 * mib,
+			"splash":  55 * mib,
+			"parsec":  185 * mib,
+			"micro":   2 * mib,
+			"ripe":    1 * mib,
+			"libs":    17 * mib, // statically linked libevent, OpenSSL, …
+		}
+	}
+
+	ubuntu := Layer{
+		Comment: "ubuntu-16.04-base",
+		Packages: []Package{
+			{Name: "ubuntu-base", Version: "16.04", SizeBytes: UbuntuBaseBytes, Purpose: "userland"},
+		},
+	}
+
+	srcFiles := make(map[string][]byte)
+	var srcPkgs []Package
+	for suite, size := range trees {
+		// A manifest file stands in for the tree; the size is accounted via
+		// the package entry so digests stay small and deterministic.
+		srcFiles["/fex/src/"+suite+"/MANIFEST"] = []byte(suite + " sources\n")
+		srcPkgs = append(srcPkgs, Package{
+			Name: "src-" + suite, Version: "shipped", SizeBytes: size,
+			Purpose: "benchmark sources for " + suite,
+		})
+	}
+	sources := Layer{Comment: "benchmark-sources", Files: srcFiles, Packages: srcPkgs}
+
+	scripts := Layer{
+		Comment: "fex-framework",
+		Files: map[string][]byte{
+			"/fex/fex.py":            []byte("#!/usr/bin/env python3\n# framework entry point\n"),
+			"/fex/environment.py":    []byte("# environment classes\n"),
+			"/fex/config.py":         []byte("# experiment configuration\n"),
+			"/fex/install/common.sh": []byte("# shared install helpers: download, …\n"),
+			"/fex/experiments/run.py": []byte(
+				"# abstract Runner: experiment_loop and hooks\n"),
+			"/fex/experiments/collect.py": []byte("# generic collect\n"),
+			"/fex/experiments/plot.py":    []byte("# generic plot\n"),
+			"/fex/makefiles/common.mk":    []byte("# common layer makefile\n"),
+		},
+	}
+
+	helpers := Layer{Comment: "helper-packages", Packages: helperPackages()}
+
+	return NewBuilder("fex", tag).
+		AddLayer(ubuntu).
+		AddLayer(sources).
+		AddLayer(scripts).
+		AddLayer(helpers).
+		SetEnv("FEX_ROOT", "/fex").
+		Build()
+}

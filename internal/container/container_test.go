@@ -1,0 +1,303 @@
+package container
+
+import (
+	"errors"
+	"testing"
+
+	"fex/internal/vfs"
+)
+
+func testImage(t *testing.T) *Image {
+	t.Helper()
+	im, err := NewBuilder("test", "v1").
+		AddLayer(Layer{
+			Comment: "base",
+			Files:   map[string][]byte{"/etc/os-release": []byte("ubuntu 16.04\n")},
+			Packages: []Package{
+				{Name: "bash", Version: "4.3", SizeBytes: 100},
+			},
+		}).
+		AddLayer(Layer{
+			Comment: "sources",
+			Files:   map[string][]byte{"/fex/src/MANIFEST": []byte("sources\n")},
+		}).
+		SetEnv("FEX_ROOT", "/fex").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestLayerDigestDeterministic(t *testing.T) {
+	l1 := Layer{Comment: "c", Files: map[string][]byte{"/a": []byte("x"), "/b": []byte("y")}}
+	l2 := Layer{Comment: "c", Files: map[string][]byte{"/b": []byte("y"), "/a": []byte("x")}}
+	if l1.Digest() != l2.Digest() {
+		t.Error("map iteration order leaked into digest")
+	}
+}
+
+func TestLayerDigestSensitive(t *testing.T) {
+	l1 := Layer{Comment: "c", Files: map[string][]byte{"/a": []byte("x")}}
+	l2 := Layer{Comment: "c", Files: map[string][]byte{"/a": []byte("X")}}
+	if l1.Digest() == l2.Digest() {
+		t.Error("content change did not change digest")
+	}
+}
+
+func TestLayerSize(t *testing.T) {
+	l := Layer{
+		Files:    map[string][]byte{"/a": make([]byte, 10)},
+		Packages: []Package{{SizeBytes: 90}},
+	}
+	if got := l.Size(); got != 100 {
+		t.Errorf("size = %d", got)
+	}
+}
+
+func TestImageDigestStable(t *testing.T) {
+	a := testImage(t)
+	b := testImage(t)
+	if a.Digest() != b.Digest() {
+		t.Error("identical images differ in digest")
+	}
+}
+
+func TestImageDigestIncludesEnv(t *testing.T) {
+	a := testImage(t)
+	b := testImage(t)
+	b.Env["EXTRA"] = "1"
+	if a.Digest() == b.Digest() {
+		t.Error("env change did not change digest")
+	}
+}
+
+func TestBuilderFrom(t *testing.T) {
+	base := testImage(t)
+	child, err := NewBuilder("child", "v1").
+		From(base).
+		AddLayer(Layer{Comment: "extra", Files: map[string][]byte{"/x": []byte("y")}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(child.Layers) != 3 {
+		t.Errorf("layers = %d", len(child.Layers))
+	}
+	if child.Env["FEX_ROOT"] != "/fex" {
+		t.Error("base env not inherited")
+	}
+}
+
+func TestBuilderRequiresLayerComment(t *testing.T) {
+	_, err := NewBuilder("x", "y").AddLayer(Layer{}).Build()
+	if err == nil {
+		t.Error("expected error for uncommented layer")
+	}
+}
+
+func TestBuilderDeepCopiesFiles(t *testing.T) {
+	files := map[string][]byte{"/f": []byte("orig")}
+	im, err := NewBuilder("x", "y").AddLayer(Layer{Comment: "l", Files: files}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := im.Digest()
+	files["/f"][0] = 'X'
+	if im.Digest() != d1 {
+		t.Error("mutating caller's map changed the image")
+	}
+}
+
+func TestBuilderCopyDir(t *testing.T) {
+	fsys := vfs.New()
+	_ = fsys.WriteFile("/src/a/file", []byte("data"), 0o644)
+	im, err := NewBuilder("x", "y").CopyDir(fsys, "/src", "/dst", "copied").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := Run(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, _ := ctr.FS()
+	got, err := cfs.ReadFile("/dst/a/file")
+	if err != nil || string(got) != "data" {
+		t.Errorf("copied file: %q, %v", got, err)
+	}
+}
+
+func TestRegistryPushPull(t *testing.T) {
+	r := NewRegistry()
+	im := testImage(t)
+	if err := r.Push(im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Pull("test:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != im.Digest() {
+		t.Error("pulled image differs")
+	}
+}
+
+func TestRegistryPullMissing(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Pull("nope:v0"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestRegistryDetectsTampering(t *testing.T) {
+	r := NewRegistry()
+	im := testImage(t)
+	if err := r.Push(im); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the stored image behind the registry's back.
+	im.Env["TAMPERED"] = "1"
+	if _, err := r.Pull("test:v1"); !errors.Is(err, ErrDigestMismatch) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Push(testImage(t))
+	list := r.List()
+	if len(list) != 1 || list[0] != "test:v1" {
+		t.Errorf("list = %v", list)
+	}
+}
+
+func TestContainerLayersApplyInOrder(t *testing.T) {
+	im, err := NewBuilder("x", "y").
+		AddLayer(Layer{Comment: "l1", Files: map[string][]byte{"/f": []byte("old")}}).
+		AddLayer(Layer{Comment: "l2", Files: map[string][]byte{"/f": []byte("new")}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := Run(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, _ := ctr.FS()
+	got, _ := fsys.ReadFile("/f")
+	if string(got) != "new" {
+		t.Errorf("later layer did not shadow: %q", got)
+	}
+}
+
+func TestContainerEnvIsolation(t *testing.T) {
+	im := testImage(t)
+	c1, _ := Run(im)
+	c2, _ := Run(im)
+	_ = c1.Setenv("ONLY_C1", "yes")
+	if _, ok := c2.Getenv("ONLY_C1"); ok {
+		t.Error("environment leaked between containers")
+	}
+	if v, ok := c1.Getenv("FEX_ROOT"); !ok || v != "/fex" {
+		t.Errorf("image env missing: %q %t", v, ok)
+	}
+}
+
+func TestContainerFSIsolation(t *testing.T) {
+	im := testImage(t)
+	c1, _ := Run(im)
+	c2, _ := Run(im)
+	f1, _ := c1.FS()
+	_ = f1.WriteFile("/only-c1", []byte("x"), 0o644)
+	f2, _ := c2.FS()
+	if f2.Exists("/only-c1") {
+		t.Error("filesystem leaked between containers")
+	}
+}
+
+func TestContainerStop(t *testing.T) {
+	ctr, _ := Run(testImage(t))
+	ctr.Stop()
+	if !ctr.Stopped() {
+		t.Error("Stopped() false after Stop")
+	}
+	if _, err := ctr.FS(); !errors.Is(err, ErrStopped) {
+		t.Errorf("got %v", err)
+	}
+	if err := ctr.Setenv("K", "v"); !errors.Is(err, ErrStopped) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestContainerCommit(t *testing.T) {
+	ctr, _ := Run(testImage(t))
+	fsys, _ := ctr.FS()
+	_ = fsys.WriteFile("/installed/tool", []byte("bin"), 0o755)
+	im, err := ctr.Commit("test", "v2", "after-setup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr2, err := Run(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := ctr2.FS()
+	if !f2.Exists("/installed/tool") {
+		t.Error("committed file missing in new container")
+	}
+}
+
+func TestBaseImageSizeMatchesPaper(t *testing.T) {
+	im, err := BuildBaseImage(BaseImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := im.Size()
+	// The paper's footnote: "Our current image is 1.04GB, with 122MB
+	// Ubuntu files, 300MB of benchmarks' source files, and the rest
+	// helper packages".
+	gb := float64(size) / float64(1<<30)
+	if gb < 0.95 || gb > 1.15 {
+		t.Errorf("image size %.3f GB, want ~1.04 GB", gb)
+	}
+	breakdown := im.Breakdown()
+	var ubuntu, sources int64
+	for _, b := range breakdown {
+		switch b.Layer {
+		case "ubuntu-16.04-base":
+			ubuntu = b.Bytes
+		case "benchmark-sources":
+			sources = b.Bytes
+		}
+	}
+	if ubuntu != UbuntuBaseBytes {
+		t.Errorf("ubuntu layer = %d", ubuntu)
+	}
+	if sources < 295*mib || sources > 305*mib {
+		t.Errorf("sources layer = %d MB", sources/mib)
+	}
+	// A fully pre-installed image would be an order of magnitude larger.
+	if FullyInstalledBytes < 15*size {
+		t.Errorf("fully-installed size %d not >> shipped %d", FullyInstalledBytes, size)
+	}
+}
+
+func TestBaseImageDeterministic(t *testing.T) {
+	a, err := BuildBaseImage(BaseImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBaseImage(BaseImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("base image is not reproducible")
+	}
+}
+
+func TestRunNilImage(t *testing.T) {
+	if _, err := Run(nil); err == nil {
+		t.Error("expected error for nil image")
+	}
+}

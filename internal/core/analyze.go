@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fex/internal/runlog"
+	"fex/internal/stats"
+)
+
+// This file implements the statistical analysis the paper lists as future
+// work in §VI: "The framework provides no statistical analysis
+// functionality (except basic statistics such as standard deviation). We
+// plan to integrate statistical numpy/scipy Python packages in the
+// framework to allow for advanced statistical methods and hypothesis
+// testing." Here, hypothesis testing runs natively over the per-repetition
+// measurements stored in an experiment's run log.
+
+// Comparison is the statistical verdict for one benchmark between two
+// build types.
+type Comparison struct {
+	Benchmark string
+	// A and B summarize the per-repetition samples of each build type.
+	A, B stats.Summary
+	// Ratio is mean(B)/mean(A).
+	Ratio float64
+	// Test is Welch's two-sample t-test over the repetition samples; it
+	// is nil when either side has fewer than two repetitions.
+	Test *stats.TTestResult
+}
+
+// Significant reports whether the difference is significant at alpha.
+func (c Comparison) Significant(alpha float64) bool {
+	return c.Test != nil && c.Test.Significant(alpha)
+}
+
+// AnalysisReport is the outcome of comparing two build types across an
+// experiment's benchmarks.
+type AnalysisReport struct {
+	Experiment   string
+	Metric       string
+	TypeA, TypeB string
+	Comparisons  []Comparison
+	// MinReps is the smallest repetition count encountered; hypothesis
+	// testing needs at least 2.
+	MinReps int
+}
+
+// String renders the report as an aligned listing.
+func (r AnalysisReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s of %s vs %s\n", r.Experiment, r.Metric, r.TypeB, r.TypeA)
+	for _, c := range r.Comparisons {
+		verdict := "n/a (need -r >= 2)"
+		if c.Test != nil {
+			if c.Test.Significant(0.05) {
+				verdict = fmt.Sprintf("significant (p=%.4g)", c.Test.P)
+			} else {
+				verdict = fmt.Sprintf("not significant (p=%.4g)", c.Test.P)
+			}
+		}
+		fmt.Fprintf(&sb, "%-18s ratio=%.3f  %s\n", c.Benchmark, c.Ratio, verdict)
+	}
+	return sb.String()
+}
+
+// Analyze compares metric between two build types of a previously run
+// experiment, benchmark by benchmark, using the per-repetition samples in
+// the stored log (not the collected means). Samples are taken at the
+// smallest thread count present.
+// The default metric is live wall time ("wall_ns"): modeled counters are
+// deterministic across repetitions (zero variance), so hypothesis testing
+// is only informative for the live measurements.
+func (fx *Fex) Analyze(experiment, metric, typeA, typeB string) (*AnalysisReport, error) {
+	if metric == "" {
+		metric = "wall_ns"
+	}
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return nil, err
+	}
+	data, err := fsys.ReadFile(logPath(experiment))
+	if err != nil {
+		return nil, fmt.Errorf("analyze %s: no run log (run the experiment first): %w", experiment, err)
+	}
+	lg, err := runlog.Parse(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("analyze %s: %w", experiment, err)
+	}
+	if len(lg.Measurements) == 0 {
+		return nil, fmt.Errorf("analyze %s: log has no measurements", experiment)
+	}
+
+	minThreads := lg.Measurements[0].Threads
+	for _, m := range lg.Measurements {
+		if m.Threads < minThreads {
+			minThreads = m.Threads
+		}
+	}
+	samples := map[string]map[string][]float64{} // bench -> type -> values
+	var benchOrder []string
+	minReps := int(^uint(0) >> 1)
+	for _, m := range lg.Measurements {
+		if m.Threads != minThreads {
+			continue
+		}
+		if m.BuildType != typeA && m.BuildType != typeB {
+			continue
+		}
+		v, ok := m.Values[metric]
+		if !ok {
+			return nil, fmt.Errorf("analyze %s: metric %q not in measurements (have %v)",
+				experiment, metric, metricNames(m))
+		}
+		byType, ok := samples[m.Benchmark]
+		if !ok {
+			byType = map[string][]float64{}
+			samples[m.Benchmark] = byType
+			benchOrder = append(benchOrder, m.Benchmark)
+		}
+		byType[m.BuildType] = append(byType[m.BuildType], v)
+	}
+	if len(benchOrder) == 0 {
+		return nil, fmt.Errorf("analyze %s: no measurements for types %q/%q", experiment, typeA, typeB)
+	}
+
+	report := &AnalysisReport{
+		Experiment: experiment, Metric: metric, TypeA: typeA, TypeB: typeB,
+	}
+	for _, bench := range benchOrder {
+		a := samples[bench][typeA]
+		bvals := samples[bench][typeB]
+		if len(a) == 0 || len(bvals) == 0 {
+			return nil, fmt.Errorf("analyze %s: benchmark %s lacks both types", experiment, bench)
+		}
+		if len(a) < minReps {
+			minReps = len(a)
+		}
+		if len(bvals) < minReps {
+			minReps = len(bvals)
+		}
+		sa, err := stats.Summarize(a)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := stats.Summarize(bvals)
+		if err != nil {
+			return nil, err
+		}
+		cmp := Comparison{Benchmark: bench, A: sa, B: sb}
+		if sa.Mean != 0 {
+			cmp.Ratio = sb.Mean / sa.Mean
+		}
+		if len(a) >= 2 && len(bvals) >= 2 {
+			res, err := stats.WelchTTest(a, bvals)
+			if err != nil {
+				return nil, fmt.Errorf("analyze %s/%s: %w", experiment, bench, err)
+			}
+			cmp.Test = &res
+		}
+		report.Comparisons = append(report.Comparisons, cmp)
+	}
+	report.MinReps = minReps
+	return report, nil
+}
+
+func metricNames(m runlog.Measurement) []string {
+	out := make([]string, 0, len(m.Values))
+	for k := range m.Values {
+		out = append(out, k)
+	}
+	return out
+}

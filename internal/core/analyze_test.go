@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fex/internal/workload"
+)
+
+func TestAnalyzeDetectsASanSlowdown(t *testing.T) {
+	fx := newFex(t)
+	installAll(t, fx, "gcc-6.1")
+	_ = runPhoenixSubset(t, fx, Config{
+		Experiment: "micro",
+		BuildTypes: []string{"gcc_native", "gcc_asan"},
+		Benchmarks: []string{"array_read", "alloc_churn"},
+		Input:      workload.SizeTest,
+		Reps:       4,
+	})
+	// Modeled cycles are deterministic, so the ratio is exact and the
+	// test degenerates to "difference with zero variance" (p = 0).
+	report, err := fx.Analyze("micro", "cycles", "gcc_native", "gcc_asan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Comparisons) != 2 {
+		t.Fatalf("comparisons %d", len(report.Comparisons))
+	}
+	for _, c := range report.Comparisons {
+		if c.Ratio <= 1 {
+			t.Errorf("%s: asan/native ratio %v, want > 1", c.Benchmark, c.Ratio)
+		}
+		if c.Test == nil {
+			t.Fatalf("%s: no t-test with 4 reps", c.Benchmark)
+		}
+		if !c.Significant(0.05) {
+			t.Errorf("%s: exact modeled difference not significant (p=%v)", c.Benchmark, c.Test.P)
+		}
+	}
+	if !strings.Contains(report.String(), "array_read") {
+		t.Error("report rendering missing benchmark")
+	}
+}
+
+func TestAnalyzeDefaultsToWallTime(t *testing.T) {
+	fx := newFex(t)
+	installAll(t, fx, "gcc-6.1")
+	_ = runPhoenixSubset(t, fx, Config{
+		Experiment: "micro",
+		BuildTypes: []string{"gcc_native", "gcc_asan"},
+		Benchmarks: []string{"array_read"},
+		Input:      workload.SizeTest,
+		Reps:       3,
+	})
+	report, err := fx.Analyze("micro", "", "gcc_native", "gcc_asan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Metric != "wall_ns" {
+		t.Errorf("default metric %q", report.Metric)
+	}
+}
+
+func TestAnalyzeSingleRepHasNoTest(t *testing.T) {
+	fx := newFex(t)
+	installAll(t, fx, "gcc-6.1")
+	_ = runPhoenixSubset(t, fx, Config{
+		Experiment: "micro",
+		BuildTypes: []string{"gcc_native", "gcc_asan"},
+		Benchmarks: []string{"array_read"},
+		Input:      workload.SizeTest,
+	})
+	report, err := fx.Analyze("micro", "cycles", "gcc_native", "gcc_asan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Comparisons[0].Test != nil {
+		t.Error("t-test produced from a single repetition")
+	}
+	if report.Comparisons[0].Significant(0.05) {
+		t.Error("single-rep comparison reported significant")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	fx := newFex(t)
+	if _, err := fx.Analyze("micro", "", "a", "b"); err == nil {
+		t.Error("expected error without a stored run")
+	}
+	installAll(t, fx, "gcc-6.1")
+	_ = runPhoenixSubset(t, fx, Config{
+		Experiment: "micro",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"array_read"},
+		Input:      workload.SizeTest,
+	})
+	if _, err := fx.Analyze("micro", "no_such_metric", "gcc_native", "gcc_native"); err == nil {
+		t.Error("expected error for unknown metric")
+	}
+	if _, err := fx.Analyze("micro", "", "gcc_native", "clang_native"); err == nil {
+		t.Error("expected error for missing type samples")
+	}
+}

@@ -1,0 +1,142 @@
+// Package core is FEX itself — the paper's primary contribution: an
+// extensible, practical, reproducible software-systems evaluation
+// framework that unifies the entire build–run–collect–plot process across
+// benchmark suites and standalone applications.
+//
+// The package mirrors the architecture of §II:
+//
+//   - Fex (fex.go) is the entry-point object created per invocation; it
+//     retrieves the configuration, sets up the environment, and dispatches
+//     the Runner matching the requested experiment (Figure 3).
+//   - Runner (runner.go) owns the nested experiment loop with its
+//     per-type / per-benchmark / per-thread / per-run hooks (Figure 4);
+//     VariableInputRunner extends the loop with an input dimension.
+//   - Experiments (experiment.go, perfexp.go, netexp.go, secexp.go) are
+//     registered descriptors pairing a runner with collect and plot
+//     stages.
+//   - Actions (install, build, run, collect, plot, list) mirror fex.py's
+//     command surface.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fex/internal/workload"
+)
+
+// Config carries one invocation's experiment parameters — the command-line
+// surface of fex.py (§III-B: -t, -b, -r, -m, -i, -v, -d, --no-build).
+type Config struct {
+	// Experiment is the experiment name (-n).
+	Experiment string
+	// BuildTypes are the build configurations to compare (-t), e.g.
+	// ["gcc_native", "clang_native"].
+	BuildTypes []string
+	// Benchmarks filters the suite to specific benchmarks (-b); empty
+	// runs all.
+	Benchmarks []string
+	// Threads are the thread counts to sweep (-m); empty means [1].
+	Threads []int
+	// Reps is the repetition count per configuration (-r); 0 means 1.
+	Reps int
+	// Input selects the input size class (-i): "test", "small", "native".
+	Input workload.SizeClass
+	// Debug builds -O0 -g binaries and enables debug-class environment
+	// variables (-d).
+	Debug bool
+	// Verbose enables progress logging (-v).
+	Verbose bool
+	// NoBuild skips the rebuild before running (--no-build) — only safe
+	// for quick preliminary experiments, since stale artifacts can mix
+	// old and new flags.
+	NoBuild bool
+	// Tool selects the measurement tool ("perf-stat", "perf-stat-mem",
+	// "time"); empty uses the experiment default.
+	Tool string
+}
+
+// Normalize validates the config and fills defaults.
+func (c *Config) Normalize() error {
+	if c.Experiment == "" {
+		return errors.New("core: config requires an experiment name (-n)")
+	}
+	if len(c.BuildTypes) == 0 {
+		return fmt.Errorf("core: experiment %q requires at least one build type (-t)", c.Experiment)
+	}
+	seen := make(map[string]bool, len(c.BuildTypes))
+	for _, t := range c.BuildTypes {
+		if t == "" {
+			return errors.New("core: empty build type")
+		}
+		if seen[t] {
+			return fmt.Errorf("core: duplicate build type %q", t)
+		}
+		seen[t] = true
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1}
+	}
+	for _, t := range c.Threads {
+		if t < 1 {
+			return fmt.Errorf("core: invalid thread count %d", t)
+		}
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	if c.Input == 0 {
+		c.Input = workload.SizeNative
+	}
+	return nil
+}
+
+// ParseThreadList parses a "-m 1 2 4"-style argument list.
+func ParseThreadList(args []string) ([]int, error) {
+	out := make([]int, 0, len(args))
+	for _, a := range args {
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad thread count %q: %w", a, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// String renders the config as the equivalent fex command line.
+func (c Config) String() string {
+	var sb strings.Builder
+	sb.WriteString("fex run -n " + c.Experiment)
+	if len(c.BuildTypes) > 0 {
+		sb.WriteString(" -t " + strings.Join(c.BuildTypes, " "))
+	}
+	if len(c.Benchmarks) > 0 {
+		sb.WriteString(" -b " + strings.Join(c.Benchmarks, " "))
+	}
+	if len(c.Threads) > 0 && !(len(c.Threads) == 1 && c.Threads[0] == 1) {
+		parts := make([]string, len(c.Threads))
+		for i, t := range c.Threads {
+			parts[i] = strconv.Itoa(t)
+		}
+		sb.WriteString(" -m " + strings.Join(parts, " "))
+	}
+	if c.Reps > 1 {
+		sb.WriteString(" -r " + strconv.Itoa(c.Reps))
+	}
+	if c.Input != 0 && c.Input != workload.SizeNative {
+		sb.WriteString(" -i " + c.Input.String())
+	}
+	if c.Debug {
+		sb.WriteString(" -d")
+	}
+	if c.Verbose {
+		sb.WriteString(" -v")
+	}
+	if c.NoBuild {
+		sb.WriteString(" --no-build")
+	}
+	return sb.String()
+}

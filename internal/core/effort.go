@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file reproduces the paper's extensibility evaluation (§IV): the
+// lines-of-code effort to add SPLASH-3 (326 LoC), Nginx (166 LoC), and
+// RIPE (75 LoC) to FEX. The paper counts the Python/Makefile/Bash glue a
+// user writes; our equivalent is the Go glue of the corresponding
+// extension units in this repository, measured by a real LoC counter
+// (non-blank, non-comment lines).
+
+// EffortUnit is one case-study extension with the files a user had to
+// write.
+type EffortUnit struct {
+	// Name identifies the case study ("splash-3", "nginx", "ripe").
+	Name string
+	// PaperLoC is the published effort.
+	PaperLoC int
+	// PaperHours is the published time effort.
+	PaperHours float64
+	// Files are repo-relative file paths or glob patterns making up the
+	// extension.
+	Files []string
+	// Description summarizes the unit.
+	Description string
+}
+
+// CaseStudyUnits maps the paper's three case studies onto this
+// repository's extension units: the suite integration glue, the runner /
+// collect / plot code, and the experiment example — the same roles as the
+// paper's run.py / collect.py / plot.py / makefiles / install scripts.
+func CaseStudyUnits() []EffortUnit {
+	return []EffortUnit{
+		{
+			Name:       "splash-3",
+			PaperLoC:   326,
+			PaperHours: 5,
+			Files: []string{
+				"internal/workload/splash/splash.go",      // suite registration
+				"internal/workload/splash/integration.go", // build-system changes (the paper's 194-LoC item)
+				"examples/splash_compare/main.go",         // runner + collect + plot glue
+			},
+			Description: "multithreaded benchmark suite integration (§IV-A)",
+		},
+		{
+			Name:       "nginx",
+			PaperLoC:   166,
+			PaperHours: 2,
+			Files: []string{
+				"internal/core/netexp.go",             // run.py + collect.py + plot.py analog
+				"examples/nginx_tput_latency/main.go", // experiment invocation
+			},
+			Description: "real-world application with remote-client scenario (§IV-B)",
+		},
+		{
+			Name:       "ripe",
+			PaperLoC:   75,
+			PaperHours: 1,
+			Files: []string{
+				"internal/core/secexp.go",        // run.py + collect.py analog
+				"examples/ripe_security/main.go", // experiment invocation
+			},
+			Description: "security benchmark integration (§IV-C)",
+		},
+	}
+}
+
+// CountGoLoC counts non-blank, non-comment lines of a Go (or make/shell)
+// source file. Block comments are tracked across lines.
+func CountGoLoC(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("count loc: %w", err)
+	}
+	defer f.Close()
+	count := 0
+	inBlock := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if inBlock {
+			if idx := strings.Index(line, "*/"); idx >= 0 {
+				inBlock = false
+				line = strings.TrimSpace(line[idx+2:])
+				if line == "" {
+					continue
+				}
+			} else {
+				continue
+			}
+		}
+		if strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "/*") {
+			if !strings.Contains(line, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// EffortResult is one measured case study.
+type EffortResult struct {
+	Name        string
+	PaperLoC    int
+	MeasuredLoC int
+	Files       int
+}
+
+// MeasureEffort counts the LoC of each case-study unit relative to
+// repoRoot. Missing files are an error — the units must exist in the
+// repository being measured.
+func MeasureEffort(repoRoot string, units []EffortUnit) ([]EffortResult, error) {
+	out := make([]EffortResult, 0, len(units))
+	for _, u := range units {
+		total := 0
+		files := 0
+		for _, pattern := range u.Files {
+			matches, err := filepath.Glob(filepath.Join(repoRoot, pattern))
+			if err != nil {
+				return nil, fmt.Errorf("effort %s: bad pattern %q: %w", u.Name, pattern, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("effort %s: pattern %q matches no files", u.Name, pattern)
+			}
+			sort.Strings(matches)
+			for _, m := range matches {
+				n, err := CountGoLoC(m)
+				if err != nil {
+					return nil, fmt.Errorf("effort %s: %w", u.Name, err)
+				}
+				total += n
+				files++
+			}
+		}
+		out = append(out, EffortResult{
+			Name: u.Name, PaperLoC: u.PaperLoC, MeasuredLoC: total, Files: files,
+		})
+	}
+	return out, nil
+}

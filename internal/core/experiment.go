@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"fex/internal/runlog"
+	"fex/internal/table"
+)
+
+// ExperimentKind classifies the built-in experiment families (Table I:
+// "Performance and memory overheads, security evaluation" plus
+// throughput–latency for the real-world applications).
+type ExperimentKind int
+
+// Experiment kinds.
+const (
+	KindPerformance ExperimentKind = iota + 1
+	KindMemory
+	KindVariableInput
+	KindThroughputLatency
+	KindSecurity
+)
+
+// String returns the kind name.
+func (k ExperimentKind) String() string {
+	switch k {
+	case KindPerformance:
+		return "performance"
+	case KindMemory:
+		return "memory"
+	case KindVariableInput:
+		return "variable-input"
+	case KindThroughputLatency:
+		return "throughput-latency"
+	case KindSecurity:
+		return "security"
+	default:
+		return fmt.Sprintf("ExperimentKind(%d)", int(k))
+	}
+}
+
+// Experiment describes one registered experiment: which runner executes
+// it, how its log is collected into a table, and how the table is
+// plotted. Users extend FEX by registering new Experiments — the paper's
+// §III-A workflow of writing run.py / collect.py / plot.py.
+type Experiment struct {
+	// Name is the -n value ("phoenix", "splash", "nginx", "ripe", …).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Suite names the workload suite this experiment runs ("" for
+	// app-level experiments like nginx).
+	Suite string
+	// Kind classifies the experiment.
+	Kind ExperimentKind
+	// DefaultTypes are the build types used when -t is omitted.
+	DefaultTypes []string
+	// PlotKinds lists the plot names Plot accepts.
+	PlotKinds []string
+	// CSVKinds types the experiment's CSV columns for re-parsing.
+	CSVKinds map[string]table.Kind
+	// NewRunner constructs the experiment's runner.
+	NewRunner func(fx *Fex) (Runner, error)
+	// Collect aggregates a parsed run log into a table; nil uses
+	// GenericCollect (re-use of the generic collect.py, §III-A).
+	Collect func(lg *runlog.Log) (*table.Table, error)
+	// Plot renders a named plot from the collected table; nil means the
+	// experiment has no plots (like RIPE).
+	Plot func(tbl *table.Table, kind string) (string, error)
+	// Validate optionally rejects unsupported configurations.
+	Validate func(cfg Config) error
+}
+
+// ValidateConfig applies the experiment's config validation.
+func (e *Experiment) ValidateConfig(cfg Config) error {
+	if e.Validate != nil {
+		return e.Validate(cfg)
+	}
+	return nil
+}
+
+// RegisterExperiment adds an experiment; duplicate names are an error.
+func (fx *Fex) RegisterExperiment(e *Experiment) error {
+	if e == nil || e.Name == "" {
+		return errors.New("core: experiment requires a name")
+	}
+	if e.NewRunner == nil {
+		return fmt.Errorf("core: experiment %q requires a runner", e.Name)
+	}
+	if _, dup := fx.experiments[e.Name]; dup {
+		return fmt.Errorf("core: duplicate experiment %q", e.Name)
+	}
+	fx.experiments[e.Name] = e
+	return nil
+}
+
+// Experiment looks up a registered experiment.
+func (fx *Fex) Experiment(name string) (*Experiment, error) {
+	e, ok := fx.experiments[name]
+	if !ok {
+		names := fx.ExperimentNames()
+		return nil, fmt.Errorf("core: unknown experiment %q (have: %v)", name, names)
+	}
+	return e, nil
+}
+
+// ExperimentNames lists registered experiments, sorted.
+func (fx *Fex) ExperimentNames() []string {
+	out := make([]string, 0, len(fx.experiments))
+	for n := range fx.experiments {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GenericCollect is the stock collect stage: it averages each metric over
+// repetitions, grouped by (suite, benchmark, build type, threads), and
+// emits one row per group — the generic collect.py most experiments
+// re-use unchanged.
+func GenericCollect(lg *runlog.Log) (*table.Table, error) {
+	if len(lg.Measurements) == 0 {
+		return nil, errors.New("core: log contains no measurements")
+	}
+	// Collect the union of metric names.
+	metricSet := map[string]bool{}
+	for _, m := range lg.Measurements {
+		for k := range m.Values {
+			metricSet[k] = true
+		}
+	}
+	metrics := make([]string, 0, len(metricSet))
+	for k := range metricSet {
+		metrics = append(metrics, k)
+	}
+	sort.Strings(metrics)
+
+	type groupKey struct {
+		suite, bench, btype string
+		threads             int
+	}
+	type acc struct {
+		sums  map[string]float64
+		count map[string]int
+	}
+	var order []groupKey
+	groups := map[groupKey]*acc{}
+	for _, m := range lg.Measurements {
+		k := groupKey{m.Suite, m.Benchmark, m.BuildType, m.Threads}
+		g, ok := groups[k]
+		if !ok {
+			g = &acc{sums: map[string]float64{}, count: map[string]int{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for name, v := range m.Values {
+			g.sums[name] += v
+			g.count[name]++
+		}
+	}
+
+	names := append([]string{"suite", "bench", "type", "threads"}, metrics...)
+	kinds := make([]table.Kind, len(names))
+	kinds[0], kinds[1], kinds[2] = table.String, table.String, table.String
+	kinds[3] = table.Float
+	for i := 4; i < len(kinds); i++ {
+		kinds[i] = table.Float
+	}
+	b, err := table.NewBuilder(names, kinds)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := []any{k.suite, k.bench, k.btype, float64(k.threads)}
+		for _, m := range metrics {
+			if c := g.count[m]; c > 0 {
+				row = append(row, g.sums[m]/float64(c))
+			} else {
+				row = append(row, 0.0)
+			}
+		}
+		if err := b.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Table()
+}
+
+// genericCSVKinds types the GenericCollect output columns.
+func genericCSVKinds() map[string]table.Kind {
+	kinds := map[string]table.Kind{
+		"suite": table.String, "bench": table.String, "type": table.String,
+	}
+	// Every other column is numeric; ReadCSV defaults unknown columns to
+	// String, so enumerate the common metric names.
+	for _, m := range []string{
+		"threads", "cycles", "instructions", "ipc", "branch_misses",
+		"l1d_misses", "llc_misses", "max_rss", "cache_refs", "mem_cycles",
+		"rss_mbytes", "write_ratio", "wall_ns", "checksum", "input_class",
+		"wall_seconds",
+	} {
+		kinds[m] = table.Float
+	}
+	return kinds
+}
+
+// threadsLabel renders a thread count for plot labels.
+func threadsLabel(t float64) string { return strconv.Itoa(int(t)) }

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"fex/internal/buildsys"
+	"fex/internal/container"
+	"fex/internal/env"
+	"fex/internal/installer"
+	"fex/internal/runlog"
+	"fex/internal/table"
+	"fex/internal/toolchain"
+	"fex/internal/vfs"
+	"fex/internal/workload"
+	"fex/internal/workload/micro"
+	"fex/internal/workload/parsec"
+	"fex/internal/workload/phoenix"
+	"fex/internal/workload/splash"
+)
+
+// Paths inside the experiment container.
+const (
+	// LogDir receives experiment run logs.
+	LogDir = "/fex/logs"
+	// ResultDir receives aggregated CSV tables.
+	ResultDir = "/fex/results"
+	// PlotDir receives rendered plots.
+	PlotDir = "/fex/plots"
+)
+
+// Options configures framework construction. Zero values select the
+// shipped defaults.
+type Options struct {
+	// Registry provides the benchmark workloads; nil registers all
+	// shipped suites (phoenix, splash, parsec, micro).
+	Registry *workload.Registry
+	// Repository serves setup-stage artifacts; nil uses the default
+	// catalog.
+	Repository *installer.Repository
+	// Image is the container image to run experiments in; nil builds the
+	// shipped base image.
+	Image *container.Image
+	// Verbose receives -v progress output; nil discards it.
+	Verbose io.Writer
+	// Now supplies timestamps (defaults to time.Now); injectable for
+	// deterministic tests.
+	Now func() time.Time
+}
+
+// Fex is the framework object behind one fex.py invocation (Figure 3):
+// it owns the experiment container, the setup-stage installer, the build
+// system, the workload and experiment registries, and the environment
+// machinery.
+type Fex struct {
+	ctr         *container.Container
+	inst        *installer.Installer
+	build       *buildsys.System
+	registry    *workload.Registry
+	experiments map[string]*Experiment
+	providers   map[string]env.Provider
+	verbose     io.Writer
+	now         func() time.Time
+}
+
+// New constructs a framework instance: it boots the container from the
+// image, wires the installer and build system into it, registers the
+// shipped suites, makefiles, environment providers, and experiments.
+func New(opts Options) (*Fex, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = workload.NewRegistry()
+		for _, register := range []func(*workload.Registry) error{
+			phoenix.Register, splash.Register, parsec.Register, micro.Register,
+		} {
+			if err := register(reg); err != nil {
+				return nil, fmt.Errorf("register suites: %w", err)
+			}
+		}
+		if err := reg.RegisterAll(appWorkloads()...); err != nil {
+			return nil, fmt.Errorf("register applications: %w", err)
+		}
+	}
+	repo := opts.Repository
+	if repo == nil {
+		var err error
+		repo, err = installer.DefaultRepository()
+		if err != nil {
+			return nil, fmt.Errorf("default repository: %w", err)
+		}
+	}
+	img := opts.Image
+	if img == nil {
+		var err error
+		img, err = container.BuildBaseImage(container.BaseImageConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("base image: %w", err)
+		}
+	}
+	ctr, err := container.Run(img)
+	if err != nil {
+		return nil, fmt.Errorf("start container: %w", err)
+	}
+	inst, err := installer.New(repo, ctr)
+	if err != nil {
+		return nil, err
+	}
+	fsys, err := ctr.FS()
+	if err != nil {
+		return nil, err
+	}
+	bld := buildsys.NewSystem(fsys, func(artifact string) (bool, error) {
+		return inst.IsInstalled(artifact)
+	})
+	if err := bld.InstallDefaults(); err != nil {
+		return nil, err
+	}
+	if err := bld.RegisterBenchmarks(reg); err != nil {
+		return nil, fmt.Errorf("register benchmark makefiles: %w", err)
+	}
+	// SPLASH-3 carries its own multi-file build descriptions (§IV-A's
+	// suite build-system integration), replacing the generated defaults.
+	splashFiles, err := splash.BuildFiles()
+	if err != nil {
+		return nil, err
+	}
+	for path, text := range splashFiles {
+		if err := bld.AddMakefileText(path, buildsys.LayerApplication, text); err != nil {
+			return nil, fmt.Errorf("splash build files: %w", err)
+		}
+	}
+
+	verbose := opts.Verbose
+	if verbose == nil {
+		verbose = io.Discard
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	fx := &Fex{
+		ctr:         ctr,
+		inst:        inst,
+		build:       bld,
+		registry:    reg,
+		experiments: make(map[string]*Experiment),
+		providers: map[string]env.Provider{
+			"native": env.NativeProvider{},
+			"asan":   env.ASanProvider{},
+		},
+		verbose: verbose,
+		now:     now,
+	}
+	if err := fx.registerBuiltinExperiments(); err != nil {
+		return nil, err
+	}
+	return fx, nil
+}
+
+// Container exposes the experiment container (for tests and tooling).
+func (fx *Fex) Container() *container.Container { return fx.ctr }
+
+// BuildSystem exposes the build subsystem.
+func (fx *Fex) BuildSystem() *buildsys.System { return fx.build }
+
+// Registry exposes the workload registry.
+func (fx *Fex) Registry() *workload.Registry { return fx.registry }
+
+// Install runs the setup stage for one artifact ("fex install -n gcc-6.1"):
+// it resolves and installs the artifact and its transitive dependencies
+// into the container.
+func (fx *Fex) Install(name string) ([]string, error) {
+	names, err := fx.inst.Install(name)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(fx.verbose, "installed: %s\n", strings.Join(names, ", "))
+	return names, nil
+}
+
+// Installed reports whether an artifact is installed.
+func (fx *Fex) Installed(name string) (bool, error) {
+	return fx.inst.IsInstalled(name)
+}
+
+// InstallPrerequisites installs everything the given build types need —
+// a convenience for examples and tests (users normally install each
+// artifact explicitly, as in §III-B).
+func (fx *Fex) InstallPrerequisites(buildTypes ...string) error {
+	needed := map[string]bool{}
+	for _, bt := range buildTypes {
+		switch {
+		case strings.HasPrefix(bt, "gcc_"):
+			needed["gcc-6.1"] = true
+		case strings.HasPrefix(bt, "clang_"):
+			needed["clang-3.8.0"] = true
+		}
+	}
+	names := make([]string, 0, len(needed))
+	for n := range needed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fx.Install(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Artifact builds (or fetches from the build cache) one benchmark binary.
+func (fx *Fex) Artifact(w workload.Workload, buildType string, debug bool) (*toolchain.Artifact, error) {
+	return fx.build.Build(w, buildType, debug)
+}
+
+// selectBenchmarks returns the suite's workloads, filtered by -b names.
+func (fx *Fex) selectBenchmarks(suite string, filter []string) ([]workload.Workload, error) {
+	ws, err := fx.registry.Suite(suite)
+	if err != nil {
+		return nil, err
+	}
+	if len(filter) == 0 {
+		return ws, nil
+	}
+	want := make(map[string]bool, len(filter))
+	for _, f := range filter {
+		want[f] = true
+	}
+	var out []workload.Workload
+	for _, w := range ws {
+		if want[w.Name()] {
+			out = append(out, w)
+			delete(want, w.Name())
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("core: unknown benchmarks in suite %s: %s", suite, strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+// environmentFor assembles the experiment environment: framework defaults
+// overlaid with each requested build type's provider (§II-B).
+func (fx *Fex) environmentFor(buildTypes []string) *env.Environment {
+	e := env.New()
+	_ = e.Set(env.Default, "FEX_ROOT", "/fex")
+	_ = e.Set(env.Default, "LC_ALL", "C")
+	_ = e.Set(env.Default, "BIN_PATH", "/usr/bin")
+	_ = e.Set(env.Debug, "FEX_DEBUG", "1")
+	for _, bt := range buildTypes {
+		for key, p := range fx.providers {
+			if strings.Contains(bt, key) && key != "native" {
+				e.Merge(p.Variables())
+			}
+		}
+	}
+	return e
+}
+
+// RegisterEnvProvider adds a custom environment provider keyed by a build
+// type substring (how users plug in new Environment subclasses).
+func (fx *Fex) RegisterEnvProvider(key string, p env.Provider) error {
+	if key == "" || p == nil {
+		return errors.New("core: env provider requires key and provider")
+	}
+	fx.providers[key] = p
+	return nil
+}
+
+// logPath returns the container path of an experiment's run log.
+func logPath(experiment string) string { return LogDir + "/" + experiment + ".log" }
+
+// csvPath returns the container path of an experiment's aggregated CSV.
+func csvPath(experiment string) string { return ResultDir + "/" + experiment + ".csv" }
+
+// plotPath returns the container path of a rendered plot.
+func plotPath(experiment, kind string) string {
+	return PlotDir + "/" + experiment + "_" + kind + ".svg"
+}
+
+// RunReport summarizes one experiment execution.
+type RunReport struct {
+	// Experiment is the experiment name.
+	Experiment string
+	// LogPath and CSVPath locate the artifacts inside the container FS.
+	LogPath string
+	CSVPath string
+	// Measurements is the number of measurement records produced.
+	Measurements int
+	// Table is the collected result table.
+	Table *table.Table
+}
+
+// Run executes an experiment end to end: rebuild (unless --no-build), set
+// environment, run the experiment loop, then collect the log into a CSV
+// table — the all-in-one "fex run" command of §III-B.
+func (fx *Fex) Run(cfg Config) (*RunReport, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	exp, err := fx.Experiment(cfg.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
+
+	// The build step runs before each experiment; skipping it is only for
+	// quick preliminary runs.
+	if !cfg.NoBuild {
+		if err := fx.build.CleanBuild(); err != nil {
+			return nil, err
+		}
+	}
+
+	environment := fx.environmentFor(cfg.BuildTypes)
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return nil, err
+	}
+
+	var logBuf strings.Builder
+	lw := runlog.NewWriter(&logBuf)
+	benchNames := cfg.Benchmarks
+	if len(benchNames) == 0 && exp.Suite != "" {
+		ws, err := fx.registry.Suite(exp.Suite)
+		if err == nil {
+			for _, w := range ws {
+				benchNames = append(benchNames, w.Name())
+			}
+		}
+	}
+	lw.WriteHeader(runlog.Header{
+		Experiment: cfg.Experiment,
+		BuildTypes: cfg.BuildTypes,
+		Benchmarks: benchNames,
+		Threads:    cfg.Threads,
+		Reps:       cfg.Reps,
+		Input:      cfg.Input.String(),
+		StartedAt:  fx.now(),
+	})
+	// Store the complete experimental setup in the log (reproducibility).
+	lw.WriteEnv(environment.ResolveSorted(cfg.Debug))
+
+	rc := &RunContext{
+		Fex:     fx,
+		Config:  cfg,
+		Env:     environment,
+		Log:     lw,
+		Verbose: fx.verbose,
+	}
+	runner, err := exp.NewRunner(fx)
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.Run(rc); err != nil {
+		return nil, err
+	}
+	if err := lw.Flush(); err != nil {
+		return nil, fmt.Errorf("flush log: %w", err)
+	}
+	if err := fsys.WriteFile(logPath(cfg.Experiment), []byte(logBuf.String()), 0o644); err != nil {
+		return nil, fmt.Errorf("store log: %w", err)
+	}
+
+	// Collect immediately, as the all-in-one run command does.
+	tbl, err := fx.Collect(cfg.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	lg, err := runlog.Parse(strings.NewReader(logBuf.String()))
+	if err != nil {
+		return nil, err
+	}
+	return &RunReport{
+		Experiment:   cfg.Experiment,
+		LogPath:      logPath(cfg.Experiment),
+		CSVPath:      csvPath(cfg.Experiment),
+		Measurements: len(lg.Measurements),
+		Table:        tbl,
+	}, nil
+}
+
+// Collect parses an experiment's stored log and aggregates it into a CSV
+// table via the experiment's collect stage.
+func (fx *Fex) Collect(experiment string) (*table.Table, error) {
+	exp, err := fx.Experiment(experiment)
+	if err != nil {
+		return nil, err
+	}
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return nil, err
+	}
+	data, err := fsys.ReadFile(logPath(experiment))
+	if err != nil {
+		return nil, fmt.Errorf("collect %s: no run log (run the experiment first): %w", experiment, err)
+	}
+	lg, err := runlog.Parse(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("collect %s: %w", experiment, err)
+	}
+	collect := exp.Collect
+	if collect == nil {
+		collect = GenericCollect
+	}
+	tbl, err := collect(lg)
+	if err != nil {
+		return nil, fmt.Errorf("collect %s: %w", experiment, err)
+	}
+	if err := fsys.WriteFile(csvPath(experiment), []byte(tbl.CSVString()), 0o644); err != nil {
+		return nil, fmt.Errorf("store csv %s: %w", experiment, err)
+	}
+	return tbl, nil
+}
+
+// Plot renders one of the experiment's plots from its collected CSV and
+// stores the SVG in the container ("fex plot -n phoenix -t perf").
+func (fx *Fex) Plot(experiment, kind string) (string, error) {
+	exp, err := fx.Experiment(experiment)
+	if err != nil {
+		return "", err
+	}
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return "", err
+	}
+	data, err := fsys.ReadFile(csvPath(experiment))
+	if err != nil {
+		return "", fmt.Errorf("plot %s: no collected results (run/collect first): %w", experiment, err)
+	}
+	tbl, err := table.ReadCSV(strings.NewReader(string(data)), exp.CSVKinds)
+	if err != nil {
+		return "", fmt.Errorf("plot %s: %w", experiment, err)
+	}
+	if exp.Plot == nil {
+		return "", fmt.Errorf("plot %s: experiment defines no plots", experiment)
+	}
+	svg, err := exp.Plot(tbl, kind)
+	if err != nil {
+		return "", fmt.Errorf("plot %s (%s): %w", experiment, kind, err)
+	}
+	if err := fsys.WriteFile(plotPath(experiment, kind), []byte(svg), 0o644); err != nil {
+		return "", fmt.Errorf("store plot: %w", err)
+	}
+	return svg, nil
+}
+
+// vfsOf returns the container filesystem (helper for experiments that
+// store extra artifacts).
+func (fx *Fex) vfsOf() (*vfs.FS, error) { return fx.ctr.FS() }
+
+// SaveState serializes the container filesystem — install manifest, run
+// logs, collected CSVs, rendered plots — so a later CLI invocation can
+// resume exactly where this one stopped.
+func (fx *Fex) SaveState(w io.Writer) error {
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return err
+	}
+	return fsys.Save(w)
+}
+
+// LoadState restores container state saved by SaveState.
+func (fx *Fex) LoadState(r io.Reader) error {
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return err
+	}
+	return fsys.Load(r)
+}
+
+// ReadResult returns a stored artifact (log, CSV, or plot) from the
+// container filesystem.
+func (fx *Fex) ReadResult(path string) ([]byte, error) {
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return nil, err
+	}
+	return fsys.ReadFile(path)
+}

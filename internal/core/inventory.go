@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fex/internal/measure"
+	"fex/internal/toolchain"
+)
+
+// Inventory is the framework's capability listing — Table I of the paper
+// ("Currently supported experiments in FEX"), generated from the live
+// registries rather than hard-coded, so it always reflects what this
+// build actually supports.
+type Inventory struct {
+	BenchmarkSuites      []string
+	AdditionalBenchmarks []string
+	Compilers            []string
+	Types                []string
+	Experiments          []string
+	Tools                []string
+	Plots                []string
+	// Notes records the caveats the paper's table carries.
+	Notes []string
+}
+
+// BuildInventory assembles the inventory from the registries.
+func (fx *Fex) BuildInventory() Inventory {
+	inv := Inventory{}
+
+	for _, s := range fx.registry.Suites() {
+		switch s {
+		case appSuite, securitySuite:
+			ws, err := fx.registry.Suite(s)
+			if err == nil {
+				for _, w := range ws {
+					inv.AdditionalBenchmarks = append(inv.AdditionalBenchmarks, w.Name())
+				}
+			}
+		case "micro":
+			inv.AdditionalBenchmarks = append(inv.AdditionalBenchmarks, "micro")
+		default:
+			inv.BenchmarkSuites = append(inv.BenchmarkSuites, s)
+		}
+	}
+	sort.Strings(inv.BenchmarkSuites)
+	sort.Strings(inv.AdditionalBenchmarks)
+
+	compilers := toolchain.Compilers()
+	for name, c := range compilers {
+		inv.Compilers = append(inv.Compilers, fmt.Sprintf("%s %s", name, c.Version))
+	}
+	sort.Strings(inv.Compilers)
+
+	inv.Types = fx.build.BuildTypes()
+
+	for _, name := range fx.ExperimentNames() {
+		e := fx.experiments[name]
+		inv.Experiments = append(inv.Experiments, fmt.Sprintf("%s (%s)", name, e.Kind))
+	}
+
+	inv.Tools = measure.ToolNames()
+	inv.Plots = []string{
+		"lineplot", "barplot", "stacked barplot",
+		"grouped barplot", "stacked-grouped barplot",
+	}
+	inv.Notes = []string{
+		"SPEC CPU2006 is supported internally but not open-sourced due to its proprietary license.",
+	}
+	return inv
+}
+
+// String renders the inventory as the two-column listing of Table I.
+func (inv Inventory) String() string {
+	var sb strings.Builder
+	row := func(label string, items []string) {
+		fmt.Fprintf(&sb, "%-22s %s\n", label, strings.Join(items, ", "))
+	}
+	row("Benchmark suites", inv.BenchmarkSuites)
+	row("Add. benchmarks", inv.AdditionalBenchmarks)
+	row("Compilers", inv.Compilers)
+	row("Types", inv.Types)
+	row("Experiments", inv.Experiments)
+	row("Tools", inv.Tools)
+	row("Plots", inv.Plots)
+	for _, n := range inv.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"fex/internal/env"
+	"fex/internal/measure"
+	"fex/internal/runlog"
+	"fex/internal/toolchain"
+	"fex/internal/workload"
+)
+
+// RunContext is everything a runner needs for one experiment execution:
+// the framework handle, the normalized configuration, the resolved
+// environment, and the open log.
+type RunContext struct {
+	Fex     *Fex
+	Config  Config
+	Env     *env.Environment
+	Log     *runlog.Writer
+	Verbose io.Writer
+}
+
+// logf writes progress output when -v is set.
+func (rc *RunContext) logf(format string, args ...any) {
+	if rc.Config.Verbose && rc.Verbose != nil {
+		fmt.Fprintf(rc.Verbose, format+"\n", args...)
+	}
+}
+
+// Runner executes one experiment. Implementations mirror the paper's
+// Runner subclasses (PhoenixPerformance, ParsecSecurity,
+// PhoenixVariableInputPerformance, …).
+type Runner interface {
+	// Run performs the experiment, writing measurements to rc.Log.
+	Run(rc *RunContext) error
+}
+
+// Hooks are the overridable actions of the standard experiment loop
+// (Figure 4 of the paper). Any nil hook falls back to the default
+// behaviour; the loop structure itself stays fixed, "but the concrete
+// actions can be tailored to the needs of the given experiment".
+type Hooks struct {
+	// PerTypeAction runs once per build type, before its benchmarks.
+	PerTypeAction func(rc *RunContext, buildType string) error
+	// PerBenchmarkAction runs once per (type, benchmark): the default
+	// builds the benchmark and performs a dry run when the workload
+	// requires one.
+	PerBenchmarkAction func(rc *RunContext, buildType string, w workload.Workload) error
+	// PerThreadAction runs once per (type, benchmark, threads).
+	PerThreadAction func(rc *RunContext, buildType string, w workload.Workload, threads int) error
+	// PerRunAction performs one measured repetition and returns its
+	// metrics; the default executes the built artifact under the
+	// configured measurement tool.
+	PerRunAction func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error)
+}
+
+// BenchRunner is the standard suite runner: the nested loop of Figure 4
+// over build types × benchmarks × thread counts × repetitions.
+type BenchRunner struct {
+	// Suite selects which registered suite to run.
+	Suite string
+	// Hooks overrides individual loop actions.
+	Hooks Hooks
+}
+
+var _ Runner = (*BenchRunner)(nil)
+
+// errSkipBenchmark lets a PerBenchmarkAction skip one benchmark without
+// failing the experiment.
+var errSkipBenchmark = errors.New("core: skip benchmark")
+
+// SkipBenchmark is returned by a PerBenchmarkAction hook to skip the
+// current benchmark.
+func SkipBenchmark() error { return errSkipBenchmark }
+
+// Run implements Runner: the experiment loop.
+func (r *BenchRunner) Run(rc *RunContext) error {
+	benches, err := rc.Fex.selectBenchmarks(r.Suite, rc.Config.Benchmarks)
+	if err != nil {
+		return err
+	}
+	for _, buildType := range rc.Config.BuildTypes {
+		if err := r.perType(rc, buildType); err != nil {
+			return fmt.Errorf("experiment %s, type %s: %w", rc.Config.Experiment, buildType, err)
+		}
+		for _, w := range benches {
+			err := r.perBenchmark(rc, buildType, w)
+			if errors.Is(err, errSkipBenchmark) {
+				rc.Log.WriteNote(fmt.Sprintf("skipped %s/%s [%s]", w.Suite(), w.Name(), buildType))
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("experiment %s, %s/%s [%s]: %w",
+					rc.Config.Experiment, w.Suite(), w.Name(), buildType, err)
+			}
+			for _, threads := range rc.Config.Threads {
+				if err := r.perThread(rc, buildType, w, threads); err != nil {
+					return fmt.Errorf("experiment %s, %s/%s [%s] m=%d: %w",
+						rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, err)
+				}
+				for rep := 0; rep < rc.Config.Reps; rep++ {
+					values, err := r.perRun(rc, buildType, w, threads, rep)
+					if err != nil {
+						return fmt.Errorf("experiment %s, %s/%s [%s] m=%d rep=%d: %w",
+							rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, rep, err)
+					}
+					rc.Log.WriteMeasurement(runlog.Measurement{
+						Suite:     w.Suite(),
+						Benchmark: w.Name(),
+						BuildType: buildType,
+						Threads:   threads,
+						Rep:       rep,
+						Values:    values,
+					})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (r *BenchRunner) perType(rc *RunContext, buildType string) error {
+	rc.logf("== build type %s", buildType)
+	if r.Hooks.PerTypeAction != nil {
+		return r.Hooks.PerTypeAction(rc, buildType)
+	}
+	return nil
+}
+
+func (r *BenchRunner) perBenchmark(rc *RunContext, buildType string, w workload.Workload) error {
+	if r.Hooks.PerBenchmarkAction != nil {
+		return r.Hooks.PerBenchmarkAction(rc, buildType, w)
+	}
+	return DefaultPerBenchmark(rc, buildType, w)
+}
+
+// DefaultPerBenchmark is the stock per-benchmark action: build the
+// benchmark for the given type (the build step runs "once before running
+// each benchmark in the experiment") and perform a dry run when the
+// workload asks for one.
+func DefaultPerBenchmark(rc *RunContext, buildType string, w workload.Workload) error {
+	rc.logf("  build %s/%s [%s]", w.Suite(), w.Name(), buildType)
+	artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+	if err != nil {
+		return err
+	}
+	if workload.NeedsDryRun(w) {
+		rc.logf("  dry run %s/%s", w.Suite(), w.Name())
+		in := w.DefaultInput(workload.SizeTest)
+		if _, err := artifact.Execute(in, 1); err != nil {
+			return fmt.Errorf("dry run: %w", err)
+		}
+		rc.Log.WriteNote(fmt.Sprintf("dry run %s/%s [%s]", w.Suite(), w.Name(), buildType))
+	}
+	return nil
+}
+
+func (r *BenchRunner) perThread(rc *RunContext, buildType string, w workload.Workload, threads int) error {
+	if r.Hooks.PerThreadAction != nil {
+		return r.Hooks.PerThreadAction(rc, buildType, w, threads)
+	}
+	return nil
+}
+
+func (r *BenchRunner) perRun(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	if r.Hooks.PerRunAction != nil {
+		return r.Hooks.PerRunAction(rc, buildType, w, threads, rep)
+	}
+	return DefaultPerRun(rc, buildType, w, threads)
+}
+
+// DefaultPerRun executes the built artifact on the configured input size
+// and extracts metrics with the configured measurement tool.
+func DefaultPerRun(rc *RunContext, buildType string, w workload.Workload, threads int) (map[string]float64, error) {
+	artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+	if err != nil {
+		return nil, err
+	}
+	sample, err := artifact.Execute(w.DefaultInput(rc.Config.Input), threads)
+	if err != nil {
+		return nil, err
+	}
+	tool, err := measure.ToolByName(rc.Config.Tool)
+	if err != nil {
+		return nil, err
+	}
+	values := tool.Collect(sample)
+	values["checksum"] = float64(sample.Checksum % (1 << 52)) // store low bits for cross-type validation
+	values["wall_ns"] = float64(sample.WallTime.Nanoseconds())
+	return values, nil
+}
+
+// VariableInputRunner extends the experiment loop with an input-size
+// dimension, mirroring the paper's VariableInputRunner subclass that
+// redefines experiment_loop (Figure 3/4: "if even more parameters would be
+// necessary, the experiment_loop can be redefined or extended in a
+// subclass").
+type VariableInputRunner struct {
+	Suite string
+	// Inputs are the size classes to sweep; defaults to test/small/native.
+	Inputs []workload.SizeClass
+	Hooks  Hooks
+}
+
+var _ Runner = (*VariableInputRunner)(nil)
+
+// Run implements Runner with the extended loop: build types × benchmarks ×
+// inputs × thread counts × repetitions.
+func (r *VariableInputRunner) Run(rc *RunContext) error {
+	inputs := r.Inputs
+	if len(inputs) == 0 {
+		inputs = []workload.SizeClass{workload.SizeTest, workload.SizeSmall, workload.SizeNative}
+	}
+	benches, err := rc.Fex.selectBenchmarks(r.Suite, rc.Config.Benchmarks)
+	if err != nil {
+		return err
+	}
+	for _, buildType := range rc.Config.BuildTypes {
+		if r.Hooks.PerTypeAction != nil {
+			if err := r.Hooks.PerTypeAction(rc, buildType); err != nil {
+				return err
+			}
+		}
+		for _, w := range benches {
+			if err := DefaultPerBenchmark(rc, buildType, w); err != nil {
+				return fmt.Errorf("variable-input %s/%s [%s]: %w", w.Suite(), w.Name(), buildType, err)
+			}
+			artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+			if err != nil {
+				return err
+			}
+			for _, input := range inputs {
+				for _, threads := range rc.Config.Threads {
+					for rep := 0; rep < rc.Config.Reps; rep++ {
+						values, err := executeWithTool(artifact, w.DefaultInput(input), threads, rc.Config.Tool)
+						if err != nil {
+							return fmt.Errorf("variable-input %s/%s [%s] input=%s: %w",
+								w.Suite(), w.Name(), buildType, input, err)
+						}
+						values["input_class"] = float64(input)
+						rc.Log.WriteMeasurement(runlog.Measurement{
+							Suite:     w.Suite(),
+							Benchmark: w.Name() + ":" + input.String(),
+							BuildType: buildType,
+							Threads:   threads,
+							Rep:       rep,
+							Values:    values,
+						})
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func executeWithTool(artifact *toolchain.Artifact, in workload.Input, threads int, toolName string) (map[string]float64, error) {
+	sample, err := artifact.Execute(in, threads)
+	if err != nil {
+		return nil, err
+	}
+	tool, err := measure.ToolByName(toolName)
+	if err != nil {
+		return nil, err
+	}
+	values := tool.Collect(sample)
+	values["wall_ns"] = float64(sample.WallTime.Nanoseconds())
+	return values, nil
+}

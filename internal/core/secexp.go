@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fex/internal/runlog"
+	"fex/internal/security"
+	"fex/internal/table"
+)
+
+// SecurityRunner executes the RIPE testbed (§IV-C): for each build type it
+// compiles the RIPE program and runs all 850 attack forms against the
+// resulting binary's security profile, recording successful and failed
+// counts — the data behind Table II.
+type SecurityRunner struct{}
+
+var _ Runner = (*SecurityRunner)(nil)
+
+// Run implements Runner.
+func (SecurityRunner) Run(rc *RunContext) error {
+	ripeW, err := rc.Fex.registry.Lookup(securitySuite, "ripe")
+	if err != nil {
+		return err
+	}
+	if artifactName, ok := installArtifactFor("ripe"); ok {
+		have, err := rc.Fex.Installed(artifactName)
+		if err != nil {
+			return err
+		}
+		if !have {
+			return fmt.Errorf("core: RIPE sources not installed (run: fex install -n %s)", artifactName)
+		}
+	}
+	for _, buildType := range rc.Config.BuildTypes {
+		artifact, err := rc.Fex.Artifact(ripeW, buildType, rc.Config.Debug)
+		if err != nil {
+			return err
+		}
+		res := security.RunTestbed(buildType, artifact.Security)
+		rc.logf("== ripe [%s]: %d successful / %d failed", buildType, res.Successful, res.Failed)
+		values := map[string]float64{
+			"successful": float64(res.Successful),
+			"failed":     float64(res.Failed),
+			"total":      float64(res.Total()),
+		}
+		for code, n := range res.ByCode {
+			values["success_"+code] = float64(n)
+		}
+		rc.Log.WriteMeasurement(runlog.Measurement{
+			Suite:     securitySuite,
+			Benchmark: "ripe",
+			BuildType: buildType,
+			Threads:   1,
+			Rep:       0,
+			Values:    values,
+		})
+	}
+	return nil
+}
+
+// ripeCollect is RIPE's specialized collect stage (the 17-LoC collect.py
+// of §IV-C): one row per build type with success/failure counts —
+// exactly Table II's columns.
+func ripeCollect(lg *runlog.Log) (*table.Table, error) {
+	if len(lg.Measurements) == 0 {
+		return nil, errors.New("core: log contains no measurements")
+	}
+	b, err := table.NewBuilder(
+		[]string{"type", "successful", "failed", "total"},
+		[]table.Kind{table.String, table.Float, table.Float, table.Float},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range lg.Measurements {
+		if err := b.Append(m.BuildType, m.Values["successful"], m.Values["failed"], m.Values["total"]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Table()
+}
+
+// registerSecurityExperiment installs the ripe experiment. Note that it
+// registers no plot: "for this security experiment, we do not need any
+// plot" (§IV-C).
+func (fx *Fex) registerSecurityExperiment() error {
+	return fx.RegisterExperiment(&Experiment{
+		Name:         "ripe",
+		Description:  "RIPE security testbed: 850 attack forms per build type (Table II)",
+		Kind:         KindSecurity,
+		DefaultTypes: []string{"gcc_native", "clang_native"},
+		CSVKinds: map[string]table.Kind{
+			"type": table.String, "successful": table.Float,
+			"failed": table.Float, "total": table.Float,
+		},
+		NewRunner: func(fx *Fex) (Runner, error) { return SecurityRunner{}, nil },
+		Collect:   ripeCollect,
+	})
+}

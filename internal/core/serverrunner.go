@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fex/internal/apps/httpd"
+	"fex/internal/apps/kvcache"
+	"fex/internal/apps/loadgen"
+	"fex/internal/measure"
+	"fex/internal/remote"
+	"fex/internal/runlog"
+	"fex/internal/toolchain"
+	"fex/internal/workload"
+)
+
+// ServerBenchRunner is the throughput–latency runner for the standalone
+// applications (§IV-B): it pre-configures the server side, starts a load
+// generator on a remote client host, waits for the sweep to finish, and
+// fetches the client logs — the shape of the paper's Nginx run.py.
+type ServerBenchRunner struct {
+	// App selects the server application ("nginx", "apache", "memcached").
+	App string
+	// Rates is the offered-rate sweep (requests/second). Leave empty to
+	// auto-calibrate: the runner probes the server's capacity closed-loop
+	// and sweeps fractions of it, so the saturation knee is visible on any
+	// host.
+	Rates []float64
+	// RateFractions are the capacity fractions swept when Rates is empty.
+	RateFractions []float64
+	// Duration is the measurement interval per rate.
+	Duration time.Duration
+	// Workers is the server worker count.
+	Workers int
+	// BaseWorkUnits calibrates per-request CPU work for the baseline
+	// build type; other types scale it by their modeled codegen cost.
+	BaseWorkUnits int
+}
+
+var _ Runner = (*ServerBenchRunner)(nil)
+
+func (r *ServerBenchRunner) defaults() {
+	if len(r.RateFractions) == 0 {
+		r.RateFractions = []float64{0.2, 0.4, 0.6, 0.8, 0.95, 1.1}
+	}
+	if r.Duration <= 0 {
+		r.Duration = 400 * time.Millisecond
+	}
+	if r.Workers <= 0 {
+		r.Workers = 4
+	}
+	if r.BaseWorkUnits <= 0 {
+		r.BaseWorkUnits = 150
+	}
+}
+
+// costFactorOf probes a build type's relative codegen cost: the ratio of
+// modeled cycles for the app workload under this artifact versus the GCC
+// native baseline.
+func costFactorOf(artifact *toolchain.Artifact, w workload.Workload) (float64, error) {
+	counters, err := w.Run(w.DefaultInput(workload.SizeTest), 1)
+	if err != nil {
+		return 0, err
+	}
+	got, err := measure.Model(counters, artifact.Cost, 1)
+	if err != nil {
+		return 0, err
+	}
+	base, err := measure.Model(counters, measure.Baseline(), 1)
+	if err != nil {
+		return 0, err
+	}
+	if base.Cycles == 0 {
+		return 0, errors.New("core: zero baseline cycles")
+	}
+	return got.Cycles / base.Cycles, nil
+}
+
+// Run implements Runner.
+func (r *ServerBenchRunner) Run(rc *RunContext) error {
+	r.defaults()
+	appW, err := rc.Fex.registry.Lookup(suiteOf(r.App), r.App)
+	if err != nil {
+		return err
+	}
+	// The application sources are installed from the Internet, not
+	// shipped — require the setup stage to have run.
+	if artifactName, ok := installArtifactFor(r.App); ok {
+		have, err := rc.Fex.Installed(artifactName)
+		if err != nil {
+			return err
+		}
+		if !have {
+			return fmt.Errorf("core: %s sources not installed (run: fex install -n %s)", r.App, artifactName)
+		}
+	}
+
+	// The remote client machine (§IV-B: "start a client on a separate
+	// machine via SSH").
+	cluster := remote.NewCluster()
+	client, err := cluster.AddHost("client1")
+	if err != nil {
+		return err
+	}
+
+	for _, buildType := range rc.Config.BuildTypes {
+		artifact, err := rc.Fex.Artifact(appW, buildType, rc.Config.Debug)
+		if err != nil {
+			return err
+		}
+		factor, err := costFactorOf(artifact, appW)
+		if err != nil {
+			return err
+		}
+		workUnits := int(float64(r.BaseWorkUnits)*factor + 0.5)
+		if workUnits < 1 {
+			workUnits = 1
+		}
+		rc.logf("== %s [%s] workUnits=%d (cost factor %.3f)", r.App, buildType, workUnits, factor)
+
+		results, err := r.sweepOnce(rc, client, buildType, workUnits)
+		if err != nil {
+			return fmt.Errorf("%s [%s]: %w", r.App, buildType, err)
+		}
+		for i, res := range results {
+			rc.Log.WriteMeasurement(runlog.Measurement{
+				Suite:     suiteOf(r.App),
+				Benchmark: r.App,
+				BuildType: buildType,
+				Threads:   r.Workers,
+				Rep:       i,
+				Values: map[string]float64{
+					"offered_rate": res.OfferedRate,
+					"throughput":   res.Throughput,
+					"latency_ms":   float64(res.Mean.Microseconds()) / 1000,
+					"p50_ms":       float64(res.P50.Microseconds()) / 1000,
+					"p95_ms":       float64(res.P95.Microseconds()) / 1000,
+					"p99_ms":       float64(res.P99.Microseconds()) / 1000,
+					"completed":    float64(res.Completed),
+					"errors":       float64(res.Errors),
+					"dropped":      float64(res.Dropped),
+				},
+			})
+		}
+		// Fetch the client logs, as run.py does after the experiment.
+		for _, lg := range client.FetchLogs() {
+			rc.Log.WriteNote("client1: " + lg)
+		}
+	}
+	return nil
+}
+
+// sweepOnce starts the server for one build type, drives the rate sweep
+// from the remote client, and stops the server.
+func (r *ServerBenchRunner) sweepOnce(rc *RunContext, client *remote.Host, buildType string, workUnits int) ([]loadgen.Result, error) {
+	ctx := context.Background()
+	switch r.App {
+	case "nginx", "apache":
+		model := httpd.ModelEventWorkers
+		if r.App == "apache" {
+			model = httpd.ModelPerConnection
+		}
+		srv, err := httpd.Start(httpd.Config{
+			Pages:     httpd.StaticSite(),
+			WorkUnits: workUnits,
+			Workers:   r.Workers,
+			Model:     model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Stop(stopCtx)
+		}()
+		target := loadgen.HTTPTarget(srv.URL() + "/index.html")
+		return r.driveFromClient(ctx, client, buildType, target)
+	case "memcached":
+		srv, err := kvcache.Start(kvcache.Config{WorkUnits: workUnits, Shards: r.Workers})
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Stop(stopCtx)
+		}()
+		target, closePool, err := loadgen.KVTarget(srv.Addr(), "bench-key", 1024)
+		if err != nil {
+			return nil, err
+		}
+		defer closePool()
+		return r.driveFromClient(ctx, client, buildType, target)
+	default:
+		return nil, fmt.Errorf("core: unknown server application %q", r.App)
+	}
+}
+
+// calibrate estimates the server's capacity with a short closed-loop
+// burst (offered load far above capacity, in-flight bounded near the
+// worker count), returning achieved requests/second.
+func (r *ServerBenchRunner) calibrate(ctx context.Context, target func(context.Context) error) (float64, error) {
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Rate:        1e6,
+		Duration:    r.Duration,
+		MaxInFlight: r.Workers * 4,
+		Do:          target,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("calibrate: %w", err)
+	}
+	if res.Throughput <= 0 {
+		return 0, errors.New("calibrate: server completed no requests")
+	}
+	return res.Throughput, nil
+}
+
+// driveFromClient registers and invokes the loadgen command on the remote
+// host, one job per offered rate.
+func (r *ServerBenchRunner) driveFromClient(ctx context.Context, client *remote.Host, buildType string, target func(context.Context) error) ([]loadgen.Result, error) {
+	rates := r.Rates
+	if len(rates) == 0 {
+		// Calibrate once, against the first build type, and reuse the
+		// same offered rates for every type — both curves of the figure
+		// share one x-axis sweep.
+		capacity, err := r.calibrate(ctx, target)
+		if err != nil {
+			return nil, err
+		}
+		rates = make([]float64, 0, len(r.RateFractions))
+		for _, f := range r.RateFractions {
+			rates = append(rates, capacity*f)
+		}
+		r.Rates = rates
+	}
+	results := make([]loadgen.Result, 0, len(rates))
+	err := client.RegisterCommand("loadgen", func(ctx context.Context, job remote.Job) (remote.Output, error) {
+		var rate float64
+		if _, err := fmt.Sscanf(job.Args["rate"], "%f", &rate); err != nil {
+			return remote.Output{}, fmt.Errorf("bad rate %q: %w", job.Args["rate"], err)
+		}
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Rate:     rate,
+			Duration: r.Duration,
+			Do:       target,
+		})
+		if err != nil {
+			return remote.Output{}, err
+		}
+		results = append(results, res)
+		return remote.Output{
+			Log: fmt.Sprintf("[%s] rate=%.0f tput=%.0f lat=%.3fms completed=%d errors=%d",
+				buildType, rate, res.Throughput, res.Mean.Seconds()*1000, res.Completed, res.Errors),
+			Data: map[string]float64{"throughput": res.Throughput},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rate := range rates {
+		if _, err := client.Run(ctx, remote.Job{
+			Command: "loadgen",
+			Args:    map[string]string{"rate": fmt.Sprintf("%f", rate)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

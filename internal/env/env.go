@@ -1,0 +1,258 @@
+// Package env implements FEX's four-level environment-variable model (§II-B
+// of the paper).
+//
+// Building and running benchmarks is sensitive to environment variables, so
+// FEX defines four variable classes with strictly increasing priority:
+//
+//  1. Default — base values.
+//  2. Updated — appended to an existing value, assigned otherwise.
+//  3. Forced  — overwrite regardless of any previous value.
+//  4. Debug   — applied only in debug mode, with the highest priority.
+//
+// An Environment resolves these classes into a flat map. Experiment types
+// (native, asan, …) provide their own Environment via a Provider, mirroring
+// the paper's Environment subclasses (NativeEnvironment, ASanEnvironment).
+package env
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class identifies one of the four variable classes.
+type Class int
+
+// Variable classes in increasing priority order.
+const (
+	Default Class = iota + 1
+	Updated
+	Forced
+	Debug
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Default:
+		return "default"
+	case Updated:
+		return "updated"
+	case Forced:
+		return "forced"
+	case Debug:
+		return "debug"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Separator joins updated values onto existing ones. FEX uses
+// space-separation for flag-style variables (CFLAGS etc.).
+const Separator = " "
+
+// Environment holds the four classes of variables. The zero value is ready
+// to use.
+type Environment struct {
+	defaults map[string]string
+	updated  map[string]string
+	forced   map[string]string
+	debug    map[string]string
+}
+
+// New returns an empty Environment.
+func New() *Environment {
+	return &Environment{
+		defaults: make(map[string]string),
+		updated:  make(map[string]string),
+		forced:   make(map[string]string),
+		debug:    make(map[string]string),
+	}
+}
+
+func (e *Environment) class(c Class) (map[string]string, error) {
+	if e.defaults == nil {
+		e.defaults = make(map[string]string)
+		e.updated = make(map[string]string)
+		e.forced = make(map[string]string)
+		e.debug = make(map[string]string)
+	}
+	switch c {
+	case Default:
+		return e.defaults, nil
+	case Updated:
+		return e.updated, nil
+	case Forced:
+		return e.forced, nil
+	case Debug:
+		return e.debug, nil
+	default:
+		return nil, fmt.Errorf("unknown environment class %d", int(c))
+	}
+}
+
+// Set records a variable in the given class, replacing any previous value in
+// that class.
+func (e *Environment) Set(c Class, key, value string) error {
+	m, err := e.class(c)
+	if err != nil {
+		return err
+	}
+	if key == "" {
+		return fmt.Errorf("empty environment variable name")
+	}
+	m[key] = value
+	return nil
+}
+
+// SetAll records every entry of vars in the given class.
+func (e *Environment) SetAll(c Class, vars map[string]string) error {
+	for k, v := range vars {
+		if err := e.Set(c, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the value recorded for key in the given class.
+func (e *Environment) Get(c Class, key string) (string, bool) {
+	m, err := e.class(c)
+	if err != nil {
+		return "", false
+	}
+	v, ok := m[key]
+	return v, ok
+}
+
+// Clone returns a deep copy of the environment.
+func (e *Environment) Clone() *Environment {
+	out := New()
+	for k, v := range e.defaults {
+		out.defaults[k] = v
+	}
+	for k, v := range e.updated {
+		out.updated[k] = v
+	}
+	for k, v := range e.forced {
+		out.forced[k] = v
+	}
+	for k, v := range e.debug {
+		out.debug[k] = v
+	}
+	return out
+}
+
+// Merge overlays other onto e class-by-class: for each class, other's
+// entries replace e's entries with the same key. Merge lets an experiment
+// type refine the framework-wide environment.
+func (e *Environment) Merge(other *Environment) {
+	if other == nil {
+		return
+	}
+	if e.defaults == nil {
+		_, _ = e.class(Default) // initialize maps
+	}
+	for k, v := range other.defaults {
+		e.defaults[k] = v
+	}
+	for k, v := range other.updated {
+		e.updated[k] = v
+	}
+	for k, v := range other.forced {
+		e.forced[k] = v
+	}
+	for k, v := range other.debug {
+		e.debug[k] = v
+	}
+}
+
+// Resolve flattens the four classes into a single map following the paper's
+// priority order: defaults first, then updated values appended (or assigned
+// if absent), then forced overwrites, then — only when debugMode is set —
+// debug overwrites.
+func (e *Environment) Resolve(debugMode bool) map[string]string {
+	out := make(map[string]string, len(e.defaults)+len(e.updated)+len(e.forced)+len(e.debug))
+	for k, v := range e.defaults {
+		out[k] = v
+	}
+	for k, v := range e.updated {
+		if prev, ok := out[k]; ok && prev != "" {
+			out[k] = prev + Separator + v
+		} else {
+			out[k] = v
+		}
+	}
+	for k, v := range e.forced {
+		out[k] = v
+	}
+	if debugMode {
+		for k, v := range e.debug {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// ResolveSorted returns the resolved environment as "KEY=value" strings in
+// sorted order, convenient for logging the complete experimental setup (the
+// paper stores environment details in the log file for reproducibility).
+func (e *Environment) ResolveSorted(debugMode bool) []string {
+	m := e.Resolve(debugMode)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k+"="+m[k])
+	}
+	return out
+}
+
+// Provider supplies the environment for a named experiment type. It mirrors
+// the paper's Environment class hierarchy: the framework instantiates the
+// provider matching the current experiment and merges its variables on top
+// of the base environment.
+type Provider interface {
+	// Name identifies the provider (e.g. "native", "asan").
+	Name() string
+	// Variables returns this provider's environment contribution.
+	Variables() *Environment
+}
+
+// NativeProvider is the baseline provider: no extra variables.
+type NativeProvider struct{}
+
+var _ Provider = NativeProvider{}
+
+// Name implements Provider.
+func (NativeProvider) Name() string { return "native" }
+
+// Variables implements Provider.
+func (NativeProvider) Variables() *Environment { return New() }
+
+// ASanProvider configures AddressSanitizer runtime options, mirroring the
+// paper's ASanEnvironment example (ASAN_OPTIONS runtime flags).
+type ASanProvider struct {
+	// Options are ASAN_OPTIONS entries such as "detect_leaks=0".
+	Options []string
+}
+
+var _ Provider = ASanProvider{}
+
+// Name implements Provider.
+func (p ASanProvider) Name() string { return "asan" }
+
+// Variables implements Provider.
+func (p ASanProvider) Variables() *Environment {
+	e := New()
+	opts := p.Options
+	if len(opts) == 0 {
+		opts = []string{"detect_leaks=0", "halt_on_error=1"}
+	}
+	_ = e.Set(Forced, "ASAN_OPTIONS", strings.Join(opts, ":"))
+	_ = e.Set(Debug, "ASAN_OPTIONS", strings.Join(append(append([]string{}, opts...), "verbosity=1"), ":"))
+	return e
+}

@@ -1,0 +1,231 @@
+package env
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultOnly(t *testing.T) {
+	e := New()
+	if err := e.Set(Default, "CC", "gcc"); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Resolve(false)
+	if got["CC"] != "gcc" {
+		t.Errorf("CC = %q", got["CC"])
+	}
+}
+
+func TestUpdatedAppendsToDefault(t *testing.T) {
+	e := New()
+	_ = e.Set(Default, "CFLAGS", "-O2")
+	_ = e.Set(Updated, "CFLAGS", "-g")
+	got := e.Resolve(false)
+	if got["CFLAGS"] != "-O2 -g" {
+		t.Errorf("CFLAGS = %q, want \"-O2 -g\"", got["CFLAGS"])
+	}
+}
+
+func TestUpdatedAssignsWhenAbsent(t *testing.T) {
+	e := New()
+	_ = e.Set(Updated, "NEW", "value")
+	got := e.Resolve(false)
+	if got["NEW"] != "value" {
+		t.Errorf("NEW = %q", got["NEW"])
+	}
+}
+
+func TestForcedOverwrites(t *testing.T) {
+	// The paper's example: BIN_PATH defaults to /usr/bin/ but a forced
+	// value of /home/usr/bin/ wins.
+	e := New()
+	_ = e.Set(Default, "BIN_PATH", "/usr/bin/")
+	_ = e.Set(Forced, "BIN_PATH", "/home/usr/bin/")
+	got := e.Resolve(false)
+	if got["BIN_PATH"] != "/home/usr/bin/" {
+		t.Errorf("BIN_PATH = %q", got["BIN_PATH"])
+	}
+}
+
+func TestForcedBeatsUpdated(t *testing.T) {
+	e := New()
+	_ = e.Set(Default, "V", "a")
+	_ = e.Set(Updated, "V", "b")
+	_ = e.Set(Forced, "V", "c")
+	if got := e.Resolve(false)["V"]; got != "c" {
+		t.Errorf("V = %q, want c", got)
+	}
+}
+
+func TestDebugOnlyInDebugMode(t *testing.T) {
+	e := New()
+	_ = e.Set(Forced, "V", "release")
+	_ = e.Set(Debug, "V", "debug")
+	if got := e.Resolve(false)["V"]; got != "release" {
+		t.Errorf("release mode V = %q", got)
+	}
+	if got := e.Resolve(true)["V"]; got != "debug" {
+		t.Errorf("debug mode V = %q", got)
+	}
+}
+
+func TestSetEmptyKeyFails(t *testing.T) {
+	e := New()
+	if err := e.Set(Default, "", "x"); err == nil {
+		t.Error("expected error for empty key")
+	}
+}
+
+func TestSetInvalidClassFails(t *testing.T) {
+	e := New()
+	if err := e.Set(Class(99), "K", "v"); err == nil {
+		t.Error("expected error for invalid class")
+	}
+}
+
+func TestGet(t *testing.T) {
+	e := New()
+	_ = e.Set(Updated, "K", "v")
+	if v, ok := e.Get(Updated, "K"); !ok || v != "v" {
+		t.Errorf("Get = %q, %t", v, ok)
+	}
+	if _, ok := e.Get(Default, "K"); ok {
+		t.Error("key leaked across classes")
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	e := New()
+	if err := e.SetAll(Default, map[string]string{"A": "1", "B": "2"}); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Resolve(false)
+	if got["A"] != "1" || got["B"] != "2" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := New()
+	_ = e.Set(Default, "K", "orig")
+	c := e.Clone()
+	_ = c.Set(Default, "K", "changed")
+	if got := e.Resolve(false)["K"]; got != "orig" {
+		t.Error("clone mutation affected original")
+	}
+}
+
+func TestMergeOverlays(t *testing.T) {
+	base := New()
+	_ = base.Set(Default, "A", "base")
+	_ = base.Set(Forced, "B", "base")
+	other := New()
+	_ = other.Set(Default, "A", "other")
+	_ = other.Set(Debug, "C", "other")
+	base.Merge(other)
+	got := base.Resolve(true)
+	if got["A"] != "other" {
+		t.Errorf("A = %q", got["A"])
+	}
+	if got["B"] != "base" {
+		t.Errorf("B = %q", got["B"])
+	}
+	if got["C"] != "other" {
+		t.Errorf("C = %q", got["C"])
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	e := New()
+	_ = e.Set(Default, "K", "v")
+	e.Merge(nil) // must not panic
+	if got := e.Resolve(false)["K"]; got != "v" {
+		t.Error("merge nil changed state")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var e Environment
+	if err := e.Set(Default, "K", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Resolve(false)["K"]; got != "v" {
+		t.Errorf("K = %q", got)
+	}
+}
+
+func TestResolveSortedOrder(t *testing.T) {
+	e := New()
+	_ = e.Set(Default, "Z", "1")
+	_ = e.Set(Default, "A", "2")
+	_ = e.Set(Default, "M", "3")
+	got := e.ResolveSorted(false)
+	want := []string{"A=2", "M=3", "Z=1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Default: "default", Updated: "updated", Forced: "forced", Debug: "debug",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestNativeProvider(t *testing.T) {
+	p := NativeProvider{}
+	if p.Name() != "native" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if got := p.Variables().Resolve(false); len(got) != 0 {
+		t.Errorf("native provider sets variables: %v", got)
+	}
+}
+
+func TestASanProvider(t *testing.T) {
+	p := ASanProvider{}
+	vars := p.Variables().Resolve(false)
+	if !strings.Contains(vars["ASAN_OPTIONS"], "detect_leaks=0") {
+		t.Errorf("ASAN_OPTIONS = %q", vars["ASAN_OPTIONS"])
+	}
+	debugVars := p.Variables().Resolve(true)
+	if !strings.Contains(debugVars["ASAN_OPTIONS"], "verbosity=1") {
+		t.Errorf("debug ASAN_OPTIONS = %q", debugVars["ASAN_OPTIONS"])
+	}
+}
+
+func TestASanProviderCustomOptions(t *testing.T) {
+	p := ASanProvider{Options: []string{"quarantine_size_mb=1"}}
+	vars := p.Variables().Resolve(false)
+	if vars["ASAN_OPTIONS"] != "quarantine_size_mb=1" {
+		t.Errorf("ASAN_OPTIONS = %q", vars["ASAN_OPTIONS"])
+	}
+}
+
+func TestQuickResolveDeterministic(t *testing.T) {
+	prop := func(k1, v1, v2 string) bool {
+		if k1 == "" {
+			return true
+		}
+		e := New()
+		_ = e.Set(Default, k1, v1)
+		_ = e.Set(Updated, k1, v2)
+		a := e.Resolve(false)[k1]
+		b := e.Resolve(false)[k1]
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package installer
+
+// DefaultRepository publishes the artifact catalog FEX supports
+// out-of-the-box (Table I): compilers GCC 6.1 and Clang/LLVM 3.8.0,
+// benchmark inputs for the shipped suites, additional real-world benchmarks
+// (Apache, Nginx, Memcached, RIPE), and statically linked libraries
+// (libevent, OpenSSL) required by at least one of those benchmarks.
+
+const mib = int64(1) << 20
+
+func compilerFiles(binary, version string) map[string][]byte {
+	return map[string][]byte{
+		"bin/" + binary: []byte("#!ELF " + binary + " " + version + "\n"),
+		"VERSION":       []byte(version + "\n"),
+	}
+}
+
+// Catalog returns the default artifact set, one entry per install script in
+// the paper's install/ directory.
+func Catalog() []*Artifact {
+	return []*Artifact{
+		// --- compilers (install/compilers/*.sh) --------------------------
+		{
+			Name: "binutils-2.26", Version: "2.26", Kind: KindDependency,
+			SizeBytes:   28 * mib,
+			Files:       map[string][]byte{"bin/ld": []byte("#!ELF ld 2.26\n")},
+			Description: "assembler and linker, prerequisite for building compilers",
+		},
+		{
+			Name: "gcc-6.1", Version: "6.1", Kind: KindCompiler,
+			SizeBytes:   850 * mib,
+			Requires:    []string{"binutils-2.26"},
+			Files:       compilerFiles("gcc", "6.1"),
+			Description: "GNU C compiler 6.1 (ships AddressSanitizer)",
+		},
+		{
+			Name: "clang-3.8.0", Version: "3.8.0", Kind: KindCompiler,
+			SizeBytes:   1200 * mib,
+			Requires:    []string{"binutils-2.26", "llvm-3.8.0"},
+			Files:       compilerFiles("clang", "3.8.0"),
+			Description: "Clang C compiler 3.8.0",
+		},
+		{
+			Name: "llvm-3.8.0", Version: "3.8.0", Kind: KindDependency,
+			SizeBytes:   900 * mib,
+			Files:       map[string][]byte{"lib/libLLVM.so": []byte("#!ELF libLLVM 3.8.0\n")},
+			Description: "LLVM backend libraries for Clang",
+		},
+
+		// --- dependencies (install/dependencies/*.sh) --------------------
+		{
+			Name: "gettext-0.19", Version: "0.19", Kind: KindDependency,
+			SizeBytes:   18 * mib,
+			Files:       map[string][]byte{"bin/gettext": []byte("#!ELF gettext\n")},
+			Description: "needed by several PARSEC benchmarks for Autoconf (build-only)",
+		},
+		{
+			Name: "phoenix_inputs", Version: "1.0", Kind: KindDependency,
+			SizeBytes: 260 * mib,
+			Files: map[string][]byte{
+				"histogram/large.bmp":   []byte("input:histogram:large\n"),
+				"word_count/corpus.txt": []byte("input:word_count:corpus\n"),
+				"kmeans/points.dat":     []byte("input:kmeans:points\n"),
+			},
+			Description: "input files for the Phoenix suite",
+		},
+		{
+			Name: "splash_inputs", Version: "3.0", Kind: KindDependency,
+			SizeBytes: 120 * mib,
+			Files: map[string][]byte{
+				"ocean/grid.dat":    []byte("input:ocean:grid\n"),
+				"raytrace/car.env":  []byte("input:raytrace:car\n"),
+				"volrend/head.den":  []byte("input:volrend:head\n"),
+				"radiosity/room.in": []byte("input:radiosity:room\n"),
+			},
+			Description: "input files for SPLASH-3",
+		},
+		{
+			Name: "parsec_inputs", Version: "3.0", Kind: KindDependency,
+			SizeBytes: 2600 * mib,
+			Files: map[string][]byte{
+				"blackscholes/options.txt": []byte("input:blackscholes:options\n"),
+				"streamcluster/points.dat": []byte("input:streamcluster:points\n"),
+			},
+			Description: "native-size inputs for PARSEC",
+		},
+		{
+			Name: "libevent-2.0.22", Version: "2.0.22", Kind: KindDependency,
+			SizeBytes:   6 * mib,
+			Files:       map[string][]byte{"lib/libevent.a": []byte("#!AR libevent 2.0.22\n")},
+			Description: "statically linked event library (required by memcached)",
+		},
+		{
+			Name: "openssl-1.0.2", Version: "1.0.2", Kind: KindDependency,
+			SizeBytes:   40 * mib,
+			Files:       map[string][]byte{"lib/libssl.a": []byte("#!AR openssl 1.0.2\n")},
+			Description: "statically linked TLS library (required by nginx/apache builds)",
+		},
+
+		// --- additional benchmarks (install/benchmarks/*.sh) -------------
+		// The paper installs Apache and Nginx from the Internet on purpose:
+		// "we want to experiment with their different versions (those that
+		// are vulnerable to a particular bug and those that are not)".
+		{
+			Name: "apache-2.4.18", Version: "2.4.18", Kind: KindBenchmark,
+			SizeBytes:   9 * mib,
+			Requires:    []string{"openssl-1.0.2"},
+			Files:       map[string][]byte{"src/httpd.c": []byte("// apache 2.4.18 sources\n")},
+			Description: "Apache HTTP server sources",
+		},
+		{
+			Name: "nginx-1.4.0", Version: "1.4.0", Kind: KindBenchmark,
+			SizeBytes:   2 * mib,
+			Requires:    []string{"openssl-1.0.2"},
+			Files:       map[string][]byte{"src/nginx.c": []byte("// nginx 1.4.0 sources (CVE-2013-2028 vulnerable)\n")},
+			Description: "Nginx sources, version vulnerable to CVE-2013-2028",
+		},
+		{
+			Name: "nginx-1.4.1", Version: "1.4.1", Kind: KindBenchmark,
+			SizeBytes:   2 * mib,
+			Requires:    []string{"openssl-1.0.2"},
+			Files:       map[string][]byte{"src/nginx.c": []byte("// nginx 1.4.1 sources (CVE-2013-2028 fixed)\n")},
+			Description: "Nginx sources, version with CVE-2013-2028 fixed",
+		},
+		{
+			Name: "memcached-1.4.25", Version: "1.4.25", Kind: KindBenchmark,
+			SizeBytes:   1 * mib,
+			Requires:    []string{"libevent-2.0.22"},
+			Files:       map[string][]byte{"src/memcached.c": []byte("// memcached 1.4.25 sources\n")},
+			Description: "Memcached sources",
+		},
+		{
+			Name: "ripe", Version: "2011", Kind: KindBenchmark,
+			SizeBytes: 1 * mib,
+			Files: map[string][]byte{
+				"src/ripe_attack_generator.c": []byte("// RIPE testbed sources\n"),
+			},
+			Description: "RIPE runtime intrusion prevention evaluator (850 attack forms)",
+		},
+	}
+}
+
+// DefaultRepository returns a repository pre-populated with Catalog().
+func DefaultRepository() (*Repository, error) {
+	repo := NewRepository()
+	for _, a := range Catalog() {
+		if err := repo.Publish(a); err != nil {
+			return nil, err
+		}
+	}
+	return repo, nil
+}

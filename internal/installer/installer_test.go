@@ -1,0 +1,273 @@
+package installer
+
+import (
+	"errors"
+	"testing"
+
+	"fex/internal/container"
+)
+
+func testContainer(t *testing.T) *container.Container {
+	t.Helper()
+	im, err := container.BuildBaseImage(container.BaseImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := container.Run(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctr
+}
+
+func testInstaller(t *testing.T) (*Repository, *Installer) {
+	t.Helper()
+	repo, err := DefaultRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := New(repo, testContainer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, ins
+}
+
+func TestCatalogInternallyConsistent(t *testing.T) {
+	// Every Requires entry must itself be a published artifact.
+	byName := map[string]*Artifact{}
+	for _, a := range Catalog() {
+		byName[a.Name] = a
+	}
+	for _, a := range Catalog() {
+		for _, dep := range a.Requires {
+			if _, ok := byName[dep]; !ok {
+				t.Errorf("artifact %s requires unpublished %s", a.Name, dep)
+			}
+		}
+	}
+}
+
+func TestCatalogHasPaperArtifacts(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Catalog() {
+		names[a.Name] = true
+	}
+	// The compilers and additional benchmarks the paper's workflow uses.
+	for _, want := range []string{
+		"gcc-6.1", "clang-3.8.0", "phoenix_inputs", "apache-2.4.18",
+		"nginx-1.4.0", "nginx-1.4.1", "memcached-1.4.25", "ripe",
+	} {
+		if !names[want] {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+}
+
+func TestCatalogNginxVersionsDiffer(t *testing.T) {
+	// The paper installs different Nginx versions "those that are
+	// vulnerable to a particular bug and those that are not".
+	var v140, v141 *Artifact
+	for _, a := range Catalog() {
+		switch a.Name {
+		case "nginx-1.4.0":
+			v140 = a
+		case "nginx-1.4.1":
+			v141 = a
+		}
+	}
+	if v140 == nil || v141 == nil {
+		t.Fatal("nginx versions missing")
+	}
+	if v140.Digest() == v141.Digest() {
+		t.Error("distinct nginx versions share a digest")
+	}
+}
+
+func TestInstallSimple(t *testing.T) {
+	_, ins := testInstaller(t)
+	names, err := ins.Install("ripe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "ripe" {
+		t.Errorf("installed %v", names)
+	}
+	have, err := ins.IsInstalled("ripe")
+	if err != nil || !have {
+		t.Errorf("IsInstalled = %t, %v", have, err)
+	}
+}
+
+func TestInstallTransitiveDeps(t *testing.T) {
+	_, ins := testInstaller(t)
+	names, err := ins.Install("clang-3.8.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies first, target last.
+	if names[len(names)-1] != "clang-3.8.0" {
+		t.Errorf("target not last: %v", names)
+	}
+	pos := map[string]int{}
+	for i, n := range names {
+		pos[n] = i
+	}
+	if pos["llvm-3.8.0"] > pos["clang-3.8.0"] {
+		t.Errorf("llvm installed after clang: %v", names)
+	}
+	if pos["binutils-2.26"] > pos["clang-3.8.0"] {
+		t.Errorf("binutils installed after clang: %v", names)
+	}
+}
+
+func TestInstallIdempotent(t *testing.T) {
+	_, ins := testInstaller(t)
+	if _, err := ins.Install("gcc-6.1"); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ins.Install("gcc-6.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Errorf("second install re-installed %v", again)
+	}
+}
+
+func TestInstallSharedDepOnce(t *testing.T) {
+	_, ins := testInstaller(t)
+	if _, err := ins.Install("gcc-6.1"); err != nil {
+		t.Fatal(err)
+	}
+	// binutils already present; installing clang must not reinstall it.
+	names, err := ins.Install("clang-3.8.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == "binutils-2.26" {
+			t.Errorf("shared dependency reinstalled: %v", names)
+		}
+	}
+}
+
+func TestInstallUnknownArtifact(t *testing.T) {
+	_, ins := testInstaller(t)
+	if _, err := ins.Install("gcc-99.9"); !errors.Is(err, ErrUnknownArtifact) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestInstallOffline(t *testing.T) {
+	repo, ins := testInstaller(t)
+	repo.SetOffline(true)
+	if _, err := ins.Install("ripe"); !errors.Is(err, ErrOffline) {
+		t.Errorf("got %v", err)
+	}
+	repo.SetOffline(false)
+	if _, err := ins.Install("ripe"); err != nil {
+		t.Errorf("recovery failed: %v", err)
+	}
+}
+
+func TestInstallCorruptedDownload(t *testing.T) {
+	repo, ins := testInstaller(t)
+	repo.Corrupt("gcc-6.1")
+	if _, err := ins.Install("gcc-6.1"); !errors.Is(err, ErrDigestMismatch) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestDependencyCycleDetected(t *testing.T) {
+	repo := NewRepository()
+	_ = repo.Publish(&Artifact{Name: "a", Version: "1", Kind: KindDependency, Requires: []string{"b"}})
+	_ = repo.Publish(&Artifact{Name: "b", Version: "1", Kind: KindDependency, Requires: []string{"a"}})
+	ins, err := New(repo, testContainer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Install("a"); !errors.Is(err, ErrDependencyCycle) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestInstallMaterializesFiles(t *testing.T) {
+	_, ins := testInstaller(t)
+	if _, err := ins.Install("gcc-6.1"); err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := ins.ctr.FS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsys.Exists(InstallRoot + "/gcc-6.1/bin/gcc") {
+		t.Error("compiler binary not materialized")
+	}
+}
+
+func TestManifestRecordsVersions(t *testing.T) {
+	_, ins := testInstaller(t)
+	if _, err := ins.Install("gcc-6.1"); err != nil {
+		t.Fatal(err)
+	}
+	items, err := ins.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, it := range items {
+		if it.Name == "gcc-6.1" {
+			found = true
+			if it.Version != "6.1" || it.Kind != KindCompiler || it.Digest == "" {
+				t.Errorf("manifest entry %+v", it)
+			}
+		}
+	}
+	if !found {
+		t.Error("gcc-6.1 missing from manifest")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	repo := NewRepository()
+	if err := repo.Publish(nil); err == nil {
+		t.Error("expected error for nil artifact")
+	}
+	if err := repo.Publish(&Artifact{Name: "x", Kind: Kind(99)}); err == nil {
+		t.Error("expected error for bad kind")
+	}
+}
+
+func TestRepositoryList(t *testing.T) {
+	repo, _ := testInstaller(t)
+	list := repo.List()
+	if len(list) != len(Catalog()) {
+		t.Errorf("list has %d entries, catalog %d", len(list), len(Catalog()))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i] < list[i-1] {
+			t.Error("list not sorted")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCompiler: "compiler", KindDependency: "dependency", KindBenchmark: "benchmark",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", int(k), got)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, testContainer(t)); err == nil {
+		t.Error("expected error for nil repo")
+	}
+	repo := NewRepository()
+	if _, err := New(repo, nil); err == nil {
+		t.Error("expected error for nil container")
+	}
+}

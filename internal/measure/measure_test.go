@@ -1,0 +1,233 @@
+package measure
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fex/internal/workload"
+)
+
+func sampleCounters() workload.Counters {
+	return workload.Counters{
+		IntOps: 1000, FloatOps: 500, TrigOps: 100, SqrtOps: 50,
+		MemReads: 2000, MemWrites: 800, StridedReads: 200,
+		Branches: 600, AllocBytes: 4096, AllocCount: 4,
+		SyncOps: 8, Checksum: 0xABCD,
+	}
+}
+
+func TestModelBasicProperties(t *testing.T) {
+	s, err := Model(sampleCounters(), Baseline(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles <= 0 || s.Instructions <= 0 {
+		t.Errorf("sample %+v", s)
+	}
+	if s.Checksum != 0xABCD {
+		t.Error("checksum not carried through")
+	}
+	if s.MaxRSSBytes != 4096 {
+		t.Errorf("rss %v", s.MaxRSSBytes)
+	}
+}
+
+func TestModelRejectsBadThreads(t *testing.T) {
+	if _, err := Model(sampleCounters(), Baseline(), 0); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestModelMonotonicInWork(t *testing.T) {
+	small, _ := Model(sampleCounters(), Baseline(), 1)
+	big := sampleCounters()
+	big.FloatOps *= 10
+	bigS, _ := Model(big, Baseline(), 1)
+	if bigS.Cycles <= small.Cycles {
+		t.Error("more work did not increase cycles")
+	}
+}
+
+func TestModelThreadScaling(t *testing.T) {
+	c := sampleCounters()
+	c.IntOps = 1_000_000 // enough parallel work to dominate sync cost
+	s1, _ := Model(c, Baseline(), 1)
+	s4, _ := Model(c, Baseline(), 4)
+	if s4.Cycles >= s1.Cycles {
+		t.Error("4 threads not faster than 1")
+	}
+	// But not superlinear.
+	if s4.Cycles < s1.Cycles/4 {
+		t.Errorf("superlinear scaling: %v vs %v", s4.Cycles, s1.Cycles)
+	}
+}
+
+func TestModelSyncCostLimitsScaling(t *testing.T) {
+	c := workload.Counters{IntOps: 100, SyncOps: 10_000}
+	s1, _ := Model(c, Baseline(), 1)
+	s8, _ := Model(c, Baseline(), 8)
+	// Sync-dominated workloads barely improve.
+	if s8.Cycles < s1.Cycles*0.9 {
+		t.Errorf("sync-bound workload scaled too well: %v vs %v", s8.Cycles, s1.Cycles)
+	}
+}
+
+func TestModelStridedCostsMore(t *testing.T) {
+	seq := workload.Counters{MemReads: 10_000}
+	strided := workload.Counters{MemReads: 10_000, StridedReads: 10_000}
+	s1, _ := Model(seq, Baseline(), 1)
+	s2, _ := Model(strided, Baseline(), 1)
+	if s2.Cycles <= s1.Cycles {
+		t.Error("strided access not more expensive")
+	}
+	if s2.LLCMisses <= s1.LLCMisses {
+		t.Error("strided access did not raise LLC misses")
+	}
+}
+
+func TestModelMemFactor(t *testing.T) {
+	cv := Baseline().Apply(Scale{MemFactor: 3})
+	s, _ := Model(sampleCounters(), cv, 1)
+	if s.MaxRSSBytes != 4096*3 {
+		t.Errorf("rss %v", s.MaxRSSBytes)
+	}
+}
+
+func TestScaleIdentity(t *testing.T) {
+	cv := Baseline().Apply(Scale{})
+	if cv != Baseline() {
+		t.Error("zero scale changed the vector")
+	}
+}
+
+func TestScaleApply(t *testing.T) {
+	cv := Baseline().Apply(Scale{TrigOp: 2})
+	if cv.TrigOp != Baseline().TrigOp*2 {
+		t.Errorf("TrigOp %v", cv.TrigOp)
+	}
+	if cv.IntOp != Baseline().IntOp {
+		t.Error("unrelated dimension changed")
+	}
+}
+
+func TestIPC(t *testing.T) {
+	s := Sample{Cycles: 200, Instructions: 100}
+	if got := s.IPC(); got != 0.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	if (Sample{}).IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}
+
+func TestTimed(t *testing.T) {
+	c, wall, err := Timed(func() (workload.Counters, error) {
+		time.Sleep(time.Millisecond)
+		return workload.Counters{IntOps: 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IntOps != 1 || wall < time.Millisecond {
+		t.Errorf("counters %+v wall %v", c, wall)
+	}
+}
+
+func TestTimedPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, _, err := Timed(func() (workload.Counters, error) {
+		return workload.Counters{}, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestToolsCollectExpectedMetrics(t *testing.T) {
+	s := Sample{Cycles: 100, Instructions: 50, L1DMisses: 5, LLCMisses: 1,
+		MaxRSSBytes: 2048, WallTime: time.Second, BranchMisses: 3}
+	cases := []struct {
+		tool Tool
+		keys []string
+	}{
+		{PerfStat{}, []string{"cycles", "instructions", "ipc", "branch_misses"}},
+		{PerfStatMem{}, []string{"l1d_misses", "llc_misses", "max_rss"}},
+		{TimeTool{}, []string{"wall_seconds", "max_rss"}},
+	}
+	for _, c := range cases {
+		got := c.tool.Collect(s)
+		for _, k := range c.keys {
+			if _, ok := got[k]; !ok {
+				t.Errorf("%s missing metric %q", c.tool.Name(), k)
+			}
+		}
+	}
+}
+
+func TestToolByName(t *testing.T) {
+	for _, name := range append(ToolNames(), "") {
+		if _, err := ToolByName(name); err != nil {
+			t.Errorf("ToolByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ToolByName("vtune"); err == nil {
+		t.Error("expected error for unknown tool")
+	}
+}
+
+func TestAggregateMeans(t *testing.T) {
+	samples := []Sample{
+		{Cycles: 100, Instructions: 10, Checksum: 7, WallTime: time.Second},
+		{Cycles: 200, Instructions: 20, Checksum: 7, WallTime: 3 * time.Second},
+	}
+	agg, err := Aggregate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Cycles != 150 || agg.Instructions != 15 {
+		t.Errorf("agg %+v", agg)
+	}
+	if agg.WallTime != 2*time.Second {
+		t.Errorf("wall %v", agg.WallTime)
+	}
+}
+
+func TestAggregateChecksumMismatch(t *testing.T) {
+	samples := []Sample{{Checksum: 1}, {Checksum: 2}}
+	if _, err := Aggregate(samples); err == nil {
+		t.Error("expected checksum mismatch error")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if _, err := Aggregate(nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestQuickModelDeterministic(t *testing.T) {
+	prop := func(ints, reads uint32, threads uint8) bool {
+		th := int(threads%8) + 1
+		c := workload.Counters{IntOps: uint64(ints), MemReads: uint64(reads)}
+		a, err1 := Model(c, Baseline(), th)
+		b, err2 := Model(c, Baseline(), th)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMoreThreadsNeverSlowerForParallelWork(t *testing.T) {
+	prop := func(work uint32) bool {
+		c := workload.Counters{IntOps: uint64(work) + 1000}
+		s1, err1 := Model(c, Baseline(), 1)
+		s2, err2 := Model(c, Baseline(), 2)
+		return err1 == nil && err2 == nil && s2.Cycles <= s1.Cycles
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

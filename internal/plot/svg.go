@@ -1,0 +1,134 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// svgCanvas accumulates SVG elements.
+type svgCanvas struct {
+	w, h float64
+	body strings.Builder
+}
+
+func newSVGCanvas(w, h float64) *svgCanvas {
+	return &svgCanvas{w: w, h: h}
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.body,
+		`<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>`+"\n",
+		fmtF(x), fmtF(y), fmtF(w), fmtF(h), fill)
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.body,
+		`<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="%s"/>`+"\n",
+		fmtF(x1), fmtF(y1), fmtF(x2), fmtF(y2), stroke, fmtF(width))
+}
+
+func (c *svgCanvas) polyline(pts [][2]float64, stroke string, width float64) {
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(fmtF(p[0]))
+		sb.WriteByte(',')
+		sb.WriteString(fmtF(p[1]))
+	}
+	fmt.Fprintf(&c.body,
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%s"/>`+"\n",
+		sb.String(), stroke, fmtF(width))
+}
+
+func (c *svgCanvas) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.body,
+		`<circle cx="%s" cy="%s" r="%s" fill="%s"/>`+"\n",
+		fmtF(x), fmtF(y), fmtF(r), fill)
+}
+
+// anchor: start | middle | end. rotate: degrees around (x, y), 0 for none.
+func (c *svgCanvas) text(x, y float64, s, anchor string, size float64, rotate float64) {
+	transform := ""
+	if rotate != 0 {
+		transform = fmt.Sprintf(` transform="rotate(%s %s %s)"`, fmtF(rotate), fmtF(x), fmtF(y))
+	}
+	fmt.Fprintf(&c.body,
+		`<text x="%s" y="%s" text-anchor="%s" font-size="%s" font-family="sans-serif"%s>%s</text>`+"\n",
+		fmtF(x), fmtF(y), anchor, fmtF(size), transform, svgEscape(s))
+}
+
+func (c *svgCanvas) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s">`+"\n",
+		fmtF(c.w), fmtF(c.h), fmtF(c.w), fmtF(c.h))
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	sb.WriteString(c.body.String())
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// frame draws axes, y-ticks with labels and grid lines, the title, and axis
+// labels; it returns the x/y scales for the plot area.
+type frame struct {
+	canvas       *svgCanvas
+	plotX, plotY float64 // top-left of plot area
+	plotW, plotH float64
+	yScale       linScale
+	yTicks       []float64
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 80.0
+	fontSize     = 12.0
+)
+
+func newFrame(c *svgCanvas, title, xLabel, yLabel string, yLo, yHi float64) *frame {
+	f := &frame{
+		canvas: c,
+		plotX:  marginLeft,
+		plotY:  marginTop,
+		plotW:  c.w - marginLeft - marginRight,
+		plotH:  c.h - marginTop - marginBottom,
+	}
+	f.yTicks = niceTicks(yLo, yHi, 6)
+	tickLo, tickHi := f.yTicks[0], f.yTicks[len(f.yTicks)-1]
+	f.yScale = newLinScale(tickLo, tickHi, f.plotY+f.plotH, f.plotY)
+
+	// Grid + tick labels.
+	for _, tv := range f.yTicks {
+		y := f.yScale.apply(tv)
+		c.line(f.plotX, y, f.plotX+f.plotW, y, "#dddddd", 1)
+		c.text(f.plotX-8, y+4, formatTick(tv), "end", fontSize, 0)
+	}
+	// Axes.
+	c.line(f.plotX, f.plotY, f.plotX, f.plotY+f.plotH, "#000000", 1.5)
+	c.line(f.plotX, f.plotY+f.plotH, f.plotX+f.plotW, f.plotY+f.plotH, "#000000", 1.5)
+	// Title and labels.
+	if title != "" {
+		c.text(c.w/2, marginTop/2+4, title, "middle", fontSize+3, 0)
+	}
+	if xLabel != "" {
+		c.text(c.w/2, c.h-8, xLabel, "middle", fontSize, 0)
+	}
+	if yLabel != "" {
+		c.text(16, f.plotY+f.plotH/2, yLabel, "middle", fontSize, -90)
+	}
+	return f
+}
+
+// legend draws a simple legend row under the title.
+func (f *frame) legend(names []string) {
+	x := f.plotX + 4
+	y := f.plotY + 14
+	for i, n := range names {
+		f.canvas.rect(x, y-9, 12, 12, color(i))
+		f.canvas.text(x+16, y+1, n, "start", fontSize-1, 0)
+		x += 22 + float64(len(n))*7
+	}
+}

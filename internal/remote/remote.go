@@ -1,0 +1,182 @@
+// Package remote models the multi-machine part of FEX's real-world
+// experiments. The paper's Nginx run.py "pre-configures the server side,
+// starts a client on a separate machine via SSH, waits for the experiment
+// to finish, and fetches the logs" (§IV-B); distributed experiments are
+// also listed as future work ("e.g., using the Fabric library").
+//
+// A Cluster holds named Hosts. A Host executes registered commands —
+// in-process stand-ins for SSH sessions — and returns their textual log
+// plus structured data. The transport injects configurable latency and
+// failures so experiment code handles remote errors realistically.
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Common errors.
+var (
+	// ErrUnknownHost reports a lookup of an unregistered host.
+	ErrUnknownHost = errors.New("remote: unknown host")
+	// ErrUnknownCommand reports an unregistered command.
+	ErrUnknownCommand = errors.New("remote: unknown command")
+	// ErrUnreachable reports an injected connectivity failure.
+	ErrUnreachable = errors.New("remote: host unreachable")
+)
+
+// Job is one remote command invocation.
+type Job struct {
+	// Command selects the registered handler ("loadgen", "fetch-logs", …).
+	Command string
+	// Args carries string parameters.
+	Args map[string]string
+}
+
+// Output is a remote command's result.
+type Output struct {
+	// Log is the command's textual output (what "fetching the logs"
+	// returns).
+	Log string
+	// Data carries structured measurements.
+	Data map[string]float64
+}
+
+// Handler executes one command on a host.
+type Handler func(ctx context.Context, job Job) (Output, error)
+
+// Host is one machine of the cluster.
+type Host struct {
+	name string
+
+	mu          sync.Mutex
+	handlers    map[string]Handler
+	latency     time.Duration
+	unreachable bool
+	logs        []string
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// RegisterCommand installs a command handler on the host.
+func (h *Host) RegisterCommand(name string, fn Handler) error {
+	if name == "" || fn == nil {
+		return errors.New("remote: command requires name and handler")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handlers[name] = fn
+	return nil
+}
+
+// SetLatency injects a per-invocation network delay.
+func (h *Host) SetLatency(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.latency = d
+}
+
+// SetUnreachable toggles connectivity-failure injection.
+func (h *Host) SetUnreachable(down bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.unreachable = down
+}
+
+// Run executes a command on the host — the SSH-session stand-in. The
+// command's log output is retained on the host until FetchLogs collects
+// it.
+func (h *Host) Run(ctx context.Context, job Job) (Output, error) {
+	h.mu.Lock()
+	latency := h.latency
+	down := h.unreachable
+	fn, ok := h.handlers[job.Command]
+	h.mu.Unlock()
+	if down {
+		return Output{}, fmt.Errorf("%w: %s", ErrUnreachable, h.name)
+	}
+	if !ok {
+		return Output{}, fmt.Errorf("%w: %q on %s", ErrUnknownCommand, job.Command, h.name)
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			return Output{}, ctx.Err()
+		}
+	}
+	out, err := fn(ctx, job)
+	if err != nil {
+		return Output{}, fmt.Errorf("remote %s: %s: %w", h.name, job.Command, err)
+	}
+	if out.Log != "" {
+		h.mu.Lock()
+		h.logs = append(h.logs, out.Log)
+		h.mu.Unlock()
+	}
+	return out, nil
+}
+
+// FetchLogs returns and clears the host's retained logs (the experiment's
+// final "fetch the logs" step).
+func (h *Host) FetchLogs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := h.logs
+	h.logs = nil
+	return out
+}
+
+// Cluster is a named set of hosts.
+type Cluster struct {
+	mu    sync.Mutex
+	hosts map[string]*Host
+}
+
+// NewCluster returns an empty cluster.
+func NewCluster() *Cluster {
+	return &Cluster{hosts: make(map[string]*Host)}
+}
+
+// AddHost registers a new host and returns it.
+func (c *Cluster) AddHost(name string) (*Host, error) {
+	if name == "" {
+		return nil, errors.New("remote: host requires a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.hosts[name]; dup {
+		return nil, fmt.Errorf("remote: duplicate host %q", name)
+	}
+	h := &Host{name: name, handlers: make(map[string]Handler)}
+	c.hosts[name] = h
+	return h, nil
+}
+
+// Host looks up a host by name.
+func (c *Cluster) Host(name string) (*Host, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	return h, nil
+}
+
+// Hosts returns the registered host names, sorted.
+func (c *Cluster) Hosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.hosts))
+	for n := range c.hosts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,139 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testHost(t *testing.T) *Host {
+	t.Helper()
+	c := NewCluster()
+	h, err := c.AddHost("client1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestRunCommand(t *testing.T) {
+	h := testHost(t)
+	err := h.RegisterCommand("echo", func(ctx context.Context, job Job) (Output, error) {
+		return Output{Log: "ran " + job.Args["what"], Data: map[string]float64{"n": 1}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := h.Run(context.Background(), Job{Command: "echo", Args: map[string]string{"what": "loadgen"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Log != "ran loadgen" || out.Data["n"] != 1 {
+		t.Errorf("output %+v", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	h := testHost(t)
+	_, err := h.Run(context.Background(), Job{Command: "nope"})
+	if !errors.Is(err, ErrUnknownCommand) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestUnreachableHost(t *testing.T) {
+	h := testHost(t)
+	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) { return Output{}, nil })
+	h.SetUnreachable(true)
+	if _, err := h.Run(context.Background(), Job{Command: "x"}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("got %v", err)
+	}
+	h.SetUnreachable(false)
+	if _, err := h.Run(context.Background(), Job{Command: "x"}); err != nil {
+		t.Errorf("recovery: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	h := testHost(t)
+	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) { return Output{}, nil })
+	h.SetLatency(50 * time.Millisecond)
+	start := time.Now()
+	if _, err := h.Run(context.Background(), Job{Command: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("latency not applied")
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	h := testHost(t)
+	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) { return Output{}, nil })
+	h.SetLatency(5 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := h.Run(ctx, Job{Command: "x"}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCommandErrorWrapped(t *testing.T) {
+	h := testHost(t)
+	sentinel := errors.New("remote failure")
+	_ = h.RegisterCommand("fail", func(context.Context, Job) (Output, error) {
+		return Output{}, sentinel
+	})
+	_, err := h.Run(context.Background(), Job{Command: "fail"})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestFetchLogsDrains(t *testing.T) {
+	h := testHost(t)
+	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) {
+		return Output{Log: "entry"}, nil
+	})
+	ctx := context.Background()
+	_, _ = h.Run(ctx, Job{Command: "x"})
+	_, _ = h.Run(ctx, Job{Command: "x"})
+	logs := h.FetchLogs()
+	if len(logs) != 2 {
+		t.Errorf("logs %v", logs)
+	}
+	if len(h.FetchLogs()) != 0 {
+		t.Error("logs not drained")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	h := testHost(t)
+	if err := h.RegisterCommand("", nil); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestClusterHosts(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.AddHost("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost("a"); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if _, err := c.AddHost(""); err == nil {
+		t.Error("empty host name accepted")
+	}
+	hosts := c.Hosts()
+	if len(hosts) != 2 || hosts[0] != "a" {
+		t.Errorf("hosts %v", hosts)
+	}
+	if _, err := c.Host("missing"); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("got %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package runlog defines FEX's on-disk experiment log format and its parser.
+//
+// The run step of every experiment appends structured records to a log; the
+// collect step parses the log back into measurement records which are then
+// aggregated into a CSV table (§II-A of the paper: "The collect step parses
+// the log, extracts the measurement results, processes them in a
+// user-specified way, and stores into a CSV table"). The paper also notes
+// that FEX "outputs various environment details, so that the complete
+// experimental setup is stored in the log file" — Header records carry that
+// setup.
+//
+// The format is line-oriented: one record per line, fields separated by
+// "|", "key=value" measurement fields. It is deliberately greppable, like
+// the raw benchmark logs FEX's Python collect scripts consume.
+package runlog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record kinds.
+const (
+	kindHeader  = "HDR"
+	kindEnv     = "ENV"
+	kindMeasure = "RUN"
+	kindNote    = "NOTE"
+)
+
+// ErrBadRecord reports a malformed log line.
+var ErrBadRecord = errors.New("runlog: malformed record")
+
+// Header describes one experiment execution; it is written once at the top
+// of a log.
+type Header struct {
+	Experiment string
+	BuildTypes []string
+	Benchmarks []string
+	Threads    []int
+	Reps       int
+	Input      string
+	StartedAt  time.Time
+}
+
+// Measurement is one benchmark execution's results.
+type Measurement struct {
+	// Benchmark is the benchmark name (e.g. "fft").
+	Benchmark string
+	// Suite is the suite the benchmark belongs to (e.g. "splash").
+	Suite string
+	// BuildType identifies the build configuration (e.g. "gcc_native").
+	BuildType string
+	// Threads is the thread count of this run.
+	Threads int
+	// Rep is the repetition index (0-based).
+	Rep int
+	// Values carries the measured metrics (cycles, instructions, time_ns, …).
+	Values map[string]float64
+}
+
+// Note is free-form commentary (dry runs, warnings).
+type Note struct {
+	Text string
+}
+
+// Writer serializes records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a log writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (lw *Writer) writeLine(parts ...string) {
+	if lw.err != nil {
+		return
+	}
+	_, lw.err = lw.w.WriteString(strings.Join(parts, "|") + "\n")
+}
+
+// WriteHeader writes the experiment header record.
+func (lw *Writer) WriteHeader(h Header) {
+	threads := make([]string, len(h.Threads))
+	for i, t := range h.Threads {
+		threads[i] = strconv.Itoa(t)
+	}
+	lw.writeLine(kindHeader,
+		"experiment="+h.Experiment,
+		"types="+strings.Join(h.BuildTypes, ","),
+		"benchmarks="+strings.Join(h.Benchmarks, ","),
+		"threads="+strings.Join(threads, ","),
+		"reps="+strconv.Itoa(h.Reps),
+		"input="+h.Input,
+		"started="+h.StartedAt.UTC().Format(time.RFC3339),
+	)
+}
+
+// WriteEnv records the resolved environment (for reproducibility).
+func (lw *Writer) WriteEnv(vars []string) {
+	for _, v := range vars {
+		lw.writeLine(kindEnv, v)
+	}
+}
+
+// WriteMeasurement appends one measurement record.
+func (lw *Writer) WriteMeasurement(m Measurement) {
+	keys := make([]string, 0, len(m.Values))
+	for k := range m.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, 5+len(keys))
+	parts = append(parts, kindMeasure,
+		"suite="+m.Suite,
+		"bench="+m.Benchmark,
+		"type="+m.BuildType,
+		"threads="+strconv.Itoa(m.Threads),
+		"rep="+strconv.Itoa(m.Rep),
+	)
+	for _, k := range keys {
+		parts = append(parts, k+"="+strconv.FormatFloat(m.Values[k], 'g', -1, 64))
+	}
+	lw.writeLine(parts...)
+}
+
+// WriteNote appends a free-form note.
+func (lw *Writer) WriteNote(text string) {
+	lw.writeLine(kindNote, strings.ReplaceAll(text, "\n", " "))
+}
+
+// Flush flushes buffered records and returns the first error encountered.
+func (lw *Writer) Flush() error {
+	if lw.err != nil {
+		return lw.err
+	}
+	return lw.w.Flush()
+}
+
+// Log is a fully parsed experiment log.
+type Log struct {
+	Header       Header
+	Environment  []string
+	Measurements []Measurement
+	Notes        []Note
+}
+
+// Parse reads a complete log from r.
+func Parse(r io.Reader) (*Log, error) {
+	out := &Log{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		switch parts[0] {
+		case kindHeader:
+			h, err := parseHeader(parts[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			out.Header = h
+		case kindEnv:
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("line %d: %w: ENV without payload", lineNo, ErrBadRecord)
+			}
+			out.Environment = append(out.Environment, strings.Join(parts[1:], "|"))
+		case kindMeasure:
+			m, err := parseMeasurement(parts[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			out.Measurements = append(out.Measurements, m)
+		case kindNote:
+			out.Notes = append(out.Notes, Note{Text: strings.Join(parts[1:], "|")})
+		default:
+			return nil, fmt.Errorf("line %d: %w: unknown kind %q", lineNo, ErrBadRecord, parts[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runlog: scan: %w", err)
+	}
+	return out, nil
+}
+
+func kv(field string) (string, string, error) {
+	i := strings.IndexByte(field, '=')
+	if i < 0 {
+		return "", "", fmt.Errorf("%w: field %q has no '='", ErrBadRecord, field)
+	}
+	return field[:i], field[i+1:], nil
+}
+
+func parseHeader(fields []string) (Header, error) {
+	var h Header
+	for _, f := range fields {
+		k, v, err := kv(f)
+		if err != nil {
+			return h, err
+		}
+		switch k {
+		case "experiment":
+			h.Experiment = v
+		case "types":
+			if v != "" {
+				h.BuildTypes = strings.Split(v, ",")
+			}
+		case "benchmarks":
+			if v != "" {
+				h.Benchmarks = strings.Split(v, ",")
+			}
+		case "threads":
+			if v == "" {
+				continue
+			}
+			for _, s := range strings.Split(v, ",") {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					return h, fmt.Errorf("%w: bad thread count %q", ErrBadRecord, s)
+				}
+				h.Threads = append(h.Threads, n)
+			}
+		case "reps":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return h, fmt.Errorf("%w: bad reps %q", ErrBadRecord, v)
+			}
+			h.Reps = n
+		case "input":
+			h.Input = v
+		case "started":
+			t, err := time.Parse(time.RFC3339, v)
+			if err != nil {
+				return h, fmt.Errorf("%w: bad start time %q", ErrBadRecord, v)
+			}
+			h.StartedAt = t
+		}
+	}
+	if h.Experiment == "" {
+		return h, fmt.Errorf("%w: header missing experiment name", ErrBadRecord)
+	}
+	return h, nil
+}
+
+func parseMeasurement(fields []string) (Measurement, error) {
+	m := Measurement{Values: make(map[string]float64)}
+	for _, f := range fields {
+		k, v, err := kv(f)
+		if err != nil {
+			return m, err
+		}
+		switch k {
+		case "suite":
+			m.Suite = v
+		case "bench":
+			m.Benchmark = v
+		case "type":
+			m.BuildType = v
+		case "threads":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return m, fmt.Errorf("%w: bad threads %q", ErrBadRecord, v)
+			}
+			m.Threads = n
+		case "rep":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return m, fmt.Errorf("%w: bad rep %q", ErrBadRecord, v)
+			}
+			m.Rep = n
+		default:
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return m, fmt.Errorf("%w: bad metric %s=%q", ErrBadRecord, k, v)
+			}
+			m.Values[k] = x
+		}
+	}
+	if m.Benchmark == "" || m.BuildType == "" {
+		return m, fmt.Errorf("%w: measurement missing bench/type", ErrBadRecord)
+	}
+	return m, nil
+}

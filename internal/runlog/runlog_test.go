@@ -1,0 +1,189 @@
+package runlog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Experiment: "splash",
+		BuildTypes: []string{"gcc_native", "clang_native"},
+		Benchmarks: []string{"fft", "lu"},
+		Threads:    []int{1, 2, 4},
+		Reps:       3,
+		Input:      "native",
+		StartedAt:  time.Date(2017, 6, 25, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.WriteHeader(sampleHeader())
+	w.WriteEnv([]string{"CC=gcc", "CFLAGS=-O2"})
+	w.WriteMeasurement(Measurement{
+		Suite: "splash", Benchmark: "fft", BuildType: "gcc_native",
+		Threads: 2, Rep: 1,
+		Values: map[string]float64{"cycles": 12345.5, "ipc": 1.25},
+	})
+	w.WriteNote("dry run fft")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := lg.Header
+	if h.Experiment != "splash" || h.Reps != 3 || len(h.BuildTypes) != 2 || len(h.Threads) != 3 {
+		t.Errorf("header %+v", h)
+	}
+	if !h.StartedAt.Equal(sampleHeader().StartedAt) {
+		t.Errorf("start time %v", h.StartedAt)
+	}
+	if len(lg.Environment) != 2 || lg.Environment[0] != "CC=gcc" {
+		t.Errorf("env %v", lg.Environment)
+	}
+	if len(lg.Measurements) != 1 {
+		t.Fatalf("measurements %d", len(lg.Measurements))
+	}
+	m := lg.Measurements[0]
+	if m.Benchmark != "fft" || m.Threads != 2 || m.Rep != 1 {
+		t.Errorf("measurement %+v", m)
+	}
+	if m.Values["cycles"] != 12345.5 || m.Values["ipc"] != 1.25 {
+		t.Errorf("values %v", m.Values)
+	}
+	if len(lg.Notes) != 1 || lg.Notes[0].Text != "dry run fft" {
+		t.Errorf("notes %v", lg.Notes)
+	}
+}
+
+func TestParseEmptyLinesIgnored(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.WriteHeader(sampleHeader())
+	_ = w.Flush()
+	in := "\n" + sb.String() + "\n\n"
+	if _, err := Parse(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseUnknownKind(t *testing.T) {
+	_, err := Parse(strings.NewReader("BOGUS|x=1\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestParseMissingEquals(t *testing.T) {
+	_, err := Parse(strings.NewReader("RUN|suite=s|bench\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestParseMeasurementMissingBench(t *testing.T) {
+	_, err := Parse(strings.NewReader("RUN|suite=s|threads=1|rep=0|cycles=5\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestParseBadMetricValue(t *testing.T) {
+	_, err := Parse(strings.NewReader("RUN|bench=b|type=t|threads=1|rep=0|cycles=abc\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestParseBadThreads(t *testing.T) {
+	_, err := Parse(strings.NewReader("RUN|bench=b|type=t|threads=xx|rep=0\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestParseHeaderMissingName(t *testing.T) {
+	_, err := Parse(strings.NewReader("HDR|types=a\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestParseHeaderBadTime(t *testing.T) {
+	_, err := Parse(strings.NewReader("HDR|experiment=x|started=yesterday\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestNoteWithPipes(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.WriteNote("a|b|c")
+	_ = w.Flush()
+	lg, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Notes[0].Text != "a|b|c" {
+		t.Errorf("note %q", lg.Notes[0].Text)
+	}
+}
+
+func TestNoteNewlinesFlattened(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.WriteNote("line1\nline2")
+	_ = w.Flush()
+	lg, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(lg.Notes[0].Text, "\n") {
+		t.Error("newline survived into note record")
+	}
+}
+
+func TestMeasurementValueOrderingStable(t *testing.T) {
+	m := Measurement{
+		Suite: "s", Benchmark: "b", BuildType: "t", Threads: 1,
+		Values: map[string]float64{"z": 1, "a": 2, "m": 3},
+	}
+	render := func() string {
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		w.WriteMeasurement(m)
+		_ = w.Flush()
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if render() != first {
+			t.Fatal("measurement rendering is not deterministic")
+		}
+	}
+	if !strings.Contains(first, "a=2|m=3|z=1") {
+		t.Errorf("values not sorted: %q", first)
+	}
+}
+
+func TestEmptyHeaderLists(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.WriteHeader(Header{Experiment: "e", StartedAt: time.Unix(0, 0).UTC()})
+	_ = w.Flush()
+	lg, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Header.BuildTypes) != 0 || len(lg.Header.Threads) != 0 {
+		t.Errorf("expected empty lists, got %+v", lg.Header)
+	}
+}

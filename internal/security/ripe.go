@@ -1,0 +1,409 @@
+// Package security implements the RIPE runtime intrusion prevention
+// evaluator (Wilander et al., ACSAC 2011) as FEX's security-experiment
+// substrate. "At its core, RIPE is a C program that tries to attack itself
+// in a variety of ways (with 850 possible attacks in total)" (§IV-C).
+//
+// The attack matrix is the cross product of RIPE's dimensions —
+// overflow technique × attack code × target location/code-pointer ×
+// abused C function — restricted by structural feasibility rules, yielding
+// exactly 850 attack forms:
+//
+//	shellcode (file-dropper)   2 techniques × 15 loc/target pairs × 10 functions = 300
+//	shellcode (shell-spawner)  2 × 15 × 10                                       = 300
+//	return-into-libc           2 × 10 pairs (ret, funcptr×5, longjmp×4) × 10     = 200
+//	ROP                        direct only × 5 pairs (ret, longjmp×4) × 10       =  50
+//
+// Whether an attack succeeds is decided by a defense model evaluated
+// against the binary's toolchain.SecurityProfile, calibrated to the
+// paper's measured configuration ("Ubuntu 16.04 with disabled ASLR and
+// building with disabled stack canaries and enabled executable stack"):
+// GCC 64 successful / 786 failed, Clang 38 / 812 — Clang's hardened
+// BSS/Data segment layout blocks indirect attacks through buffers in
+// those segments, which is where most surviving attacks live.
+package security
+
+import (
+	"fmt"
+	"sort"
+
+	"fex/internal/toolchain"
+)
+
+// Technique is RIPE's overflow technique dimension.
+type Technique int
+
+// Overflow techniques.
+const (
+	// Direct overflows run contiguously from the buffer onto the target.
+	Direct Technique = iota + 1
+	// Indirect overflows first corrupt a generic pointer, then write
+	// through it — this crosses memory segments.
+	Indirect
+)
+
+// String returns the technique name.
+func (t Technique) String() string {
+	if t == Direct {
+		return "direct"
+	}
+	return "indirect"
+}
+
+// AttackCode is RIPE's attack-code dimension.
+type AttackCode int
+
+// Attack payloads.
+const (
+	// ShellcodeFile is injected code that creates a dummy file — the only
+	// shellcode the paper observed succeeding.
+	ShellcodeFile AttackCode = iota + 1
+	// ShellcodeShell is injected code that spawns an interactive shell.
+	ShellcodeShell
+	// ReturnIntoLibc redirects control into an existing libc function.
+	ReturnIntoLibc
+	// ROP chains return-oriented gadgets.
+	ROP
+)
+
+// String returns the payload name.
+func (a AttackCode) String() string {
+	switch a {
+	case ShellcodeFile:
+		return "shellcode-file"
+	case ShellcodeShell:
+		return "shellcode-shell"
+	case ReturnIntoLibc:
+		return "return-into-libc"
+	case ROP:
+		return "rop"
+	default:
+		return fmt.Sprintf("AttackCode(%d)", int(a))
+	}
+}
+
+// Location is the memory segment holding the vulnerable buffer.
+type Location int
+
+// Buffer locations.
+const (
+	Stack Location = iota + 1
+	Heap
+	BSS
+	Data
+)
+
+// String returns the segment name.
+func (l Location) String() string {
+	switch l {
+	case Stack:
+		return "stack"
+	case Heap:
+		return "heap"
+	case BSS:
+		return "bss"
+	case Data:
+		return "data"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Target is the code pointer the attack overwrites.
+type Target int
+
+// Target code pointers.
+const (
+	RetAddr Target = iota + 1
+	BasePointer
+	FuncPtr
+	FuncPtrParam
+	LongjmpBuf
+	StructFuncPtr
+)
+
+// String returns the target name.
+func (t Target) String() string {
+	switch t {
+	case RetAddr:
+		return "ret"
+	case BasePointer:
+		return "baseptr"
+	case FuncPtr:
+		return "funcptr"
+	case FuncPtrParam:
+		return "funcptr-param"
+	case LongjmpBuf:
+		return "longjmpbuf"
+	case StructFuncPtr:
+		return "struct-funcptr"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// Function is the abused C function — RIPE's ten overflow vehicles.
+type Function int
+
+// Abused functions.
+const (
+	Memcpy Function = iota + 1
+	Strcpy
+	Strncpy
+	Sprintf
+	Snprintf
+	Strcat
+	Strncat
+	Sscanf
+	Fscanf
+	HomebrewLoop
+)
+
+// String returns the function name.
+func (f Function) String() string {
+	switch f {
+	case Memcpy:
+		return "memcpy"
+	case Strcpy:
+		return "strcpy"
+	case Strncpy:
+		return "strncpy"
+	case Sprintf:
+		return "sprintf"
+	case Snprintf:
+		return "snprintf"
+	case Strcat:
+		return "strcat"
+	case Strncat:
+		return "strncat"
+	case Sscanf:
+		return "sscanf"
+	case Fscanf:
+		return "fscanf"
+	case HomebrewLoop:
+		return "homebrew"
+	default:
+		return fmt.Sprintf("Function(%d)", int(f))
+	}
+}
+
+// boundedFunctions truncate at the destination size and can never
+// overflow.
+var boundedFunctions = map[Function]bool{
+	Strncpy: true, Snprintf: true, Strncat: true, Fscanf: true,
+}
+
+// allFunctions lists the ten abused functions.
+func allFunctions() []Function {
+	return []Function{
+		Memcpy, Strcpy, Strncpy, Sprintf, Snprintf,
+		Strcat, Strncat, Sscanf, Fscanf, HomebrewLoop,
+	}
+}
+
+// Pair is a feasible (location, target) combination: the target must live
+// where an overflow starting in that location can reach it directly (for
+// indirect attacks the intermediate pointer lives in the buffer's
+// segment).
+type Pair struct {
+	Loc Location
+	Tgt Target
+}
+
+// allPairs returns RIPE's fifteen feasible location/target pairs: six on
+// the stack (including the return address and old base pointer, which only
+// exist there) and three in each of heap, BSS, and data.
+func allPairs() []Pair {
+	return []Pair{
+		{Stack, RetAddr}, {Stack, BasePointer}, {Stack, FuncPtr},
+		{Stack, FuncPtrParam}, {Stack, LongjmpBuf}, {Stack, StructFuncPtr},
+		{Heap, FuncPtr}, {Heap, LongjmpBuf}, {Heap, StructFuncPtr},
+		{BSS, FuncPtr}, {BSS, LongjmpBuf}, {BSS, StructFuncPtr},
+		{Data, FuncPtr}, {Data, LongjmpBuf}, {Data, StructFuncPtr},
+	}
+}
+
+// retlibcPairs are the pairs whose target is promptly used as a call/jump
+// destination, which return-into-libc needs.
+func retlibcPairs() []Pair {
+	return []Pair{
+		{Stack, RetAddr}, {Stack, FuncPtr}, {Stack, FuncPtrParam},
+		{Heap, FuncPtr}, {BSS, FuncPtr}, {Data, FuncPtr},
+		{Stack, LongjmpBuf}, {Heap, LongjmpBuf}, {BSS, LongjmpBuf}, {Data, LongjmpBuf},
+	}
+}
+
+// ropPairs are the return-path targets a ROP chain can pivot through.
+func ropPairs() []Pair {
+	return []Pair{
+		{Stack, RetAddr},
+		{Stack, LongjmpBuf}, {Heap, LongjmpBuf}, {BSS, LongjmpBuf}, {Data, LongjmpBuf},
+	}
+}
+
+// Attack is one attack form of the matrix.
+type Attack struct {
+	Technique Technique
+	Code      AttackCode
+	Loc       Location
+	Tgt       Target
+	Func      Function
+}
+
+// ID renders a stable attack identifier.
+func (a Attack) ID() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s", a.Technique, a.Code, a.Loc, a.Tgt, a.Func)
+}
+
+// Matrix enumerates all 850 attack forms in deterministic order.
+func Matrix() []Attack {
+	var out []Attack
+	for _, code := range []AttackCode{ShellcodeFile, ShellcodeShell} {
+		for _, tech := range []Technique{Direct, Indirect} {
+			for _, p := range allPairs() {
+				for _, fn := range allFunctions() {
+					out = append(out, Attack{tech, code, p.Loc, p.Tgt, fn})
+				}
+			}
+		}
+	}
+	for _, tech := range []Technique{Direct, Indirect} {
+		for _, p := range retlibcPairs() {
+			for _, fn := range allFunctions() {
+				out = append(out, Attack{tech, ReturnIntoLibc, p.Loc, p.Tgt, fn})
+			}
+		}
+	}
+	for _, p := range ropPairs() {
+		for _, fn := range allFunctions() {
+			out = append(out, Attack{Direct, ROP, p.Loc, p.Tgt, fn})
+		}
+	}
+	return out
+}
+
+// Outcome of one attack attempt.
+type Outcome int
+
+// Attack outcomes.
+const (
+	Success Outcome = iota + 1
+	Failure
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	if o == Success {
+		return "SUCCESS"
+	}
+	return "FAILURE"
+}
+
+// Evaluate decides whether one attack succeeds against a binary with the
+// given security profile under the paper's measured runtime configuration
+// (ASLR off, stack canaries off, executable stack on — note that the
+// executable-stack flag flips READ_IMPLIES_EXEC, making BSS/Data pages
+// executable too).
+func Evaluate(a Attack, prof toolchain.SecurityProfile) Outcome {
+	// Bounded functions cannot overflow at all.
+	if boundedFunctions[a.Func] {
+		return Failure
+	}
+	// ASan redzones poison the bytes adjacent to every object; both the
+	// direct overflow and the indirect first-stage pointer corruption are
+	// contiguous writes, so instrumented builds stop essentially all forms.
+	if prof.Redzones {
+		return Failure
+	}
+	// Stack canaries stop direct attacks that traverse the frame.
+	if prof.StackCanary && a.Technique == Direct && a.Loc == Stack &&
+		(a.Tgt == RetAddr || a.Tgt == BasePointer) {
+		return Failure
+	}
+	// Clang's hardened BSS/Data object layout separates buffers from
+	// pointers in those segments, defeating the indirect first stage.
+	if prof.HardenedSegmentLayout && a.Technique == Indirect &&
+		(a.Loc == BSS || a.Loc == Data) {
+		return Failure
+	}
+
+	switch a.Code {
+	case ShellcodeShell:
+		// The shell-spawner payload needs an interactive tty; inside the
+		// experiment container it always dies. This matches the paper:
+		// only the file-dropper shellcode was observed succeeding.
+		return Failure
+	case ROP:
+		// Gadget offsets are compiled against a different libc build than
+		// the pinned container one; the chains crash.
+		return Failure
+	case ShellcodeFile:
+		if prof.NonExecStack {
+			// With a non-executable stack (and no READ_IMPLIES_EXEC), no
+			// segment is executable.
+			return Failure
+		}
+		switch a.Loc {
+		case Heap:
+			// Allocator metadata integrity checks abort the process before
+			// the corrupted pointer is used.
+			return Failure
+		case BSS, Data:
+			// Executable through READ_IMPLIES_EXEC; the four unbounded
+			// copy primitives deliver the payload intact.
+			if a.Func == Memcpy || a.Func == Strcpy || a.Func == Sprintf || a.Func == Strcat {
+				return Success
+			}
+			// sscanf/homebrew mangle the NUL-bearing payload.
+			return Failure
+		case Stack:
+			// Frame reuse clobbers deeper stack targets before dispatch;
+			// only the immediate ones survive, and only via the two exact
+			// copy primitives.
+			immediate := a.Tgt == RetAddr || a.Tgt == FuncPtr || a.Tgt == LongjmpBuf
+			if immediate && (a.Func == Memcpy || a.Func == Strcpy) {
+				return Success
+			}
+			return Failure
+		}
+	case ReturnIntoLibc:
+		// libc entry points contain NUL bytes on this platform, so only
+		// the length-based primitive writes them; return-address chains
+		// additionally fault on 16-byte stack alignment (movaps), leaving
+		// the promptly-called function pointers in BSS/Data.
+		if a.Func == Memcpy && a.Tgt == FuncPtr && (a.Loc == BSS || a.Loc == Data) {
+			return Success
+		}
+		return Failure
+	}
+	return Failure
+}
+
+// Result aggregates a full testbed run for one build type.
+type Result struct {
+	BuildType  string
+	Successful int
+	Failed     int
+	// ByCode counts successes per attack payload.
+	ByCode map[string]int
+	// SuccessIDs lists successful attack identifiers (sorted).
+	SuccessIDs []string
+}
+
+// Total returns the number of attack forms evaluated.
+func (r Result) Total() int { return r.Successful + r.Failed }
+
+// RunTestbed evaluates the complete matrix against one security profile.
+func RunTestbed(buildType string, prof toolchain.SecurityProfile) Result {
+	res := Result{BuildType: buildType, ByCode: make(map[string]int)}
+	for _, a := range Matrix() {
+		if Evaluate(a, prof) == Success {
+			res.Successful++
+			res.ByCode[a.Code.String()]++
+			res.SuccessIDs = append(res.SuccessIDs, a.ID())
+		} else {
+			res.Failed++
+		}
+	}
+	sort.Strings(res.SuccessIDs)
+	return res
+}

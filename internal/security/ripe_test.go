@@ -1,0 +1,192 @@
+package security
+
+import (
+	"strings"
+	"testing"
+
+	"fex/internal/toolchain"
+)
+
+func gccProfile() toolchain.SecurityProfile {
+	return toolchain.SecurityProfile{} // paper config: everything off
+}
+
+func clangProfile() toolchain.SecurityProfile {
+	return toolchain.SecurityProfile{HardenedSegmentLayout: true}
+}
+
+func TestMatrixHas850Attacks(t *testing.T) {
+	m := Matrix()
+	if len(m) != 850 {
+		t.Fatalf("matrix has %d attack forms, want 850", len(m))
+	}
+}
+
+func TestMatrixComposition(t *testing.T) {
+	counts := map[AttackCode]int{}
+	for _, a := range Matrix() {
+		counts[a.Code]++
+	}
+	want := map[AttackCode]int{
+		ShellcodeFile:  300,
+		ShellcodeShell: 300,
+		ReturnIntoLibc: 200,
+		ROP:            50,
+	}
+	for code, n := range want {
+		if counts[code] != n {
+			t.Errorf("%s: %d forms, want %d", code, counts[code], n)
+		}
+	}
+}
+
+func TestMatrixDeterministicAndUnique(t *testing.T) {
+	a := Matrix()
+	b := Matrix()
+	seen := make(map[string]bool, len(a))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("matrix enumeration is not deterministic")
+		}
+		id := a[i].ID()
+		if seen[id] {
+			t.Errorf("duplicate attack form %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTable2GCC(t *testing.T) {
+	res := RunTestbed("gcc_native", gccProfile())
+	// Table II: Native (GCC) — 64 successful, 786 failed.
+	if res.Successful != 64 || res.Failed != 786 {
+		t.Errorf("GCC: %d/%d, want 64/786", res.Successful, res.Failed)
+	}
+}
+
+func TestTable2Clang(t *testing.T) {
+	res := RunTestbed("clang_native", clangProfile())
+	// Table II: Native (Clang) — 38 successful, 812 failed.
+	if res.Successful != 38 || res.Failed != 812 {
+		t.Errorf("Clang: %d/%d, want 38/812", res.Successful, res.Failed)
+	}
+}
+
+func TestClangAdvantageIsIndirectBSSData(t *testing.T) {
+	gcc := RunTestbed("gcc", gccProfile())
+	clang := RunTestbed("clang", clangProfile())
+	// Every attack Clang blocks relative to GCC must be an indirect
+	// attack through a BSS or Data buffer (the Table II analysis).
+	clangSet := make(map[string]bool, len(clang.SuccessIDs))
+	for _, id := range clang.SuccessIDs {
+		clangSet[id] = true
+	}
+	for _, id := range gcc.SuccessIDs {
+		if clangSet[id] {
+			continue
+		}
+		if !strings.Contains(id, "indirect/") {
+			t.Errorf("blocked attack %s is not indirect", id)
+		}
+		if !strings.Contains(id, "/bss/") && !strings.Contains(id, "/data/") {
+			t.Errorf("blocked attack %s is not in bss/data", id)
+		}
+	}
+}
+
+func TestSuccessfulFamiliesMatchPaper(t *testing.T) {
+	// "only a handful of attacks were successful: through the shellcode
+	// that creates a dummy file and through return-into-libc".
+	res := RunTestbed("gcc", gccProfile())
+	for code := range res.ByCode {
+		if code != ShellcodeFile.String() && code != ReturnIntoLibc.String() {
+			t.Errorf("unexpected successful family %q", code)
+		}
+	}
+	if res.ByCode[ShellcodeFile.String()] == 0 || res.ByCode[ReturnIntoLibc.String()] == 0 {
+		t.Errorf("expected both families present: %v", res.ByCode)
+	}
+}
+
+func TestASanBlocksEverything(t *testing.T) {
+	res := RunTestbed("gcc_asan", toolchain.SecurityProfile{Redzones: true})
+	if res.Successful != 0 {
+		t.Errorf("ASan: %d successes, want 0", res.Successful)
+	}
+}
+
+func TestNonExecStackBlocksShellcode(t *testing.T) {
+	res := RunTestbed("nx", toolchain.SecurityProfile{NonExecStack: true})
+	for _, id := range res.SuccessIDs {
+		if strings.Contains(id, "shellcode") {
+			t.Errorf("shellcode succeeded with NX: %s", id)
+		}
+	}
+}
+
+func TestStackCanaryBlocksDirectStackControlAttacks(t *testing.T) {
+	base := RunTestbed("plain", gccProfile())
+	canary := RunTestbed("canary", toolchain.SecurityProfile{StackCanary: true})
+	if canary.Successful >= base.Successful {
+		t.Errorf("canary did not reduce successes: %d vs %d", canary.Successful, base.Successful)
+	}
+	for _, id := range canary.SuccessIDs {
+		if strings.HasPrefix(id, "direct/") && strings.Contains(id, "/stack/ret/") {
+			t.Errorf("direct ret-overwrite survived canary: %s", id)
+		}
+	}
+}
+
+func TestBoundedFunctionsNeverSucceed(t *testing.T) {
+	res := RunTestbed("gcc", gccProfile())
+	for _, id := range res.SuccessIDs {
+		for fn := range boundedFunctions {
+			if strings.HasSuffix(id, "/"+fn.String()) {
+				t.Errorf("bounded function attack succeeded: %s", id)
+			}
+		}
+	}
+}
+
+func TestROPAndShellSpawnerAlwaysFail(t *testing.T) {
+	res := RunTestbed("gcc", gccProfile())
+	for _, id := range res.SuccessIDs {
+		if strings.Contains(id, "/rop/") || strings.Contains(id, "shellcode-shell") {
+			t.Errorf("unexpected success: %s", id)
+		}
+	}
+}
+
+func TestResultTotalsConsistent(t *testing.T) {
+	for _, prof := range []toolchain.SecurityProfile{gccProfile(), clangProfile(), {Redzones: true}} {
+		res := RunTestbed("x", prof)
+		if res.Total() != 850 {
+			t.Errorf("total %d, want 850", res.Total())
+		}
+		if len(res.SuccessIDs) != res.Successful {
+			t.Errorf("id list %d vs count %d", len(res.SuccessIDs), res.Successful)
+		}
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	prof := gccProfile()
+	for _, a := range Matrix()[:50] {
+		first := Evaluate(a, prof)
+		for i := 0; i < 5; i++ {
+			if Evaluate(a, prof) != first {
+				t.Fatalf("non-deterministic outcome for %s", a.ID())
+			}
+		}
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	a := Attack{Direct, ShellcodeFile, Stack, RetAddr, Memcpy}
+	if a.ID() != "direct/shellcode-file/stack/ret/memcpy" {
+		t.Errorf("ID = %q", a.ID())
+	}
+	if Success.String() != "SUCCESS" || Failure.String() != "FAILURE" {
+		t.Error("outcome strings")
+	}
+}

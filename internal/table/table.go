@@ -1,0 +1,786 @@
+// Package table implements the small dataframe FEX's collect stage needs —
+// the role Pandas plays in the paper: holding parsed measurement records,
+// filtering, grouping, aggregating, pivoting, normalizing against a baseline
+// build type, and reading/writing CSV.
+//
+// A Table is column-oriented: every column has a name and a uniform kind
+// (string or float64). Rows are addressed by index. All transforming methods
+// return new Tables and never mutate the receiver.
+package table
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the type of a column.
+type Kind int
+
+// Column kinds.
+const (
+	String Kind = iota + 1
+	Float
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case String:
+		return "string"
+	case Float:
+		return "float"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Common errors.
+var (
+	// ErrNoColumn reports a reference to a column that does not exist.
+	ErrNoColumn = errors.New("table: no such column")
+	// ErrKindMismatch reports an operation applied to a column of the wrong kind.
+	ErrKindMismatch = errors.New("table: column kind mismatch")
+	// ErrLengthMismatch reports column length disagreement.
+	ErrLengthMismatch = errors.New("table: column length mismatch")
+)
+
+// Column is a named, uniformly typed vector.
+type Column struct {
+	Name    string
+	Kind    Kind
+	Strings []string  // populated when Kind == String
+	Floats  []float64 // populated when Kind == Float
+}
+
+// Len returns the column length.
+func (c *Column) Len() int {
+	if c.Kind == String {
+		return len(c.Strings)
+	}
+	return len(c.Floats)
+}
+
+func (c *Column) clone() Column {
+	out := Column{Name: c.Name, Kind: c.Kind}
+	if c.Kind == String {
+		out.Strings = append([]string(nil), c.Strings...)
+	} else {
+		out.Floats = append([]float64(nil), c.Floats...)
+	}
+	return out
+}
+
+func (c *Column) cell(i int) string {
+	if c.Kind == String {
+		return c.Strings[i]
+	}
+	return strconv.FormatFloat(c.Floats[i], 'g', -1, 64)
+}
+
+func (c *Column) take(idx []int) Column {
+	out := Column{Name: c.Name, Kind: c.Kind}
+	if c.Kind == String {
+		out.Strings = make([]string, 0, len(idx))
+		for _, i := range idx {
+			out.Strings = append(out.Strings, c.Strings[i])
+		}
+	} else {
+		out.Floats = make([]float64, 0, len(idx))
+		for _, i := range idx {
+			out.Floats = append(out.Floats, c.Floats[i])
+		}
+	}
+	return out
+}
+
+// Table is an immutable column-oriented dataframe.
+type Table struct {
+	cols  []Column
+	index map[string]int
+}
+
+// New builds a Table from columns. All columns must have equal length and
+// distinct names.
+func New(cols ...Column) (*Table, error) {
+	t := &Table{index: make(map[string]int, len(cols))}
+	n := -1
+	for _, c := range cols {
+		if _, dup := t.index[c.Name]; dup {
+			return nil, fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		if c.Kind != String && c.Kind != Float {
+			return nil, fmt.Errorf("table: column %q has invalid kind", c.Name)
+		}
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return nil, fmt.Errorf("%w: column %q has %d rows, want %d", ErrLengthMismatch, c.Name, c.Len(), n)
+		}
+		t.index[c.Name] = len(t.cols)
+		t.cols = append(t.cols, c.clone())
+	}
+	return t, nil
+}
+
+// Builder incrementally assembles a Table row by row.
+type Builder struct {
+	names []string
+	kinds []Kind
+	rows  [][]any
+}
+
+// NewBuilder creates a Builder with the given schema. Names and kinds must
+// have equal length.
+func NewBuilder(names []string, kinds []Kind) (*Builder, error) {
+	if len(names) != len(kinds) {
+		return nil, fmt.Errorf("table: %d names but %d kinds", len(names), len(kinds))
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("table: duplicate column %q", n)
+		}
+		seen[n] = true
+	}
+	return &Builder{
+		names: append([]string(nil), names...),
+		kinds: append([]Kind(nil), kinds...),
+	}, nil
+}
+
+// Append adds a row. Each value must be a string or float64 matching the
+// column kind (ints are accepted for float columns).
+func (b *Builder) Append(values ...any) error {
+	if len(values) != len(b.names) {
+		return fmt.Errorf("table: row has %d values, want %d", len(values), len(b.names))
+	}
+	row := make([]any, len(values))
+	for i, v := range values {
+		switch b.kinds[i] {
+		case String:
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("%w: column %q wants string, got %T", ErrKindMismatch, b.names[i], v)
+			}
+			row[i] = s
+		case Float:
+			switch x := v.(type) {
+			case float64:
+				row[i] = x
+			case int:
+				row[i] = float64(x)
+			case int64:
+				row[i] = float64(x)
+			default:
+				return fmt.Errorf("%w: column %q wants float, got %T", ErrKindMismatch, b.names[i], v)
+			}
+		}
+	}
+	b.rows = append(b.rows, row)
+	return nil
+}
+
+// Table materializes the accumulated rows.
+func (b *Builder) Table() (*Table, error) {
+	cols := make([]Column, len(b.names))
+	for i := range b.names {
+		cols[i] = Column{Name: b.names[i], Kind: b.kinds[i]}
+		if b.kinds[i] == String {
+			cols[i].Strings = make([]string, 0, len(b.rows))
+		} else {
+			cols[i].Floats = make([]float64, 0, len(b.rows))
+		}
+	}
+	for _, row := range b.rows {
+		for i, v := range row {
+			if b.kinds[i] == String {
+				cols[i].Strings = append(cols[i].Strings, v.(string))
+			} else {
+				cols[i].Floats = append(cols[i].Floats, v.(float64))
+			}
+		}
+	}
+	return New(cols...)
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Names returns the column names in order.
+func (t *Table) Names() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Col returns the named column.
+func (t *Table) Col(name string) (*Column, error) {
+	i, ok := t.index[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoColumn, name)
+	}
+	return &t.cols[i], nil
+}
+
+// Strings returns the values of the named string column.
+func (t *Table) Strings(name string) ([]string, error) {
+	c, err := t.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != String {
+		return nil, fmt.Errorf("%w: %q is %v", ErrKindMismatch, name, c.Kind)
+	}
+	return append([]string(nil), c.Strings...), nil
+}
+
+// Floats returns the values of the named float column.
+func (t *Table) Floats(name string) ([]float64, error) {
+	c, err := t.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != Float {
+		return nil, fmt.Errorf("%w: %q is %v", ErrKindMismatch, name, c.Kind)
+	}
+	return append([]float64(nil), c.Floats...), nil
+}
+
+// Cell returns the value at (row, col) rendered as a string.
+func (t *Table) Cell(row int, col string) (string, error) {
+	c, err := t.Col(col)
+	if err != nil {
+		return "", err
+	}
+	if row < 0 || row >= c.Len() {
+		return "", fmt.Errorf("table: row %d out of range [0,%d)", row, c.Len())
+	}
+	return c.cell(row), nil
+}
+
+func (t *Table) take(idx []int) *Table {
+	cols := make([]Column, len(t.cols))
+	for i := range t.cols {
+		cols[i] = t.cols[i].take(idx)
+	}
+	out, _ := New(cols...)
+	return out
+}
+
+// Filter returns the rows for which pred returns true. The predicate
+// receives a Row view of each row.
+func (t *Table) Filter(pred func(r Row) bool) *Table {
+	var idx []int
+	for i := 0; i < t.NumRows(); i++ {
+		if pred(Row{t: t, i: i}) {
+			idx = append(idx, i)
+		}
+	}
+	return t.take(idx)
+}
+
+// FilterEq returns the rows whose string column col equals value.
+func (t *Table) FilterEq(col, value string) (*Table, error) {
+	c, err := t.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != String {
+		return nil, fmt.Errorf("%w: %q is %v", ErrKindMismatch, col, c.Kind)
+	}
+	return t.Filter(func(r Row) bool {
+		s, _ := r.String(col)
+		return s == value
+	}), nil
+}
+
+// Row is a lightweight view of one table row.
+type Row struct {
+	t *Table
+	i int
+}
+
+// String returns the value of the named string column in this row.
+func (r Row) String(col string) (string, error) {
+	c, err := r.t.Col(col)
+	if err != nil {
+		return "", err
+	}
+	if c.Kind != String {
+		return "", fmt.Errorf("%w: %q is %v", ErrKindMismatch, col, c.Kind)
+	}
+	return c.Strings[r.i], nil
+}
+
+// Float returns the value of the named float column in this row.
+func (r Row) Float(col string) (float64, error) {
+	c, err := r.t.Col(col)
+	if err != nil {
+		return 0, err
+	}
+	if c.Kind != Float {
+		return 0, fmt.Errorf("%w: %q is %v", ErrKindMismatch, col, c.Kind)
+	}
+	return c.Floats[r.i], nil
+}
+
+// Sort returns a copy of the table sorted by the named columns in order.
+// String columns sort lexicographically, float columns numerically.
+func (t *Table) Sort(by ...string) (*Table, error) {
+	for _, name := range by {
+		if _, ok := t.index[name]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoColumn, name)
+		}
+	}
+	idx := make([]int, t.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, name := range by {
+			c := &t.cols[t.index[name]]
+			if c.Kind == String {
+				if c.Strings[idx[a]] != c.Strings[idx[b]] {
+					return c.Strings[idx[a]] < c.Strings[idx[b]]
+				}
+			} else {
+				if c.Floats[idx[a]] != c.Floats[idx[b]] {
+					return c.Floats[idx[a]] < c.Floats[idx[b]]
+				}
+			}
+		}
+		return false
+	})
+	return t.take(idx), nil
+}
+
+// Agg names an aggregation function over float columns.
+type Agg int
+
+// Aggregations supported by GroupBy.
+const (
+	AggMean Agg = iota + 1
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+	AggStdDev
+)
+
+// String returns the aggregation name used as a column suffix.
+func (a Agg) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggStdDev:
+		return "std"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+func (a Agg) apply(xs []float64) float64 {
+	switch a {
+	case AggMean:
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	case AggSum:
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	case AggMin:
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	case AggMax:
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	case AggCount:
+		return float64(len(xs))
+	case AggStdDev:
+		if len(xs) < 2 {
+			return 0
+		}
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		m := s / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			d := x - m
+			ss += d * d
+		}
+		return sqrt(ss / float64(len(xs)-1))
+	default:
+		return 0
+	}
+}
+
+func sqrt(x float64) float64 {
+	// Newton's method; avoids importing math for one call and is exact
+	// enough for aggregate display purposes.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 64; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// GroupBy groups rows by the given string key columns and aggregates the
+// float column value with each of the given aggregations. The result has the
+// key columns plus one column per aggregation named "value_<agg>"
+// (or just the value name for a single AggMean, matching common usage).
+func (t *Table) GroupBy(keys []string, value string, aggs ...Agg) (*Table, error) {
+	if len(aggs) == 0 {
+		aggs = []Agg{AggMean}
+	}
+	for _, k := range keys {
+		c, err := t.Col(k)
+		if err != nil {
+			return nil, err
+		}
+		if c.Kind != String {
+			return nil, fmt.Errorf("%w: group key %q must be string", ErrKindMismatch, k)
+		}
+	}
+	vc, err := t.Col(value)
+	if err != nil {
+		return nil, err
+	}
+	if vc.Kind != Float {
+		return nil, fmt.Errorf("%w: value column %q must be float", ErrKindMismatch, value)
+	}
+
+	type group struct {
+		key    []string
+		values []float64
+	}
+	order := make([]string, 0)
+	groups := make(map[string]*group)
+	for i := 0; i < t.NumRows(); i++ {
+		parts := make([]string, len(keys))
+		for j, k := range keys {
+			parts[j] = t.cols[t.index[k]].Strings[i]
+		}
+		ck := strings.Join(parts, "\x00")
+		g, ok := groups[ck]
+		if !ok {
+			g = &group{key: parts}
+			groups[ck] = g
+			order = append(order, ck)
+		}
+		g.values = append(g.values, vc.Floats[i])
+	}
+
+	names := make([]string, 0, len(keys)+len(aggs))
+	kinds := make([]Kind, 0, len(keys)+len(aggs))
+	names = append(names, keys...)
+	for range keys {
+		kinds = append(kinds, String)
+	}
+	for _, a := range aggs {
+		if len(aggs) == 1 && a == AggMean {
+			names = append(names, value)
+		} else {
+			names = append(names, value+"_"+a.String())
+		}
+		kinds = append(kinds, Float)
+	}
+	b, err := NewBuilder(names, kinds)
+	if err != nil {
+		return nil, err
+	}
+	for _, ck := range order {
+		g := groups[ck]
+		row := make([]any, 0, len(names))
+		for _, k := range g.key {
+			row = append(row, k)
+		}
+		for _, a := range aggs {
+			row = append(row, a.apply(g.values))
+		}
+		if err := b.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Table()
+}
+
+// Pivot reshapes the table: one row per distinct value of indexCol, one
+// float column per distinct value of pivotCol, cells taken from valueCol.
+// Missing combinations are filled with fill. Duplicate combinations keep the
+// last value. Row and column orders follow first appearance.
+func (t *Table) Pivot(indexCol, pivotCol, valueCol string, fill float64) (*Table, error) {
+	ic, err := t.Col(indexCol)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := t.Col(pivotCol)
+	if err != nil {
+		return nil, err
+	}
+	vc, err := t.Col(valueCol)
+	if err != nil {
+		return nil, err
+	}
+	if ic.Kind != String || pc.Kind != String {
+		return nil, fmt.Errorf("%w: pivot index and column must be strings", ErrKindMismatch)
+	}
+	if vc.Kind != Float {
+		return nil, fmt.Errorf("%w: pivot value must be float", ErrKindMismatch)
+	}
+
+	var rowOrder, colOrder []string
+	rowSeen := map[string]bool{}
+	colSeen := map[string]bool{}
+	cells := map[[2]string]float64{}
+	for i := 0; i < t.NumRows(); i++ {
+		r, c := ic.Strings[i], pc.Strings[i]
+		if !rowSeen[r] {
+			rowSeen[r] = true
+			rowOrder = append(rowOrder, r)
+		}
+		if !colSeen[c] {
+			colSeen[c] = true
+			colOrder = append(colOrder, c)
+		}
+		cells[[2]string{r, c}] = vc.Floats[i]
+	}
+
+	names := append([]string{indexCol}, colOrder...)
+	kinds := make([]Kind, len(names))
+	kinds[0] = String
+	for i := 1; i < len(kinds); i++ {
+		kinds[i] = Float
+	}
+	b, err := NewBuilder(names, kinds)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rowOrder {
+		row := make([]any, 0, len(names))
+		row = append(row, r)
+		for _, c := range colOrder {
+			if v, ok := cells[[2]string{r, c}]; ok {
+				row = append(row, v)
+			} else {
+				row = append(row, fill)
+			}
+		}
+		if err := b.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Table()
+}
+
+// NormalizeBy divides valueCol in every row by the value found in the row of
+// the same group (groupCol) whose baselineCol equals baseline. This is the
+// "normalized runtime w.r.t. native GCC" transformation of Figure 6. Rows
+// whose group has no baseline row produce an error.
+func (t *Table) NormalizeBy(groupCol, baselineCol, baseline, valueCol string) (*Table, error) {
+	gc, err := t.Col(groupCol)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := t.Col(baselineCol)
+	if err != nil {
+		return nil, err
+	}
+	vc, err := t.Col(valueCol)
+	if err != nil {
+		return nil, err
+	}
+	if gc.Kind != String || bc.Kind != String {
+		return nil, fmt.Errorf("%w: normalize group/baseline columns must be strings", ErrKindMismatch)
+	}
+	if vc.Kind != Float {
+		return nil, fmt.Errorf("%w: normalize value column must be float", ErrKindMismatch)
+	}
+	base := make(map[string]float64)
+	for i := 0; i < t.NumRows(); i++ {
+		if bc.Strings[i] == baseline {
+			base[gc.Strings[i]] = vc.Floats[i]
+		}
+	}
+	cols := make([]Column, len(t.cols))
+	for i := range t.cols {
+		cols[i] = t.cols[i].clone()
+	}
+	out, err := New(cols...)
+	if err != nil {
+		return nil, err
+	}
+	nvc := &out.cols[out.index[valueCol]]
+	for i := 0; i < out.NumRows(); i++ {
+		b, ok := base[gc.Strings[i]]
+		if !ok {
+			return nil, fmt.Errorf("table: group %q has no baseline %q=%q row", gc.Strings[i], baselineCol, baseline)
+		}
+		if b == 0 {
+			return nil, fmt.Errorf("table: group %q baseline value is zero", gc.Strings[i])
+		}
+		nvc.Floats[i] = nvc.Floats[i] / b
+	}
+	return out, nil
+}
+
+// AppendTable concatenates other below t. Schemas must match exactly.
+func (t *Table) AppendTable(other *Table) (*Table, error) {
+	if len(t.cols) != len(other.cols) {
+		return nil, fmt.Errorf("table: schema mismatch: %d vs %d columns", len(t.cols), len(other.cols))
+	}
+	cols := make([]Column, len(t.cols))
+	for i := range t.cols {
+		oc := other.cols[i]
+		if oc.Name != t.cols[i].Name || oc.Kind != t.cols[i].Kind {
+			return nil, fmt.Errorf("table: schema mismatch at column %d: %q/%v vs %q/%v",
+				i, t.cols[i].Name, t.cols[i].Kind, oc.Name, oc.Kind)
+		}
+		cols[i] = t.cols[i].clone()
+		if cols[i].Kind == String {
+			cols[i].Strings = append(cols[i].Strings, oc.Strings...)
+		} else {
+			cols[i].Floats = append(cols[i].Floats, oc.Floats...)
+		}
+	}
+	return New(cols...)
+}
+
+// WriteCSV writes the table in CSV form with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Names()); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		rec := make([]string, len(t.cols))
+		for j := range t.cols {
+			rec[j] = t.cols[j].cell(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVString renders the table as a CSV string.
+func (t *Table) CSVString() string {
+	var sb strings.Builder
+	_ = t.WriteCSV(&sb)
+	return sb.String()
+}
+
+// ReadCSV parses a CSV document with a header row. Column kinds are given
+// explicitly; kinds must cover every header column by name (columns missing
+// from kinds default to String).
+func ReadCSV(r io.Reader, kinds map[string]Kind) (*Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, errors.New("table: empty csv")
+	}
+	header := records[0]
+	cols := make([]Column, len(header))
+	for i, name := range header {
+		k, ok := kinds[name]
+		if !ok {
+			k = String
+		}
+		cols[i] = Column{Name: name, Kind: k}
+	}
+	for rowIdx, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("table: csv row %d has %d fields, want %d", rowIdx+1, len(rec), len(header))
+		}
+		for i, cell := range rec {
+			if cols[i].Kind == String {
+				cols[i].Strings = append(cols[i].Strings, cell)
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("table: csv row %d column %q: %w", rowIdx+1, header[i], err)
+			}
+			cols[i].Floats = append(cols[i].Floats, v)
+		}
+	}
+	return New(cols...)
+}
+
+// String renders the table as an aligned text grid (for logs and examples).
+func (t *Table) String() string {
+	widths := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		widths[i] = len(c.Name)
+		for r := 0; r < c.Len(); r++ {
+			if l := len(c.cell(r)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range t.cols {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c.Name)
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < t.NumRows(); r++ {
+		for i, c := range t.cols {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c.cell(r))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,426 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, names []string, kinds []Kind, rows ...[]any) *Table {
+	t.Helper()
+	b, err := NewBuilder(names, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := b.Append(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func sample(t *testing.T) *Table {
+	return mustTable(t,
+		[]string{"bench", "type", "cycles"},
+		[]Kind{String, String, Float},
+		[]any{"fft", "gcc", 100.0},
+		[]any{"fft", "clang", 200.0},
+		[]any{"lu", "gcc", 50.0},
+		[]any{"lu", "clang", 55.0},
+	)
+}
+
+func TestBuilderSchemaValidation(t *testing.T) {
+	if _, err := NewBuilder([]string{"a"}, []Kind{String, Float}); err == nil {
+		t.Error("expected error for mismatched schema lengths")
+	}
+	if _, err := NewBuilder([]string{"a", "a"}, []Kind{String, String}); err == nil {
+		t.Error("expected error for duplicate columns")
+	}
+}
+
+func TestBuilderKindMismatch(t *testing.T) {
+	b, _ := NewBuilder([]string{"n"}, []Kind{Float})
+	if err := b.Append("not a float"); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("got %v", err)
+	}
+	if err := b.Append(); err == nil {
+		t.Error("expected error for wrong arity")
+	}
+}
+
+func TestBuilderAcceptsInts(t *testing.T) {
+	b, _ := NewBuilder([]string{"n"}, []Kind{Float})
+	if err := b.Append(42); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := b.Table()
+	v, _ := tbl.Floats("n")
+	if v[0] != 42 {
+		t.Errorf("got %v", v[0])
+	}
+}
+
+func TestNumRowsCols(t *testing.T) {
+	tbl := sample(t)
+	if tbl.NumRows() != 4 || tbl.NumCols() != 3 {
+		t.Errorf("rows=%d cols=%d", tbl.NumRows(), tbl.NumCols())
+	}
+}
+
+func TestColAccessors(t *testing.T) {
+	tbl := sample(t)
+	if _, err := tbl.Col("missing"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := tbl.Strings("cycles"); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := tbl.Floats("bench"); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("got %v", err)
+	}
+	s, err := tbl.Strings("bench")
+	if err != nil || len(s) != 4 {
+		t.Errorf("Strings: %v %v", s, err)
+	}
+}
+
+func TestReturnedSlicesAreCopies(t *testing.T) {
+	tbl := sample(t)
+	s, _ := tbl.Strings("bench")
+	s[0] = "mutated"
+	again, _ := tbl.Strings("bench")
+	if again[0] != "fft" {
+		t.Error("accessor returned aliased storage")
+	}
+}
+
+func TestCell(t *testing.T) {
+	tbl := sample(t)
+	got, err := tbl.Cell(1, "cycles")
+	if err != nil || got != "200" {
+		t.Errorf("cell = %q, %v", got, err)
+	}
+	if _, err := tbl.Cell(99, "cycles"); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tbl := sample(t)
+	out := tbl.Filter(func(r Row) bool {
+		v, _ := r.Float("cycles")
+		return v > 60
+	})
+	if out.NumRows() != 2 {
+		t.Errorf("filtered rows = %d", out.NumRows())
+	}
+}
+
+func TestFilterEq(t *testing.T) {
+	tbl := sample(t)
+	out, err := tbl.FilterEq("type", "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Errorf("rows = %d", out.NumRows())
+	}
+	if _, err := tbl.FilterEq("cycles", "x"); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSortMultiKey(t *testing.T) {
+	tbl := sample(t)
+	sorted, err := tbl.Sort("bench", "cycles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := sorted.Cell(0, "type")
+	if first != "clang" { // fft/clang=200 vs fft/gcc=100 → gcc first by cycles
+		// fft rows sort by cycles ascending: gcc(100) then clang(200)
+		firstCycles, _ := sorted.Cell(0, "cycles")
+		if firstCycles != "100" {
+			t.Errorf("first row cycles = %v", firstCycles)
+		}
+	}
+	benches, _ := sorted.Strings("bench")
+	if benches[0] != "fft" || benches[2] != "lu" {
+		t.Errorf("sorted benches %v", benches)
+	}
+	if _, err := tbl.Sort("missing"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSortDoesNotMutate(t *testing.T) {
+	tbl := sample(t)
+	_, _ = tbl.Sort("cycles")
+	first, _ := tbl.Cell(0, "bench")
+	if first != "fft" {
+		t.Error("Sort mutated the receiver")
+	}
+}
+
+func TestGroupByMean(t *testing.T) {
+	tbl := sample(t)
+	g, err := tbl.GroupBy([]string{"bench"}, "cycles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 2 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	v, _ := g.Floats("cycles")
+	if v[0] != 150 || v[1] != 52.5 {
+		t.Errorf("means = %v", v)
+	}
+}
+
+func TestGroupByMultipleAggs(t *testing.T) {
+	tbl := sample(t)
+	g, err := tbl.GroupBy([]string{"bench"}, "cycles", AggMin, AggMax, AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins, _ := g.Floats("cycles_min")
+	maxs, _ := g.Floats("cycles_max")
+	counts, _ := g.Floats("cycles_count")
+	if mins[0] != 100 || maxs[0] != 200 || counts[0] != 2 {
+		t.Errorf("min=%v max=%v count=%v", mins[0], maxs[0], counts[0])
+	}
+}
+
+func TestGroupByStdDev(t *testing.T) {
+	tbl := mustTable(t, []string{"k", "v"}, []Kind{String, Float},
+		[]any{"a", 2.0}, []any{"a", 4.0}, []any{"a", 6.0})
+	g, err := tbl.GroupBy([]string{"k"}, "v", AggStdDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := g.Floats("v_std")
+	if sd[0] < 1.99 || sd[0] > 2.01 {
+		t.Errorf("std = %v, want 2", sd[0])
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	tbl := sample(t)
+	if _, err := tbl.GroupBy([]string{"cycles"}, "cycles"); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := tbl.GroupBy([]string{"bench"}, "type"); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestPivot(t *testing.T) {
+	tbl := sample(t)
+	p, err := tbl.Pivot("bench", "type", "cycles", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRows() != 2 || p.NumCols() != 3 {
+		t.Fatalf("pivot %dx%d", p.NumRows(), p.NumCols())
+	}
+	gcc, _ := p.Floats("gcc")
+	clang, _ := p.Floats("clang")
+	if gcc[0] != 100 || clang[0] != 200 {
+		t.Errorf("fft row: gcc=%v clang=%v", gcc[0], clang[0])
+	}
+}
+
+func TestPivotFill(t *testing.T) {
+	tbl := mustTable(t, []string{"r", "c", "v"}, []Kind{String, String, Float},
+		[]any{"r1", "c1", 1.0}, []any{"r2", "c2", 2.0})
+	p, err := tbl.Pivot("r", "c", "v", -99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := p.Floats("c2")
+	if c2[0] != -99 {
+		t.Errorf("missing cell = %v, want fill", c2[0])
+	}
+}
+
+func TestNormalizeBy(t *testing.T) {
+	tbl := sample(t)
+	n, err := tbl.NormalizeBy("bench", "type", "gcc", "cycles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := n.Floats("cycles")
+	// fft: 100/100=1, 200/100=2; lu: 50/50=1, 55/50=1.1
+	want := []float64{1, 2, 1, 1.1}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("v[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeByMissingBaseline(t *testing.T) {
+	tbl := mustTable(t, []string{"bench", "type", "v"}, []Kind{String, String, Float},
+		[]any{"x", "clang", 1.0})
+	if _, err := tbl.NormalizeBy("bench", "type", "gcc", "v"); err == nil {
+		t.Error("expected error for missing baseline")
+	}
+}
+
+func TestNormalizeByZeroBaseline(t *testing.T) {
+	tbl := mustTable(t, []string{"bench", "type", "v"}, []Kind{String, String, Float},
+		[]any{"x", "gcc", 0.0}, []any{"x", "clang", 1.0})
+	if _, err := tbl.NormalizeBy("bench", "type", "gcc", "v"); err == nil {
+		t.Error("expected error for zero baseline")
+	}
+}
+
+func TestAppendTable(t *testing.T) {
+	a := sample(t)
+	b := sample(t)
+	combined, err := a.AppendTable(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.NumRows() != 8 {
+		t.Errorf("rows = %d", combined.NumRows())
+	}
+}
+
+func TestAppendTableSchemaMismatch(t *testing.T) {
+	a := sample(t)
+	b := mustTable(t, []string{"x"}, []Kind{Float}, []any{1.0})
+	if _, err := a.AppendTable(b); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	tbl := sample(t)
+	csv := tbl.CSVString()
+	parsed, err := ReadCSV(strings.NewReader(csv), map[string]Kind{
+		"bench": String, "type": String, "cycles": Float,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.CSVString() != csv {
+		t.Errorf("roundtrip mismatch:\n%s\nvs\n%s", parsed.CSVString(), csv)
+	}
+}
+
+func TestReadCSVDefaultsToString(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader("a,b\nx,1\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tbl.Col("b")
+	if err != nil || c.Kind != String {
+		t.Errorf("kind = %v, %v", c.Kind, err)
+	}
+}
+
+func TestReadCSVBadFloat(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("a\nnotanumber\n"), map[string]Kind{"a": Float})
+	if err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Error("expected error for empty csv")
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New(Column{Name: "a", Kind: Float}, Column{Name: "a", Kind: Float}); err == nil {
+		t.Error("expected duplicate column error")
+	}
+}
+
+func TestNewRejectsLengthMismatch(t *testing.T) {
+	_, err := New(
+		Column{Name: "a", Kind: Float, Floats: []float64{1}},
+		Column{Name: "b", Kind: Float, Floats: []float64{1, 2}},
+	)
+	if !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	out := sample(t).String()
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "fft") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestQuickCSVRoundtrip(t *testing.T) {
+	prop := func(vals []float64, tags []bool) bool {
+		n := len(vals)
+		if n == 0 || n > 50 {
+			return true
+		}
+		b, _ := NewBuilder([]string{"tag", "val"}, []Kind{String, Float})
+		for i, v := range vals {
+			if v != v || v > 1e300 || v < -1e300 { // NaN/overflow: CSV float formatting edge
+				return true
+			}
+			tag := "a"
+			if i < len(tags) && tags[i] {
+				tag = "b"
+			}
+			if err := b.Append(tag, v); err != nil {
+				return false
+			}
+		}
+		tbl, err := b.Table()
+		if err != nil {
+			return false
+		}
+		parsed, err := ReadCSV(strings.NewReader(tbl.CSVString()),
+			map[string]Kind{"tag": String, "val": Float})
+		if err != nil {
+			return false
+		}
+		return parsed.CSVString() == tbl.CSVString()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGroupByCountsRows(t *testing.T) {
+	prop := func(keys []uint8) bool {
+		if len(keys) == 0 || len(keys) > 200 {
+			return true
+		}
+		b, _ := NewBuilder([]string{"k", "v"}, []Kind{String, Float})
+		for i, k := range keys {
+			_ = b.Append(fmt.Sprintf("k%d", k%5), float64(i))
+		}
+		tbl, _ := b.Table()
+		g, err := tbl.GroupBy([]string{"k"}, "v", AggCount)
+		if err != nil {
+			return false
+		}
+		counts, _ := g.Floats("v_count")
+		total := 0.0
+		for _, c := range counts {
+			total += c
+		}
+		return int(total) == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

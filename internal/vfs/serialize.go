@@ -1,0 +1,73 @@
+package vfs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"io/fs"
+	"time"
+)
+
+// snapshotEntry is one serialized filesystem entry.
+type snapshotEntry struct {
+	Path    string
+	IsDir   bool
+	Mode    fs.FileMode
+	ModTime time.Time
+	Data    []byte
+}
+
+// Save serializes the whole filesystem to w. The format is stable within
+// a repository version; it exists so CLI invocations can persist the
+// experiment container between runs (fex.py keeps its state in a checked
+// out working tree; we keep it in a state file).
+func (f *FS) Save(w io.Writer) error {
+	var entries []snapshotEntry
+	err := f.Walk("/", func(st Stat) error {
+		e := snapshotEntry{
+			Path:    st.Path,
+			IsDir:   st.IsDir,
+			Mode:    st.Mode,
+			ModTime: st.ModTime,
+		}
+		if !st.IsDir {
+			data, err := f.ReadFile(st.Path)
+			if err != nil {
+				return err
+			}
+			e.Data = data
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("vfs save: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(entries); err != nil {
+		return fmt.Errorf("vfs save: encode: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the filesystem contents with a snapshot produced by Save.
+func (f *FS) Load(r io.Reader) error {
+	var entries []snapshotEntry
+	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("vfs load: decode: %w", err)
+	}
+	if err := f.RemoveAll("/"); err != nil {
+		return fmt.Errorf("vfs load: clear: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir {
+			if err := f.MkdirAll(e.Path); err != nil {
+				return fmt.Errorf("vfs load: %w", err)
+			}
+			continue
+		}
+		if err := f.WriteFile(e.Path, e.Data, e.Mode); err != nil {
+			return fmt.Errorf("vfs load: %w", err)
+		}
+	}
+	return nil
+}

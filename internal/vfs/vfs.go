@@ -1,0 +1,502 @@
+// Package vfs provides a small, concurrency-safe, in-memory filesystem.
+//
+// It is the storage substrate for the container and build subsystems: a
+// container's root filesystem is a vfs.FS assembled from image layers, and
+// the build system materializes build directories (build/<suite>/<bench>/<type>)
+// inside it. Keeping the filesystem in memory makes experiments hermetic and
+// reproducible: two runs of the same experiment produce byte-identical trees,
+// which the container subsystem verifies by digesting them.
+//
+// Paths are slash-separated and rooted ("/a/b/c"). Relative paths are
+// interpreted against "/".
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Common error values, matchable with errors.Is.
+var (
+	// ErrNotExist reports that a path does not exist.
+	ErrNotExist = errors.New("file does not exist")
+	// ErrExist reports that a path already exists.
+	ErrExist = errors.New("file already exists")
+	// ErrIsDir reports that a file operation was attempted on a directory.
+	ErrIsDir = errors.New("is a directory")
+	// ErrNotDir reports that a directory operation was attempted on a file.
+	ErrNotDir = errors.New("not a directory")
+	// ErrNotEmpty reports that a directory is not empty.
+	ErrNotEmpty = errors.New("directory not empty")
+)
+
+// PathError records an error and the path that caused it.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *PathError) Error() string {
+	return fmt.Sprintf("vfs %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap supports errors.Is / errors.As.
+func (e *PathError) Unwrap() error { return e.Err }
+
+type node struct {
+	name     string
+	isDir    bool
+	data     []byte
+	mode     fs.FileMode
+	modTime  time.Time
+	children map[string]*node
+}
+
+func (n *node) clone() *node {
+	c := &node{
+		name:    n.name,
+		isDir:   n.isDir,
+		mode:    n.mode,
+		modTime: n.modTime,
+	}
+	if n.data != nil {
+		c.data = make([]byte, len(n.data))
+		copy(c.data, n.data)
+	}
+	if n.children != nil {
+		c.children = make(map[string]*node, len(n.children))
+		for k, v := range n.children {
+			c.children[k] = v.clone()
+		}
+	}
+	return c
+}
+
+// FS is an in-memory filesystem. The zero value is not usable; call New.
+type FS struct {
+	mu   sync.RWMutex
+	root *node
+	now  func() time.Time
+}
+
+// New returns an empty filesystem containing only the root directory.
+func New() *FS {
+	return &FS{
+		root: &node{
+			name:     "/",
+			isDir:    true,
+			mode:     fs.ModeDir | 0o755,
+			children: make(map[string]*node),
+		},
+		// A fixed clock keeps trees byte-identical across runs; callers that
+		// care about real timestamps can override via SetClock.
+		now: func() time.Time { return time.Unix(0, 0).UTC() },
+	}
+}
+
+// SetClock overrides the timestamp source used for new files.
+func (f *FS) SetClock(now func() time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = now
+}
+
+// Clone returns a deep copy of the filesystem. The clone and the original
+// share no state.
+func (f *FS) Clone() *FS {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return &FS{root: f.root.clone(), now: f.now}
+}
+
+func splitPath(p string) ([]string, error) {
+	p = path.Clean("/" + strings.TrimSpace(p))
+	if p == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	for _, part := range parts {
+		if part == "" {
+			return nil, fmt.Errorf("invalid path element in %q", p)
+		}
+	}
+	return parts, nil
+}
+
+// walk returns the node at path p, or an error.
+func (f *FS) walk(p string) (*node, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	cur := f.root
+	for _, part := range parts {
+		if !cur.isDir {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// walkParent returns the parent directory node of p and the final element.
+func (f *FS) walkParent(p string) (*node, string, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("root has no parent")
+	}
+	cur := f.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, "", ErrNotExist
+		}
+		if !next.isDir {
+			return nil, "", ErrNotDir
+		}
+		cur = next
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+// MkdirAll creates a directory named p, along with any necessary parents.
+// Existing directories are left untouched.
+func (f *FS) MkdirAll(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parts, err := splitPath(p)
+	if err != nil {
+		return &PathError{Op: "mkdir", Path: p, Err: err}
+	}
+	cur := f.root
+	for _, part := range parts {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &node{
+				name:     part,
+				isDir:    true,
+				mode:     fs.ModeDir | 0o755,
+				modTime:  f.now(),
+				children: make(map[string]*node),
+			}
+			cur.children[part] = next
+		} else if !next.isDir {
+			return &PathError{Op: "mkdir", Path: p, Err: ErrNotDir}
+		}
+		cur = next
+	}
+	return nil
+}
+
+// WriteFile writes data to the named file, creating parent directories as
+// needed and truncating any existing file.
+func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) error {
+	dir := path.Dir(path.Clean("/" + p))
+	if err := f.MkdirAll(dir); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(p)
+	if err != nil {
+		return &PathError{Op: "write", Path: p, Err: err}
+	}
+	if existing, ok := parent.children[name]; ok && existing.isDir {
+		return &PathError{Op: "write", Path: p, Err: ErrIsDir}
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	parent.children[name] = &node{
+		name:    name,
+		data:    buf,
+		mode:    mode,
+		modTime: f.now(),
+	}
+	return nil
+}
+
+// ReadFile returns the contents of the named file.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.walk(p)
+	if err != nil {
+		return nil, &PathError{Op: "read", Path: p, Err: err}
+	}
+	if n.isDir {
+		return nil, &PathError{Op: "read", Path: p, Err: ErrIsDir}
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// Stat describes a filesystem entry.
+type Stat struct {
+	Name    string
+	Path    string
+	IsDir   bool
+	Size    int64
+	Mode    fs.FileMode
+	ModTime time.Time
+}
+
+// Stat returns metadata for the named path.
+func (f *FS) Stat(p string) (Stat, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.walk(p)
+	if err != nil {
+		return Stat{}, &PathError{Op: "stat", Path: p, Err: err}
+	}
+	return Stat{
+		Name:    n.name,
+		Path:    path.Clean("/" + p),
+		IsDir:   n.isDir,
+		Size:    int64(len(n.data)),
+		Mode:    n.mode,
+		ModTime: n.modTime,
+	}, nil
+}
+
+// Exists reports whether the named path exists.
+func (f *FS) Exists(p string) bool {
+	_, err := f.Stat(p)
+	return err == nil
+}
+
+// IsDir reports whether the named path exists and is a directory.
+func (f *FS) IsDir(p string) bool {
+	st, err := f.Stat(p)
+	return err == nil && st.IsDir
+}
+
+// ReadDir lists the entries of the named directory, sorted by name.
+func (f *FS) ReadDir(p string) ([]Stat, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.walk(p)
+	if err != nil {
+		return nil, &PathError{Op: "readdir", Path: p, Err: err}
+	}
+	if !n.isDir {
+		return nil, &PathError{Op: "readdir", Path: p, Err: ErrNotDir}
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	base := path.Clean("/" + p)
+	out := make([]Stat, 0, len(names))
+	for _, name := range names {
+		c := n.children[name]
+		out = append(out, Stat{
+			Name:    c.name,
+			Path:    path.Join(base, c.name),
+			IsDir:   c.isDir,
+			Size:    int64(len(c.data)),
+			Mode:    c.mode,
+			ModTime: c.modTime,
+		})
+	}
+	return out, nil
+}
+
+// Remove removes the named file or empty directory.
+func (f *FS) Remove(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(p)
+	if err != nil {
+		return &PathError{Op: "remove", Path: p, Err: err}
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return &PathError{Op: "remove", Path: p, Err: ErrNotExist}
+	}
+	if n.isDir && len(n.children) > 0 {
+		return &PathError{Op: "remove", Path: p, Err: ErrNotEmpty}
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// RemoveAll removes the named path and any children it contains. Removing a
+// path that does not exist is not an error.
+func (f *FS) RemoveAll(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parts, err := splitPath(p)
+	if err != nil {
+		return &PathError{Op: "removeall", Path: p, Err: err}
+	}
+	if len(parts) == 0 {
+		f.root.children = make(map[string]*node)
+		return nil
+	}
+	parent, name, err := f.walkParent(p)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return &PathError{Op: "removeall", Path: p, Err: err}
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// WalkFunc is called for every entry visited by Walk, in depth-first
+// lexicographic order. Returning an error stops the walk.
+type WalkFunc func(st Stat) error
+
+// Walk visits every entry below root (excluding root itself).
+func (f *FS) Walk(root string, fn WalkFunc) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.walk(root)
+	if err != nil {
+		return &PathError{Op: "walk", Path: root, Err: err}
+	}
+	return walkNode(path.Clean("/"+root), n, fn)
+}
+
+func walkNode(base string, n *node, fn WalkFunc) error {
+	if !n.isDir {
+		return nil
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := n.children[name]
+		p := path.Join(base, name)
+		st := Stat{
+			Name:    c.name,
+			Path:    p,
+			IsDir:   c.isDir,
+			Size:    int64(len(c.data)),
+			Mode:    c.mode,
+			ModTime: c.modTime,
+		}
+		if err := fn(st); err != nil {
+			return err
+		}
+		if c.isDir {
+			if err := walkNode(p, c, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Glob returns paths below root whose base name matches the pattern
+// (path.Match syntax).
+func (f *FS) Glob(root, pattern string) ([]string, error) {
+	var out []string
+	err := f.Walk(root, func(st Stat) error {
+		ok, err := path.Match(pattern, st.Name)
+		if err != nil {
+			return err
+		}
+		if ok {
+			out = append(out, st.Path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TotalSize returns the sum of file sizes below root.
+func (f *FS) TotalSize(root string) (int64, error) {
+	var total int64
+	err := f.Walk(root, func(st Stat) error {
+		total += st.Size
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// CopyTree copies the tree rooted at src into dst (dst is created).
+func (f *FS) CopyTree(src, dst string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	srcNode, err := f.walk(src)
+	if err != nil {
+		return &PathError{Op: "copytree", Path: src, Err: err}
+	}
+	cloned := srcNode.clone()
+	parts, err := splitPath(dst)
+	if err != nil || len(parts) == 0 {
+		return &PathError{Op: "copytree", Path: dst, Err: errors.Join(err, errors.New("bad destination"))}
+	}
+	cur := f.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &node{
+				name:     part,
+				isDir:    true,
+				mode:     fs.ModeDir | 0o755,
+				modTime:  f.now(),
+				children: make(map[string]*node),
+			}
+			cur.children[part] = next
+		}
+		if !next.isDir {
+			return &PathError{Op: "copytree", Path: dst, Err: ErrNotDir}
+		}
+		cur = next
+	}
+	cloned.name = parts[len(parts)-1]
+	cur.children[cloned.name] = cloned
+	return nil
+}
+
+// Digest returns a deterministic SHA-256 digest of the tree rooted at root:
+// the digest covers relative paths, file kinds, and file contents, so two
+// trees with identical structure and bytes produce identical digests.
+func (f *FS) Digest(root string) (string, error) {
+	h := sha256.New()
+	err := f.Walk(root, func(st Stat) error {
+		fmt.Fprintf(h, "%s|%t|%d\n", st.Path, st.IsDir, st.Size)
+		if !st.IsDir {
+			n, err := f.walk(st.Path)
+			if err != nil {
+				return err
+			}
+			h.Write(n.data)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,368 @@
+// Package micro implements FEX's microbenchmark suite — small kernels
+// "e.g., reading from an array — that can be useful for debugging
+// purposes" (§III-C). Each micro isolates one hardware behaviour:
+// sequential reads, sequential writes, dependent random access (pointer
+// chasing), data-dependent branches, allocation churn, and atomic
+// contention.
+package micro
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"fex/internal/workload"
+)
+
+// SuiteName is the suite identifier used in experiment configs and logs.
+const SuiteName = "micro"
+
+// Workloads returns all microbenchmarks.
+func Workloads() []workload.Workload {
+	return []workload.Workload{
+		ArrayRead{},
+		ArrayWrite{},
+		PointerChase{},
+		BranchHeavy{},
+		AllocChurn{},
+		AtomicContention{},
+	}
+}
+
+// Register adds all microbenchmarks to a registry.
+func Register(r *workload.Registry) error {
+	return r.RegisterAll(Workloads()...)
+}
+
+type microBase struct{}
+
+func (microBase) Suite() string { return SuiteName }
+
+func defaultSizes(class workload.SizeClass, test, small, native int, seed uint64) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: test, Seed: seed}
+	case workload.SizeSmall:
+		return workload.Input{N: small, Seed: seed}
+	default:
+		return workload.Input{N: native, Seed: seed}
+	}
+}
+
+// ArrayRead sums a large array sequentially (peak read bandwidth).
+type ArrayRead struct{ microBase }
+
+var _ workload.Workload = ArrayRead{}
+
+// Name implements workload.Workload.
+func (ArrayRead) Name() string { return "array_read" }
+
+// Description implements workload.Workload.
+func (ArrayRead) Description() string { return "sequential array read bandwidth" }
+
+// DefaultInput implements workload.Workload.
+func (ArrayRead) DefaultInput(class workload.SizeClass) workload.Input {
+	return defaultSizes(class, 1<<12, 1<<18, 1<<23, 41)
+}
+
+// Run implements workload.Workload.
+func (ArrayRead) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 64 {
+		return workload.Counters{}, fmt.Errorf("%w: array_read size %d", workload.ErrBadInput, n)
+	}
+	data := make([]uint64, n)
+	rng := workload.NewPRNG(in.Seed)
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	partial := make([]uint64, 64)
+	chunk := (n + 63) / 64
+	total := workload.ParallelFor(64, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*chunk, (b+1)*chunk
+			if e > n {
+				e = n
+			}
+			var sum uint64
+			for i := s; i < e; i++ {
+				sum += data[i]
+			}
+			partial[b] = sum
+			span := uint64(e - s)
+			ctr.IntOps += span
+			ctr.MemReads += span
+		}
+	})
+	total.AllocBytes += uint64(8 * n)
+	total.AllocCount++
+	var sum uint64
+	for _, p := range partial {
+		sum += p
+	}
+	total.Checksum = workload.Mix(0, sum)
+	return total, nil
+}
+
+// ArrayWrite fills an array sequentially (peak write bandwidth).
+type ArrayWrite struct{ microBase }
+
+var _ workload.Workload = ArrayWrite{}
+
+// Name implements workload.Workload.
+func (ArrayWrite) Name() string { return "array_write" }
+
+// Description implements workload.Workload.
+func (ArrayWrite) Description() string { return "sequential array write bandwidth" }
+
+// DefaultInput implements workload.Workload.
+func (ArrayWrite) DefaultInput(class workload.SizeClass) workload.Input {
+	return defaultSizes(class, 1<<12, 1<<18, 1<<23, 42)
+}
+
+// Run implements workload.Workload.
+func (ArrayWrite) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 64 {
+		return workload.Counters{}, fmt.Errorf("%w: array_write size %d", workload.ErrBadInput, n)
+	}
+	data := make([]uint64, n)
+	total := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = uint64(i) * 0x9E3779B97F4A7C15
+		}
+		span := uint64(hi - lo)
+		ctr.IntOps += span
+		ctr.MemWrites += span
+	})
+	total.AllocBytes += uint64(8 * n)
+	total.AllocCount++
+	total.Checksum = workload.Mix(0, data[n/2]^data[n-1])
+	return total, nil
+}
+
+// PointerChase follows a random permutation cycle — every load depends on
+// the previous one, defeating prefetchers (peak memory latency).
+type PointerChase struct{ microBase }
+
+var _ workload.Workload = PointerChase{}
+
+// Name implements workload.Workload.
+func (PointerChase) Name() string { return "pointer_chase" }
+
+// Description implements workload.Workload.
+func (PointerChase) Description() string { return "dependent random-access latency chain" }
+
+// DefaultInput implements workload.Workload.
+func (PointerChase) DefaultInput(class workload.SizeClass) workload.Input {
+	return defaultSizes(class, 1<<10, 1<<15, 1<<20, 43)
+}
+
+// Run implements workload.Workload.
+func (PointerChase) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 64 {
+		return workload.Counters{}, fmt.Errorf("%w: pointer_chase size %d", workload.ErrBadInput, n)
+	}
+	// Sattolo's algorithm: a single cycle covering every element.
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = int32(i)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	// A fixed number of independent chains (not tied to the thread count,
+	// so checksums and work are identical for every -m value).
+	const chains = 16
+	hops := n
+	total := workload.ParallelFor(chains, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			cur := int32((t * (n / chains)) % n)
+			for h := 0; h < hops; h++ {
+				cur = next[cur]
+			}
+			ctr.StridedReads += uint64(hops)
+			ctr.MemReads += uint64(hops)
+			ctr.IntOps += uint64(hops)
+			ctr.Checksum = workload.Mix(ctr.Checksum, uint64(cur)|uint64(t)<<32)
+		}
+	})
+	total.AllocBytes += uint64(4 * n)
+	total.AllocCount++
+	return total, nil
+}
+
+// BranchHeavy executes data-dependent unpredictable branches.
+type BranchHeavy struct{ microBase }
+
+var _ workload.Workload = BranchHeavy{}
+
+// Name implements workload.Workload.
+func (BranchHeavy) Name() string { return "branch_heavy" }
+
+// Description implements workload.Workload.
+func (BranchHeavy) Description() string { return "data-dependent branch mispredictions" }
+
+// DefaultInput implements workload.Workload.
+func (BranchHeavy) DefaultInput(class workload.SizeClass) workload.Input {
+	return defaultSizes(class, 1<<12, 1<<17, 1<<22, 44)
+}
+
+// Run implements workload.Workload.
+func (BranchHeavy) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 64 {
+		return workload.Counters{}, fmt.Errorf("%w: branch_heavy size %d", workload.ErrBadInput, n)
+	}
+	data := make([]uint64, n)
+	rng := workload.NewPRNG(in.Seed)
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	partial := make([]uint64, 64)
+	chunk := (n + 63) / 64
+	total := workload.ParallelFor(64, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*chunk, (b+1)*chunk
+			if e > n {
+				e = n
+			}
+			var acc uint64
+			for i := s; i < e; i++ {
+				v := data[i]
+				switch {
+				case v&3 == 0:
+					acc += v >> 3
+				case v&3 == 1:
+					acc ^= v << 1
+				case v&3 == 2:
+					acc -= v >> 7
+				default:
+					acc = acc*31 + v
+				}
+			}
+			partial[b] = acc
+			span := uint64(e - s)
+			ctr.Branches += 3 * span
+			ctr.IntOps += 2 * span
+			ctr.MemReads += span
+		}
+	})
+	total.AllocBytes += uint64(8 * n)
+	total.AllocCount++
+	var sum uint64
+	for _, p := range partial {
+		sum ^= p
+	}
+	total.Checksum = workload.Mix(0, sum)
+	return total, nil
+}
+
+// AllocChurn allocates and releases many short-lived objects — the workload
+// most sensitive to allocator instrumentation such as AddressSanitizer
+// redzones.
+type AllocChurn struct{ microBase }
+
+var _ workload.Workload = AllocChurn{}
+
+// Name implements workload.Workload.
+func (AllocChurn) Name() string { return "alloc_churn" }
+
+// Description implements workload.Workload.
+func (AllocChurn) Description() string { return "small short-lived allocation churn" }
+
+// DefaultInput implements workload.Workload.
+func (AllocChurn) DefaultInput(class workload.SizeClass) workload.Input {
+	return defaultSizes(class, 1<<10, 1<<14, 1<<18, 45)
+}
+
+// Run implements workload.Workload.
+func (AllocChurn) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 64 {
+		return workload.Counters{}, fmt.Errorf("%w: alloc_churn size %d", workload.ErrBadInput, n)
+	}
+	total := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			size := 16 + (i%16)*8
+			buf := make([]byte, size)
+			buf[0] = byte(i)
+			buf[size-1] = byte(i >> 8)
+			// Per-element mixing keeps the merged checksum independent of
+			// how elements are sharded across workers.
+			v := uint64(buf[0]) | uint64(buf[size-1])<<8 | uint64(i)<<32
+			ctr.Checksum = workload.Mix(ctr.Checksum, v)
+			ctr.AllocBytes += uint64(size)
+			ctr.AllocCount++
+			ctr.MemWrites += 2
+			ctr.IntOps += 4
+		}
+	})
+	return total, nil
+}
+
+// AtomicContention hammers a shared atomic counter from all workers —
+// isolating cache-line ping-pong and synchronization cost. The final
+// counter value (and thus the checksum) is thread-count independent.
+type AtomicContention struct{ microBase }
+
+var _ workload.Workload = AtomicContention{}
+
+// Name implements workload.Workload.
+func (AtomicContention) Name() string { return "atomic_contention" }
+
+// Description implements workload.Workload.
+func (AtomicContention) Description() string { return "shared atomic counter contention" }
+
+// DefaultInput implements workload.Workload.
+func (AtomicContention) DefaultInput(class workload.SizeClass) workload.Input {
+	return defaultSizes(class, 1<<12, 1<<16, 1<<20, 46)
+}
+
+// Run implements workload.Workload.
+func (AtomicContention) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 64 {
+		return workload.Counters{}, fmt.Errorf("%w: atomic_contention size %d", workload.ErrBadInput, n)
+	}
+	var counter atomic.Uint64
+	total := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counter.Add(1)
+		}
+		span := uint64(hi - lo)
+		ctr.SyncOps += span
+		ctr.IntOps += span
+	})
+	if got := counter.Load(); got != uint64(n) {
+		return workload.Counters{}, fmt.Errorf("atomic_contention: counter %d != %d", got, n)
+	}
+	total.Checksum = workload.Mix(0, counter.Load())
+	return total, nil
+}

@@ -1,0 +1,123 @@
+package micro
+
+import (
+	"errors"
+	"testing"
+
+	"fex/internal/workload"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("micro suite has %d kernels, want 6", len(ws))
+	}
+	for _, w := range ws {
+		if w.Suite() != SuiteName {
+			t.Errorf("%s suite %q", w.Name(), w.Suite())
+		}
+	}
+}
+
+func TestChecksumThreadInvariance(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			in := w.DefaultInput(workload.SizeTest)
+			base, err := w.Run(in, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{2, 4} {
+				got, err := w.Run(in, threads)
+				if err != nil {
+					t.Fatalf("threads=%d: %v", threads, err)
+				}
+				if got.Checksum != base.Checksum {
+					t.Errorf("threads=%d: checksum mismatch", threads)
+				}
+			}
+		})
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	for _, w := range Workloads() {
+		if _, err := w.Run(workload.Input{N: 1}, 1); !errors.Is(err, workload.ErrBadInput) {
+			t.Errorf("%s: tiny N gave %v", w.Name(), err)
+		}
+	}
+}
+
+func TestEachMicroIsolatesItsBehaviour(t *testing.T) {
+	in := func(w workload.Workload) workload.Input {
+		return w.DefaultInput(workload.SizeTest)
+	}
+	read, err := (ArrayRead{}).Run(in(ArrayRead{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.MemReads == 0 || read.MemWrites > read.MemReads {
+		t.Errorf("array_read profile reads=%d writes=%d", read.MemReads, read.MemWrites)
+	}
+	write, err := (ArrayWrite{}).Run(in(ArrayWrite{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if write.MemWrites == 0 {
+		t.Error("array_write recorded no writes")
+	}
+	chase, err := (PointerChase{}).Run(in(PointerChase{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chase.StridedReads == 0 {
+		t.Error("pointer_chase recorded no dependent accesses")
+	}
+	branch, err := (BranchHeavy{}).Run(in(BranchHeavy{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branch.Branches == 0 {
+		t.Error("branch_heavy recorded no branches")
+	}
+	churn, err := (AllocChurn{}).Run(in(AllocChurn{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.AllocCount == 0 {
+		t.Error("alloc_churn recorded no allocations")
+	}
+	atomicW, err := (AtomicContention{}).Run(in(AtomicContention{}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomicW.SyncOps == 0 {
+		t.Error("atomic_contention recorded no sync ops")
+	}
+}
+
+func TestAllocChurnScalesWithN(t *testing.T) {
+	a, err := (AllocChurn{}).Run(workload.Input{N: 1 << 10, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (AllocChurn{}).Run(workload.Input{N: 1 << 12, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AllocCount <= a.AllocCount {
+		t.Error("alloc count did not scale")
+	}
+}
+
+func TestAtomicCounterExact(t *testing.T) {
+	// The kernel itself verifies the final counter equals N; a passing
+	// run across many thread counts is the property.
+	for _, threads := range []int{1, 2, 4, 16} {
+		if _, err := (AtomicContention{}).Run(workload.Input{N: 1 << 12}, threads); err != nil {
+			t.Errorf("threads=%d: %v", threads, err)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package parsec
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// Blackscholes prices a portfolio of European options with the
+// Black–Scholes closed-form solution — the transcendental-heavy,
+// embarrassingly parallel PARSEC kernel.
+type Blackscholes struct{}
+
+var _ workload.Workload = Blackscholes{}
+
+// Name implements workload.Workload.
+func (Blackscholes) Name() string { return "blackscholes" }
+
+// Suite implements workload.Workload.
+func (Blackscholes) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Blackscholes) Description() string {
+	return "Black-Scholes European option pricing"
+}
+
+// DefaultInput implements workload.Workload.
+func (Blackscholes) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 10, Seed: 31}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 15, Seed: 31}
+	default:
+		return workload.Input{N: 1 << 19, Seed: 31}
+	}
+}
+
+// Run implements workload.Workload.
+func (Blackscholes) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 16 {
+		return workload.Counters{}, fmt.Errorf("%w: blackscholes options %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	spot := make([]float64, n)
+	strike := make([]float64, n)
+	tte := make([]float64, n)
+	vol := make([]float64, n)
+	isPut := make([]bool, n)
+	for i := 0; i < n; i++ {
+		spot[i] = 50 + rng.Float64()*100
+		strike[i] = 50 + rng.Float64()*100
+		tte[i] = 0.1 + rng.Float64()*2
+		vol[i] = 0.1 + rng.Float64()*0.5
+		isPut[i] = rng.Uint64()&1 == 0
+	}
+	prices := make([]float64, n)
+	var total workload.Counters
+	total.AllocBytes += uint64(5 * n * 8)
+	total.AllocCount += 6
+
+	const rate = 0.03
+	c := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, k, t, v := spot[i], strike[i], tte[i], vol[i]
+			sqrtT := math.Sqrt(t)
+			d1 := (math.Log(s/k) + (rate+v*v/2)*t) / (v * sqrtT)
+			d2 := d1 - v*sqrtT
+			nd1 := cnd(d1)
+			nd2 := cnd(d2)
+			disc := math.Exp(-rate * t)
+			var p float64
+			if isPut[i] {
+				p = k*disc*(1-nd2) - s*(1-nd1)
+			} else {
+				p = s*nd1 - k*disc*nd2
+			}
+			prices[i] = p
+			ctr.TrigOps += 4 // log, exp, 2×erf
+			ctr.SqrtOps++
+			ctr.FloatOps += 22
+			ctr.MemReads += 5
+			ctr.MemWrites++
+			ctr.Branches++
+		}
+	})
+	total.Add(c)
+
+	sum := uint64(0)
+	for i := 0; i < n; i += 13 {
+		sum = workload.Mix(sum, math.Float64bits(prices[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// cnd is the cumulative normal distribution via erf.
+func cnd(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// Swaptions prices interest-rate swaptions by Monte-Carlo simulation of
+// short-rate paths (an HJM-lite). Each swaption owns an independent
+// deterministic PRNG stream, so pricing parallelizes over swaptions.
+type Swaptions struct{}
+
+var _ workload.Workload = Swaptions{}
+
+// Name implements workload.Workload.
+func (Swaptions) Name() string { return "swaptions" }
+
+// Suite implements workload.Workload.
+func (Swaptions) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Swaptions) Description() string {
+	return "Monte-Carlo swaption pricing with per-swaption RNG streams"
+}
+
+// DefaultInput implements workload.Workload.
+func (Swaptions) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 8, Seed: 32, Extra: map[string]int{"paths": 64}}
+	case workload.SizeSmall:
+		return workload.Input{N: 32, Seed: 32, Extra: map[string]int{"paths": 512}}
+	default:
+		return workload.Input{N: 64, Seed: 32, Extra: map[string]int{"paths": 4096}}
+	}
+}
+
+// Run implements workload.Workload.
+func (Swaptions) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	paths := in.Get("paths", 512)
+	if n < 1 || paths < 2 {
+		return workload.Counters{}, fmt.Errorf("%w: swaptions n=%d paths=%d", workload.ErrBadInput, n, paths)
+	}
+	base := workload.NewPRNG(in.Seed)
+	strikes := make([]float64, n)
+	for i := range strikes {
+		strikes[i] = 0.02 + base.Float64()*0.04
+	}
+	prices := make([]float64, n)
+	var total workload.Counters
+	total.AllocBytes += uint64(2 * n * 8)
+	total.AllocCount += 2
+
+	const steps = 24
+	c := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rng := base.Shard(i) // per-swaption stream: thread-independent
+			sum := 0.0
+			for p := 0; p < paths; p++ {
+				r := 0.03
+				df := 1.0
+				for s := 0; s < steps; s++ {
+					// Box–Muller normal draw.
+					u1 := rng.Float64()
+					u2 := rng.Float64()
+					z := math.Sqrt(-2*math.Log(u1+1e-12)) * math.Cos(2*math.Pi*u2)
+					r += 0.3*(0.03-r)*(1.0/12) + 0.01*z/math.Sqrt(12)
+					df *= math.Exp(-r / 12)
+					ctr.TrigOps += 3 // log, cos, exp
+					ctr.SqrtOps++
+					ctr.FloatOps += 14
+				}
+				payoff := r - strikes[i]
+				if payoff < 0 {
+					payoff = 0
+				}
+				sum += df * payoff
+				ctr.FloatOps += 3
+				ctr.Branches++
+			}
+			prices[i] = sum / float64(paths)
+			ctr.MemWrites++
+			ctr.FloatOps++
+		}
+	})
+	total.Add(c)
+
+	sum := uint64(0)
+	for i := 0; i < n; i++ {
+		sum = workload.Mix(sum, math.Float64bits(prices[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// Streamcluster clusters a stream of points against a fixed set of centers
+// opened by a deterministic rule — the memory-bandwidth-bound distance
+// kernel of the original, processed block by block like the stream.
+type Streamcluster struct{}
+
+var _ workload.Workload = Streamcluster{}
+
+// scDims is the point dimensionality.
+const scDims = 16
+
+// scBlocks is the fixed reduction block count.
+const scBlocks = 64
+
+// Name implements workload.Workload.
+func (Streamcluster) Name() string { return "streamcluster" }
+
+// Suite implements workload.Workload.
+func (Streamcluster) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Streamcluster) Description() string {
+	return "online clustering of a high-dimensional point stream"
+}
+
+// DefaultInput implements workload.Workload.
+func (Streamcluster) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 10, Seed: 33, Extra: map[string]int{"centers": 8}}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 14, Seed: 33, Extra: map[string]int{"centers": 16}}
+	default:
+		return workload.Input{N: 1 << 17, Seed: 33, Extra: map[string]int{"centers": 32}}
+	}
+}
+
+// Run implements workload.Workload.
+func (Streamcluster) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	k := in.Get("centers", 16)
+	if n < k*2 || k < 2 {
+		return workload.Counters{}, fmt.Errorf("%w: streamcluster n=%d k=%d", workload.ErrBadInput, n, k)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	pts := make([]float32, n*scDims)
+	for i := range pts {
+		pts[i] = float32(rng.Float64())
+	}
+	// Centers: every (n/k)-th point — a deterministic opening rule.
+	centers := make([]float32, k*scDims)
+	for c := 0; c < k; c++ {
+		copy(centers[c*scDims:(c+1)*scDims], pts[(c*(n/k))*scDims:])
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(4 * (n + k) * scDims)
+	total.AllocCount += 2
+
+	partialCost := make([]float64, scBlocks)
+	chunk := (n + scBlocks - 1) / scBlocks
+	c := workload.ParallelFor(scBlocks, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := b*chunk, (b+1)*chunk
+			if e > n {
+				e = n
+			}
+			cost := 0.0
+			for i := s; i < e; i++ {
+				p := pts[i*scDims : (i+1)*scDims]
+				best := math.Inf(1)
+				for c := 0; c < k; c++ {
+					cv := centers[c*scDims : (c+1)*scDims]
+					d2 := 0.0
+					for d := 0; d < scDims; d++ {
+						dx := float64(p[d] - cv[d])
+						d2 += dx * dx
+					}
+					if d2 < best {
+						best = d2
+					}
+				}
+				cost += best
+				ctr.FloatOps += uint64(3*scDims*k + 1)
+				ctr.MemReads += uint64(scDims * (k + 1))
+				ctr.StridedReads += uint64(k)
+				ctr.Branches += uint64(k)
+			}
+			partialCost[b] = cost
+			ctr.MemWrites++
+		}
+	})
+	total.Add(c)
+
+	// Block-order reduction keeps the float total deterministic.
+	cost := 0.0
+	for b := 0; b < scBlocks; b++ {
+		cost += partialCost[b]
+	}
+	total.FloatOps += scBlocks
+
+	total.Checksum = workload.Mix(0, math.Float64bits(cost))
+	return total, nil
+}

@@ -1,0 +1,355 @@
+package parsec
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// Canneal minimizes the total wire length of a netlist by swapping element
+// placements under simulated annealing — the cache-hostile,
+// pointer-chasing PARSEC kernel. Each round evaluates a deterministic
+// batch of candidate swaps in parallel and then applies the accepted,
+// non-conflicting subset sequentially in candidate order, so the anneal
+// trajectory is identical for every thread count.
+type Canneal struct{}
+
+var _ workload.Workload = Canneal{}
+
+// Name implements workload.Workload.
+func (Canneal) Name() string { return "canneal" }
+
+// Suite implements workload.Workload.
+func (Canneal) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Canneal) Description() string {
+	return "simulated annealing placement of a synthetic netlist"
+}
+
+// DefaultInput implements workload.Workload.
+func (Canneal) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 256, Seed: 34, Extra: map[string]int{"rounds": 4}}
+	case workload.SizeSmall:
+		return workload.Input{N: 2048, Seed: 34, Extra: map[string]int{"rounds": 8}}
+	default:
+		return workload.Input{N: 16384, Seed: 34, Extra: map[string]int{"rounds": 16}}
+	}
+}
+
+// Run implements workload.Workload.
+func (Canneal) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	rounds := in.Get("rounds", 8)
+	if n < 16 {
+		return workload.Counters{}, fmt.Errorf("%w: canneal elements %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+
+	// Netlist: each element connects to a handful of random others.
+	const fanout = 5
+	nets := make([][fanout]int32, n)
+	for i := range nets {
+		for f := 0; f < fanout; f++ {
+			nets[i][f] = int32(rng.Intn(n))
+		}
+	}
+	// Placement: position index per element (a permutation of grid slots).
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = int32(i)
+	}
+	// Deterministic shuffle.
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		pos[i], pos[j] = pos[j], pos[i]
+	}
+
+	var total workload.Counters
+	total.AllocBytes += uint64(n*fanout*4 + n*4)
+	total.AllocCount += 2
+
+	dist := func(a, b int32) float64 {
+		ax, ay := int(a)%side, int(a)/side
+		bx, by := int(b)%side, int(b)/side
+		return math.Abs(float64(ax-bx)) + math.Abs(float64(ay-by))
+	}
+	elemCost := func(i int, pi int32, ctr *workload.Counters) float64 {
+		cost := 0.0
+		for f := 0; f < fanout; f++ {
+			cost += dist(pi, pos[nets[i][f]])
+		}
+		ctr.FloatOps += fanout * 3
+		ctr.IntOps += fanout * 6
+		ctr.MemReads += fanout * 2
+		ctr.StridedReads += fanout // random netlist neighbors
+		return cost
+	}
+
+	batch := n / 4
+	temps := 10.0
+	for r := 0; r < rounds; r++ {
+		// Candidate swaps for this round (deterministic pair list).
+		cand := make([][2]int32, batch)
+		for c := range cand {
+			cand[c] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+		deltas := make([]float64, batch)
+		c := workload.ParallelFor(batch, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for ci := lo; ci < hi; ci++ {
+				a, b := cand[ci][0], cand[ci][1]
+				if a == b {
+					deltas[ci] = 0
+					continue
+				}
+				before := elemCost(int(a), pos[a], ctr) + elemCost(int(b), pos[b], ctr)
+				after := elemCost(int(a), pos[b], ctr) + elemCost(int(b), pos[a], ctr)
+				deltas[ci] = after - before
+				ctr.FloatOps += 2
+				ctr.MemWrites++
+				ctr.Branches++
+			}
+		})
+		total.Add(c)
+
+		// Apply non-conflicting accepted swaps in candidate order. The
+		// acceptance draw comes from a round-local PRNG, not the shared
+		// one, so evaluation parallelism cannot perturb it.
+		acceptRng := workload.NewPRNG(in.Seed ^ uint64(r+1)*0x9E3779B97F4A7C15)
+		touched := make(map[int32]bool, batch)
+		for ci := 0; ci < batch; ci++ {
+			a, b := cand[ci][0], cand[ci][1]
+			accept := deltas[ci] < 0 ||
+				acceptRng.Float64() < math.Exp(-deltas[ci]/temps)
+			total.Branches += 2
+			total.TrigOps++
+			if !accept || touched[a] || touched[b] || a == b {
+				continue
+			}
+			pos[a], pos[b] = pos[b], pos[a]
+			touched[a] = true
+			touched[b] = true
+			total.MemWrites += 2
+		}
+		temps *= 0.8
+		total.FloatOps++
+	}
+
+	sum := uint64(0)
+	for i := 0; i < n; i += 7 {
+		sum = workload.Mix(sum, uint64(pos[i])<<32|uint64(i))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// Fluidanimate simulates an incompressible fluid with smoothed-particle
+// hydrodynamics over a uniform cell grid: a density pass followed by a
+// force/integration pass, both parallel over particles with neighbor
+// lookups through the grid.
+type Fluidanimate struct{}
+
+var _ workload.Workload = Fluidanimate{}
+
+// Name implements workload.Workload.
+func (Fluidanimate) Name() string { return "fluidanimate" }
+
+// Suite implements workload.Workload.
+func (Fluidanimate) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Fluidanimate) Description() string {
+	return "smoothed-particle hydrodynamics over a uniform grid"
+}
+
+// DefaultInput implements workload.Workload.
+func (Fluidanimate) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 128, Seed: 35, Extra: map[string]int{"steps": 2}}
+	case workload.SizeSmall:
+		return workload.Input{N: 1024, Seed: 35, Extra: map[string]int{"steps": 3}}
+	default:
+		return workload.Input{N: 8192, Seed: 35, Extra: map[string]int{"steps": 5}}
+	}
+}
+
+// Run implements workload.Workload.
+func (Fluidanimate) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	steps := in.Get("steps", 3)
+	if n < 16 {
+		return workload.Counters{}, fmt.Errorf("%w: fluidanimate particles %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	rho := make([]float64, n)
+	fxA := make([]float64, n)
+	fyA := make([]float64, n)
+	const boxSize = 10.0
+	const h = 0.6 // smoothing radius
+	for i := 0; i < n; i++ {
+		px[i] = rng.Float64() * boxSize
+		py[i] = rng.Float64() * boxSize * 0.5 // fluid fills the lower half
+	}
+	side := int(math.Floor(boxSize / h))
+	var total workload.Counters
+	total.AllocBytes += uint64(5 * n * 8)
+	total.AllocCount += 5
+
+	cellOf := func(x, y float64) int {
+		cx := int(x / h)
+		cy := int(y / h)
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cx*side + cy
+	}
+
+	const dt = 0.005
+	for s := 0; s < steps; s++ {
+		cells := make([][]int32, side*side)
+		for i := 0; i < n; i++ {
+			c := cellOf(px[i], py[i])
+			cells[c] = append(cells[c], int32(i))
+		}
+		total.IntOps += uint64(4 * n)
+		total.AllocCount += uint64(side)
+
+		// Density pass: rho_i = Σ_j W(r_ij); neighbors visited in fixed
+		// cell order so sums are deterministic.
+		c := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ci := cellOf(px[i], py[i])
+				cx, cy := ci/side, ci%side
+				d := 0.0
+				for ddx := -1; ddx <= 1; ddx++ {
+					for ddy := -1; ddy <= 1; ddy++ {
+						nx, ny := cx+ddx, cy+ddy
+						if nx < 0 || nx >= side || ny < 0 || ny >= side {
+							ctr.Branches++
+							continue
+						}
+						for _, j := range cells[nx*side+ny] {
+							dx := px[i] - px[j]
+							dy := py[i] - py[j]
+							r2 := dx*dx + dy*dy
+							if r2 < h*h {
+								w := h*h - r2
+								d += w * w * w
+								ctr.FloatOps += 5
+							}
+							ctr.FloatOps += 6
+							ctr.MemReads += 2
+							ctr.Branches++
+							ctr.StridedReads++
+						}
+					}
+				}
+				rho[i] = d
+				ctr.MemWrites++
+			}
+		})
+		total.Add(c)
+
+		// Force pass: pressure from density plus gravity. Forces go to a
+		// separate array — integrating inline would let one worker move a
+		// particle while another still reads its position.
+		c = workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ci := cellOf(px[i], py[i])
+				cx, cy := ci/side, ci%side
+				var fx, fy float64
+				for ddx := -1; ddx <= 1; ddx++ {
+					for ddy := -1; ddy <= 1; ddy++ {
+						nx, ny := cx+ddx, cy+ddy
+						if nx < 0 || nx >= side || ny < 0 || ny >= side {
+							ctr.Branches++
+							continue
+						}
+						for _, j := range cells[nx*side+ny] {
+							if int(j) == i {
+								continue
+							}
+							dx := px[i] - px[j]
+							dy := py[i] - py[j]
+							r2 := dx*dx + dy*dy + 1e-9
+							if r2 < h*h {
+								r := math.Sqrt(r2)
+								p := (rho[i] + rho[j]) * (h - r) / (r * 2)
+								fx += p * dx
+								fy += p * dy
+								ctr.SqrtOps++
+								ctr.FloatOps += 10
+							}
+							ctr.FloatOps += 5
+							ctr.MemReads += 3
+							ctr.Branches += 2
+						}
+					}
+				}
+				fxA[i] = fx
+				fyA[i] = fy
+				ctr.MemWrites += 2
+			}
+		})
+		total.Add(c)
+
+		// Integration pass: barrier-separated, so all force reads are done.
+		c = workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				vx[i] += dt * fxA[i] * 0.001
+				vy[i] += dt*fyA[i]*0.001 - dt*9.8
+				px[i] = clampBox(px[i]+dt*vx[i], boxSize)
+				py[i] = clampBox(py[i]+dt*vy[i], boxSize)
+			}
+			span := uint64(hi - lo)
+			ctr.FloatOps += 10 * span
+			ctr.MemWrites += 4 * span
+			ctr.MemReads += 4 * span
+		})
+		total.Add(c)
+	}
+
+	sum := uint64(0)
+	for i := 0; i < n; i += 5 {
+		sum = workload.Mix(sum, math.Float64bits(px[i]))
+		sum = workload.Mix(sum, math.Float64bits(rho[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+func clampBox(x, box float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > box {
+		return box
+	}
+	return x
+}

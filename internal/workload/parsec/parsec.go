@@ -1,0 +1,35 @@
+// Package parsec implements a representative subset of the PARSEC
+// benchmark suite as deterministic, multithreaded Go kernels:
+// blackscholes, canneal, fluidanimate, streamcluster, and swaptions.
+//
+// PARSEC "contains complex multithreaded programs" (§I); the kernels here
+// preserve the defining characteristics of each original: data-parallel
+// option pricing (blackscholes), cache-hostile graph mutation under
+// simulated annealing (canneal), particle simulation over a spatial grid
+// (fluidanimate), online clustering of a point stream (streamcluster), and
+// Monte-Carlo pricing (swaptions). Every kernel is bitwise deterministic
+// for a given input regardless of the thread count.
+package parsec
+
+import (
+	"fex/internal/workload"
+)
+
+// SuiteName is the suite identifier used in experiment configs and logs.
+const SuiteName = "parsec"
+
+// Workloads returns the implemented PARSEC kernels.
+func Workloads() []workload.Workload {
+	return []workload.Workload{
+		Blackscholes{},
+		Canneal{},
+		Fluidanimate{},
+		Streamcluster{},
+		Swaptions{},
+	}
+}
+
+// Register adds all PARSEC kernels to a registry.
+func Register(r *workload.Registry) error {
+	return r.RegisterAll(Workloads()...)
+}

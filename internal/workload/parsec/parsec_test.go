@@ -1,0 +1,149 @@
+package parsec
+
+import (
+	"errors"
+	"testing"
+
+	"fex/internal/workload"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 5 {
+		t.Fatalf("PARSEC subset has %d kernels, want 5", len(ws))
+	}
+	want := map[string]bool{
+		"blackscholes": true, "canneal": true, "fluidanimate": true,
+		"streamcluster": true, "swaptions": true,
+	}
+	for _, w := range ws {
+		if !want[w.Name()] {
+			t.Errorf("unexpected kernel %q", w.Name())
+		}
+	}
+}
+
+func TestChecksumThreadInvariance(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			in := w.DefaultInput(workload.SizeTest)
+			base, err := w.Run(in, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{2, 4, 8} {
+				got, err := w.Run(in, threads)
+				if err != nil {
+					t.Fatalf("threads=%d: %v", threads, err)
+				}
+				if got.Checksum != base.Checksum {
+					t.Errorf("threads=%d: checksum mismatch", threads)
+				}
+			}
+		})
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	for _, w := range Workloads() {
+		c, err := w.Run(w.DefaultInput(workload.SizeTest), 2)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if c.TotalOps() == 0 || c.Checksum == 0 {
+			t.Errorf("%s: empty counters", w.Name())
+		}
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	for _, w := range Workloads() {
+		if _, err := w.Run(workload.Input{N: 0}, 1); !errors.Is(err, workload.ErrBadInput) {
+			t.Errorf("%s: N=0 gave %v", w.Name(), err)
+		}
+		if _, err := w.Run(w.DefaultInput(workload.SizeTest), -1); !errors.Is(err, workload.ErrBadInput) {
+			t.Errorf("%s: threads=-1 gave %v", w.Name(), err)
+		}
+	}
+}
+
+func TestBlackscholesTranscendentalHeavy(t *testing.T) {
+	c, err := (Blackscholes{}).Run(Blackscholes{}.DefaultInput(workload.SizeTest), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TrigOps == 0 || c.SqrtOps == 0 {
+		t.Errorf("blackscholes trig=%d sqrt=%d", c.TrigOps, c.SqrtOps)
+	}
+}
+
+func TestSwaptionsPathScaling(t *testing.T) {
+	mk := func(paths int) workload.Input {
+		return workload.Input{N: 4, Seed: 32, Extra: map[string]int{"paths": paths}}
+	}
+	a, err := (Swaptions{}).Run(mk(32), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Swaptions{}).Run(mk(128), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b.TrigOps) / float64(a.TrigOps)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4x paths gave %vx trig work", ratio)
+	}
+}
+
+func TestCannealAnnealingProgresses(t *testing.T) {
+	// More rounds must apply more swaps (different final placement).
+	short := workload.Input{N: 256, Seed: 34, Extra: map[string]int{"rounds": 1}}
+	long := workload.Input{N: 256, Seed: 34, Extra: map[string]int{"rounds": 8}}
+	a, err := (Canneal{}).Run(short, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Canneal{}).Run(long, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum == b.Checksum {
+		t.Error("annealing rounds had no effect on placement")
+	}
+}
+
+func TestCannealCacheHostile(t *testing.T) {
+	c, err := (Canneal{}).Run(Canneal{}.DefaultInput(workload.SizeTest), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StridedReads == 0 {
+		t.Error("canneal recorded no random accesses")
+	}
+}
+
+func TestStreamclusterCentersParam(t *testing.T) {
+	bad := workload.Input{N: 8, Seed: 33, Extra: map[string]int{"centers": 16}}
+	if _, err := (Streamcluster{}).Run(bad, 1); !errors.Is(err, workload.ErrBadInput) {
+		t.Errorf("n < 2k gave %v", err)
+	}
+}
+
+func TestFluidanimateStepsScaling(t *testing.T) {
+	mk := func(steps int) workload.Input {
+		return workload.Input{N: 128, Seed: 35, Extra: map[string]int{"steps": steps}}
+	}
+	a, err := (Fluidanimate{}).Run(mk(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Fluidanimate{}).Run(mk(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FloatOps <= a.FloatOps {
+		t.Error("more steps did not increase work")
+	}
+}

@@ -1,0 +1,24 @@
+package phoenix
+
+import (
+	"fmt"
+	"testing"
+
+	"fex/internal/workload"
+)
+
+// Per-kernel wall-time benchmarks over the small input class.
+func BenchmarkKernels(b *testing.B) {
+	for _, w := range Workloads() {
+		w := w
+		b.Run(fmt.Sprintf("%s/m=4", w.Name()), func(b *testing.B) {
+			in := w.DefaultInput(workload.SizeSmall)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(in, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

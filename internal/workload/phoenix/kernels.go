@@ -1,0 +1,389 @@
+package phoenix
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// blockBounds returns the [lo, hi) range of block b over n items split into
+// reduceBlocks blocks.
+func blockBounds(b, n int) (int, int) {
+	chunk := (n + reduceBlocks - 1) / reduceBlocks
+	lo := b * chunk
+	hi := lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Histogram counts the frequency of each 8-bit value in a synthetic bitmap
+// (the original counts R/G/B channel values of a BMP).
+type Histogram struct{ phoenixBase }
+
+var (
+	_ workload.Workload = Histogram{}
+	_ DryRunner         = Histogram{}
+)
+
+// Name implements workload.Workload.
+func (Histogram) Name() string { return "histogram" }
+
+// Description implements workload.Workload.
+func (Histogram) Description() string {
+	return "MapReduce histogram of 8-bit pixel values"
+}
+
+// DefaultInput implements workload.Workload.
+func (Histogram) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 12, Seed: 21}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 18, Seed: 21}
+	default:
+		return workload.Input{N: 1 << 23, Seed: 21}
+	}
+}
+
+// Run implements workload.Workload.
+func (Histogram) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < reduceBlocks {
+		return workload.Counters{}, fmt.Errorf("%w: histogram size %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	pixels := make([]byte, n)
+	for i := range pixels {
+		pixels[i] = byte(rng.Uint64())
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(n)
+	total.AllocCount++
+
+	// Map: per-block histograms.
+	partial := make([][256]uint64, reduceBlocks)
+	c := workload.ParallelFor(reduceBlocks, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := blockBounds(b, n)
+			h := &partial[b]
+			for i := s; i < e; i++ {
+				h[pixels[i]]++
+			}
+			span := uint64(e - s)
+			ctr.IntOps += span
+			ctr.MemReads += span
+			ctr.MemWrites += span
+			ctr.StridedReads += span / 8
+		}
+	})
+	total.Add(c)
+
+	// Reduce: merge in block order.
+	var hist [256]uint64
+	for b := 0; b < reduceBlocks; b++ {
+		for v := 0; v < 256; v++ {
+			hist[v] += partial[b][v]
+		}
+	}
+	total.IntOps += 256 * reduceBlocks
+
+	sum := uint64(0)
+	for v := 0; v < 256; v++ {
+		sum = workload.Mix(sum, hist[v]^uint64(v)<<32)
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// LinearRegression fits y = a·x + b over synthetic integer points using
+// exact int64 accumulators (the original accumulates SX, SY, SXX, SYY, SXY
+// over file bytes).
+type LinearRegression struct{ phoenixBase }
+
+var (
+	_ workload.Workload = LinearRegression{}
+	_ DryRunner         = LinearRegression{}
+)
+
+// Name implements workload.Workload.
+func (LinearRegression) Name() string { return "linear_regression" }
+
+// Description implements workload.Workload.
+func (LinearRegression) Description() string {
+	return "MapReduce least-squares fit over integer points"
+}
+
+// DefaultInput implements workload.Workload.
+func (LinearRegression) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 12, Seed: 22}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 18, Seed: 22}
+	default:
+		return workload.Input{N: 1 << 23, Seed: 22}
+	}
+}
+
+// Run implements workload.Workload.
+func (LinearRegression) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < reduceBlocks {
+		return workload.Counters{}, fmt.Errorf("%w: linear_regression size %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	xs := make([]int32, n)
+	ys := make([]int32, n)
+	for i := range xs {
+		x := int32(rng.Intn(1000))
+		xs[i] = x
+		ys[i] = 3*x + 7 + int32(rng.Intn(21)) - 10
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(8 * n)
+	total.AllocCount += 2
+
+	type sums struct{ sx, sy, sxx, syy, sxy int64 }
+	partial := make([]sums, reduceBlocks)
+	c := workload.ParallelFor(reduceBlocks, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := blockBounds(b, n)
+			var acc sums
+			for i := s; i < e; i++ {
+				x, y := int64(xs[i]), int64(ys[i])
+				acc.sx += x
+				acc.sy += y
+				acc.sxx += x * x
+				acc.syy += y * y
+				acc.sxy += x * y
+			}
+			partial[b] = acc
+			span := uint64(e - s)
+			ctr.IntOps += 8 * span
+			ctr.MemReads += 2 * span
+		}
+	})
+	total.Add(c)
+
+	var t sums
+	for b := 0; b < reduceBlocks; b++ {
+		t.sx += partial[b].sx
+		t.sy += partial[b].sy
+		t.sxx += partial[b].sxx
+		t.syy += partial[b].syy
+		t.sxy += partial[b].sxy
+	}
+	total.IntOps += 5 * reduceBlocks
+
+	fn := float64(n)
+	slope := (fn*float64(t.sxy) - float64(t.sx)*float64(t.sy)) /
+		(fn*float64(t.sxx) - float64(t.sx)*float64(t.sx))
+	intercept := (float64(t.sy) - slope*float64(t.sx)) / fn
+	total.FloatOps += 12
+
+	sum := workload.Mix(0, math.Float64bits(slope))
+	sum = workload.Mix(sum, math.Float64bits(intercept))
+	total.Checksum = sum
+	return total, nil
+}
+
+// StringMatch scans a synthetic corpus for a set of keys (the original
+// scans a file of encrypted words for matching plaintexts).
+type StringMatch struct{ phoenixBase }
+
+var (
+	_ workload.Workload = StringMatch{}
+	_ DryRunner         = StringMatch{}
+)
+
+// Name implements workload.Workload.
+func (StringMatch) Name() string { return "string_match" }
+
+// Description implements workload.Workload.
+func (StringMatch) Description() string {
+	return "MapReduce multi-key substring search over a synthetic corpus"
+}
+
+// DefaultInput implements workload.Workload.
+func (StringMatch) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 12, Seed: 23}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 17, Seed: 23}
+	default:
+		return workload.Input{N: 1 << 22, Seed: 23}
+	}
+}
+
+// Run implements workload.Workload.
+func (StringMatch) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < reduceBlocks*8 {
+		return workload.Counters{}, fmt.Errorf("%w: string_match size %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	corpus := make([]byte, n)
+	for i := range corpus {
+		corpus[i] = byte('a' + rng.Intn(26))
+	}
+	keys := [][]byte{[]byte("abc"), []byte("fex"), []byte("key"), []byte("zzz")}
+	// Plant some occurrences deterministically.
+	for k := 0; k < n/512; k++ {
+		pos := rng.Intn(n - 4)
+		copy(corpus[pos:], keys[k%len(keys)])
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(n)
+	total.AllocCount++
+
+	partial := make([][4]uint64, reduceBlocks)
+	c := workload.ParallelFor(reduceBlocks, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := blockBounds(b, n)
+			// Overlap block ends so matches spanning boundaries are found
+			// exactly once (counted by starting position).
+			for i := s; i < e; i++ {
+				for ki, key := range keys {
+					if i+len(key) <= n && matchAt(corpus, i, key) {
+						partial[b][ki]++
+					}
+					ctr.Branches++
+				}
+				ctr.MemReads += 3
+				ctr.IntOps += 4
+			}
+		}
+	})
+	total.Add(c)
+
+	var counts [4]uint64
+	for b := 0; b < reduceBlocks; b++ {
+		for k := 0; k < 4; k++ {
+			counts[k] += partial[b][k]
+		}
+	}
+	sum := uint64(0)
+	for k := 0; k < 4; k++ {
+		sum = workload.Mix(sum, counts[k]^uint64(k)<<48)
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+func matchAt(corpus []byte, i int, key []byte) bool {
+	for k := 0; k < len(key); k++ {
+		if corpus[i+k] != key[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// WordCount tokenizes a synthetic text and counts word frequencies — the
+// canonical MapReduce workload.
+type WordCount struct{ phoenixBase }
+
+var (
+	_ workload.Workload = WordCount{}
+	_ DryRunner         = WordCount{}
+)
+
+// Name implements workload.Workload.
+func (WordCount) Name() string { return "word_count" }
+
+// Description implements workload.Workload.
+func (WordCount) Description() string {
+	return "MapReduce word frequency count over synthetic text"
+}
+
+// DefaultInput implements workload.Workload.
+func (WordCount) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 10, Seed: 24}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 15, Seed: 24}
+	default:
+		return workload.Input{N: 1 << 20, Seed: 24}
+	}
+}
+
+// Run implements workload.Workload.
+func (WordCount) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	nWords := in.N
+	if nWords < reduceBlocks {
+		return workload.Counters{}, fmt.Errorf("%w: word_count size %d", workload.ErrBadInput, nWords)
+	}
+	// Build a word stream from a Zipf-ish vocabulary.
+	rng := workload.NewPRNG(in.Seed)
+	const vocab = 4096
+	words := make([]uint32, nWords)
+	for i := range words {
+		// Squaring a uniform skews toward small ids (cheap Zipf stand-in).
+		f := rng.Float64()
+		words[i] = uint32(f * f * vocab)
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(4 * nWords)
+	total.AllocCount++
+
+	// Map: per-block count maps (hash-map heavy like the original).
+	partial := make([]map[uint32]uint64, reduceBlocks)
+	c := workload.ParallelFor(reduceBlocks, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := blockBounds(b, nWords)
+			m := make(map[uint32]uint64, 512)
+			for i := s; i < e; i++ {
+				m[words[i]]++
+			}
+			partial[b] = m
+			span := uint64(e - s)
+			ctr.IntOps += 2 * span
+			ctr.MemReads += span
+			ctr.MemWrites += span
+			ctr.StridedReads += span / 2 // hash probes
+			ctr.AllocBytes += uint64(len(m)) * 16
+			ctr.AllocCount++
+		}
+	})
+	total.Add(c)
+
+	// Reduce in block order into a dense table.
+	counts := make([]uint64, vocab)
+	for b := 0; b < reduceBlocks; b++ {
+		for w, cnt := range partial[b] {
+			counts[w] += cnt
+		}
+	}
+	total.IntOps += uint64(nWords / 4)
+
+	sum := uint64(0)
+	for w := 0; w < vocab; w += 3 {
+		sum = workload.Mix(sum, counts[w]^uint64(w)<<40)
+	}
+	total.Checksum = sum
+	return total, nil
+}

@@ -1,0 +1,329 @@
+package phoenix
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// KMeans clusters integer-coordinate points with Lloyd's algorithm. Points
+// have integer coordinates and cluster sums use exact int64 accumulators,
+// so centroid updates are bitwise deterministic for any thread count.
+type KMeans struct{ phoenixBase }
+
+var (
+	_ workload.Workload = KMeans{}
+	_ DryRunner         = KMeans{}
+)
+
+// kmDims is the point dimensionality (as in the Phoenix default).
+const kmDims = 3
+
+// Name implements workload.Workload.
+func (KMeans) Name() string { return "kmeans" }
+
+// Description implements workload.Workload.
+func (KMeans) Description() string {
+	return "MapReduce k-means clustering of integer points"
+}
+
+// DefaultInput implements workload.Workload.
+func (KMeans) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 10, Seed: 25, Extra: map[string]int{"k": 4, "iters": 3}}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 14, Seed: 25, Extra: map[string]int{"k": 8, "iters": 5}}
+	default:
+		return workload.Input{N: 1 << 18, Seed: 25, Extra: map[string]int{"k": 16, "iters": 8}}
+	}
+}
+
+// Run implements workload.Workload.
+func (KMeans) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	k := in.Get("k", 8)
+	iters := in.Get("iters", 5)
+	if n < k || k < 2 {
+		return workload.Counters{}, fmt.Errorf("%w: kmeans n=%d k=%d", workload.ErrBadInput, n, k)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	pts := make([][kmDims]int32, n)
+	for i := range pts {
+		for d := 0; d < kmDims; d++ {
+			pts[i][d] = int32(rng.Intn(1 << 16))
+		}
+	}
+	cent := make([][kmDims]float64, k)
+	for c := 0; c < k; c++ {
+		for d := 0; d < kmDims; d++ {
+			cent[c][d] = float64(pts[c*(n/k)][d])
+		}
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(n*kmDims*4 + k*kmDims*8)
+	total.AllocCount += 2
+
+	type acc struct {
+		sum   [kmDims]int64
+		count int64
+	}
+	assign := make([]int32, n)
+	for it := 0; it < iters; it++ {
+		partial := make([][]acc, reduceBlocks)
+		c := workload.ParallelFor(reduceBlocks, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				s, e := blockBounds(b, n)
+				local := make([]acc, k)
+				for i := s; i < e; i++ {
+					best, bestD := 0, math.Inf(1)
+					for c := 0; c < k; c++ {
+						d2 := 0.0
+						for d := 0; d < kmDims; d++ {
+							dx := float64(pts[i][d]) - cent[c][d]
+							d2 += dx * dx
+						}
+						if d2 < bestD {
+							bestD = d2
+							best = c
+						}
+					}
+					assign[i] = int32(best)
+					for d := 0; d < kmDims; d++ {
+						local[best].sum[d] += int64(pts[i][d])
+					}
+					local[best].count++
+					ctr.FloatOps += uint64(3 * kmDims * k)
+					ctr.Branches += uint64(k)
+					ctr.MemReads += uint64(kmDims * (k + 1))
+					ctr.IntOps += kmDims + 1
+					ctr.MemWrites++
+				}
+				partial[b] = local
+				ctr.AllocCount++
+				ctr.AllocBytes += uint64(k) * (kmDims*8 + 8)
+			}
+		})
+		total.Add(c)
+
+		// Reduce in block order with exact integer sums.
+		global := make([]acc, k)
+		for b := 0; b < reduceBlocks; b++ {
+			for c := 0; c < k; c++ {
+				for d := 0; d < kmDims; d++ {
+					global[c].sum[d] += partial[b][c].sum[d]
+				}
+				global[c].count += partial[b][c].count
+			}
+		}
+		for c := 0; c < k; c++ {
+			if global[c].count == 0 {
+				continue
+			}
+			for d := 0; d < kmDims; d++ {
+				cent[c][d] = float64(global[c].sum[d]) / float64(global[c].count)
+			}
+		}
+		total.IntOps += uint64(reduceBlocks * k * (kmDims + 1))
+		total.FloatOps += uint64(k * kmDims)
+	}
+
+	sum := uint64(0)
+	for c := 0; c < k; c++ {
+		for d := 0; d < kmDims; d++ {
+			sum = workload.Mix(sum, math.Float64bits(cent[c][d]))
+		}
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// PCA computes the mean vector and covariance matrix of a synthetic integer
+// data matrix (the Phoenix pca kernel) using exact int64 accumulation.
+type PCA struct{ phoenixBase }
+
+var (
+	_ workload.Workload = PCA{}
+	_ DryRunner         = PCA{}
+)
+
+// pcaDims is the number of columns of the data matrix.
+const pcaDims = 8
+
+// Name implements workload.Workload.
+func (PCA) Name() string { return "pca" }
+
+// Description implements workload.Workload.
+func (PCA) Description() string {
+	return "MapReduce mean and covariance of a data matrix"
+}
+
+// DefaultInput implements workload.Workload.
+func (PCA) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 10, Seed: 26}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 15, Seed: 26}
+	default:
+		return workload.Input{N: 1 << 19, Seed: 26}
+	}
+}
+
+// Run implements workload.Workload.
+func (PCA) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < reduceBlocks {
+		return workload.Counters{}, fmt.Errorf("%w: pca rows %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	data := make([][pcaDims]int16, n)
+	for i := range data {
+		for d := 0; d < pcaDims; d++ {
+			data[i][d] = int16(rng.Intn(2048) - 1024)
+		}
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(n * pcaDims * 2)
+	total.AllocCount++
+
+	type acc struct {
+		sum   [pcaDims]int64
+		cross [pcaDims][pcaDims]int64
+	}
+	partial := make([]acc, reduceBlocks)
+	c := workload.ParallelFor(reduceBlocks, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s, e := blockBounds(b, n)
+			a := &partial[b]
+			for i := s; i < e; i++ {
+				row := &data[i]
+				for d := 0; d < pcaDims; d++ {
+					a.sum[d] += int64(row[d])
+					for d2 := d; d2 < pcaDims; d2++ {
+						a.cross[d][d2] += int64(row[d]) * int64(row[d2])
+					}
+				}
+			}
+			span := uint64(e - s)
+			ctr.IntOps += span * uint64(pcaDims*pcaDims)
+			ctr.MemReads += span * pcaDims
+			ctr.MemWrites += span * uint64(pcaDims*pcaDims/2)
+		}
+	})
+	total.Add(c)
+
+	var t acc
+	for b := 0; b < reduceBlocks; b++ {
+		for d := 0; d < pcaDims; d++ {
+			t.sum[d] += partial[b].sum[d]
+			for d2 := d; d2 < pcaDims; d2++ {
+				t.cross[d][d2] += partial[b].cross[d][d2]
+			}
+		}
+	}
+	total.IntOps += reduceBlocks * pcaDims * pcaDims
+
+	fn := float64(n)
+	sum := uint64(0)
+	for d := 0; d < pcaDims; d++ {
+		mean := float64(t.sum[d]) / fn
+		sum = workload.Mix(sum, math.Float64bits(mean))
+		for d2 := d; d2 < pcaDims; d2++ {
+			cov := float64(t.cross[d][d2])/fn -
+				(float64(t.sum[d])/fn)*(float64(t.sum[d2])/fn)
+			sum = workload.Mix(sum, math.Float64bits(cov))
+			total.FloatOps += 5
+		}
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// MatrixMultiply computes C = A·B over dense float matrices. Each output
+// row is produced by exactly one worker, so the result is deterministic.
+type MatrixMultiply struct{ phoenixBase }
+
+var (
+	_ workload.Workload = MatrixMultiply{}
+	_ DryRunner         = MatrixMultiply{}
+)
+
+// Name implements workload.Workload.
+func (MatrixMultiply) Name() string { return "matrix_multiply" }
+
+// Description implements workload.Workload.
+func (MatrixMultiply) Description() string {
+	return "dense matrix multiplication C = A*B"
+}
+
+// DefaultInput implements workload.Workload.
+func (MatrixMultiply) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 24, Seed: 27}
+	case workload.SizeSmall:
+		return workload.Input{N: 96, Seed: 27}
+	default:
+		return workload.Input{N: 288, Seed: 27}
+	}
+}
+
+// Run implements workload.Workload.
+func (MatrixMultiply) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 2 {
+		return workload.Counters{}, fmt.Errorf("%w: matrix size %d", workload.ErrBadInput, n)
+	}
+	rng := workload.NewPRNG(in.Seed)
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	cOut := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	var total workload.Counters
+	total.AllocBytes += uint64(3 * n * n * 8)
+	total.AllocCount += 3
+
+	c := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*n : i*n+n]
+			crow := cOut[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += arow[k] * b[k*n+j]
+				}
+				crow[j] = s
+			}
+			nn := uint64(n) * uint64(n)
+			ctr.FloatOps += 2 * nn
+			ctr.MemReads += 2 * nn
+			ctr.StridedReads += nn // column walk of B
+			ctr.MemWrites += uint64(n)
+		}
+	})
+	total.Add(c)
+
+	sum := uint64(0)
+	for i := 0; i < n*n; i += n + 1 {
+		sum = workload.Mix(sum, math.Float64bits(cOut[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}

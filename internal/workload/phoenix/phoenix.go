@@ -1,0 +1,55 @@
+// Package phoenix implements the Phoenix benchmark suite as deterministic
+// MapReduce-style Go kernels: histogram, kmeans, linear_regression,
+// matrix_multiply, pca, string_match, and word_count.
+//
+// Phoenix "represents I/O- and memory-intensive workloads" (§I); each
+// kernel follows the MapReduce shape of the original: a parallel map phase
+// over fixed input blocks followed by a deterministic block-order reduce.
+// Reductions run over a fixed block count (independent of the thread
+// count), so results — including floating-point ones — are bitwise
+// identical for every -m value.
+//
+// The original Phoenix harness performs a preliminary dry run before each
+// measured run (the paper implements this with a per_benchmark_action
+// hook); kernels here report that requirement via NeedsDryRun.
+package phoenix
+
+import (
+	"fex/internal/workload"
+)
+
+// SuiteName is the suite identifier used in experiment configs and logs.
+const SuiteName = "phoenix"
+
+// reduceBlocks is the fixed block count of every map phase. Reductions
+// always merge block partials in block order, making results independent of
+// the worker count.
+const reduceBlocks = 64
+
+// DryRunner aliases the framework-level contract; Phoenix kernels are the
+// workloads that require the warm-up run.
+type DryRunner = workload.DryRunner
+
+// phoenixBase provides the shared suite/dry-run behaviour.
+type phoenixBase struct{}
+
+func (phoenixBase) Suite() string     { return SuiteName }
+func (phoenixBase) NeedsDryRun() bool { return true }
+
+// Workloads returns all seven Phoenix kernels.
+func Workloads() []workload.Workload {
+	return []workload.Workload{
+		Histogram{},
+		KMeans{},
+		LinearRegression{},
+		MatrixMultiply{},
+		PCA{},
+		StringMatch{},
+		WordCount{},
+	}
+}
+
+// Register adds all Phoenix kernels to a registry.
+func Register(r *workload.Registry) error {
+	return r.RegisterAll(Workloads()...)
+}

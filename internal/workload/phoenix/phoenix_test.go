@@ -1,0 +1,200 @@
+package phoenix
+
+import (
+	"errors"
+	"testing"
+
+	"fex/internal/workload"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 7 {
+		t.Fatalf("Phoenix has %d kernels, want 7", len(ws))
+	}
+	want := map[string]bool{
+		"histogram": true, "kmeans": true, "linear_regression": true,
+		"matrix_multiply": true, "pca": true, "string_match": true, "word_count": true,
+	}
+	for _, w := range ws {
+		if !want[w.Name()] {
+			t.Errorf("unexpected kernel %q", w.Name())
+		}
+		if w.Suite() != SuiteName {
+			t.Errorf("%s suite %q", w.Name(), w.Suite())
+		}
+	}
+}
+
+func TestAllKernelsNeedDryRun(t *testing.T) {
+	// The paper implements "an additional dry run for Phoenix benchmarks
+	// using a per_benchmark_action hook" — every kernel must request it.
+	for _, w := range Workloads() {
+		if !workload.NeedsDryRun(w) {
+			t.Errorf("%s does not request a dry run", w.Name())
+		}
+	}
+}
+
+func TestChecksumThreadInvariance(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			in := w.DefaultInput(workload.SizeTest)
+			base, err := w.Run(in, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{2, 5, 8} {
+				got, err := w.Run(in, threads)
+				if err != nil {
+					t.Fatalf("threads=%d: %v", threads, err)
+				}
+				if got.Checksum != base.Checksum {
+					t.Errorf("threads=%d: checksum mismatch", threads)
+				}
+			}
+		})
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	for _, w := range Workloads() {
+		c, err := w.Run(w.DefaultInput(workload.SizeTest), 2)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if c.TotalOps() == 0 || c.Checksum == 0 {
+			t.Errorf("%s: empty counters", w.Name())
+		}
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	for _, w := range Workloads() {
+		if _, err := w.Run(workload.Input{N: 1}, 1); !errors.Is(err, workload.ErrBadInput) {
+			t.Errorf("%s: tiny N gave %v", w.Name(), err)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	for _, w := range Workloads() {
+		in := w.DefaultInput(workload.SizeTest)
+		a, err := w.Run(in, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		in.Seed += 999
+		b, err := w.Run(in, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if a.Checksum == b.Checksum {
+			t.Errorf("%s: seed-insensitive", w.Name())
+		}
+	}
+}
+
+func TestKMeansClusterParams(t *testing.T) {
+	in := workload.Input{N: 1 << 10, Seed: 1, Extra: map[string]int{"k": 4, "iters": 2}}
+	if _, err := (KMeans{}).Run(in, 2); err != nil {
+		t.Fatal(err)
+	}
+	bad := workload.Input{N: 4, Seed: 1, Extra: map[string]int{"k": 8}}
+	if _, err := (KMeans{}).Run(bad, 1); !errors.Is(err, workload.ErrBadInput) {
+		t.Errorf("k > n gave %v", err)
+	}
+}
+
+func TestKMeansMoreItersMoreWork(t *testing.T) {
+	mk := func(iters int) workload.Input {
+		return workload.Input{N: 1 << 10, Seed: 1, Extra: map[string]int{"k": 4, "iters": iters}}
+	}
+	a, err := (KMeans{}).Run(mk(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (KMeans{}).Run(mk(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FloatOps <= a.FloatOps {
+		t.Error("more iterations did not increase work")
+	}
+}
+
+func TestWordCountIsAllocationHeavy(t *testing.T) {
+	c, err := (WordCount{}).Run(WordCount{}.DefaultInput(workload.SizeTest), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AllocCount < reduceBlocks {
+		t.Errorf("word_count allocations %d, want at least one map per block", c.AllocCount)
+	}
+}
+
+func TestLinearRegressionRecoversSlope(t *testing.T) {
+	// The synthetic data is y = 3x + 7 + noise; the checksum covers the
+	// fitted slope/intercept, so two runs with identical data must agree
+	// and the fit must be stable across sizes of the same stream prefix.
+	in := LinearRegression{}.DefaultInput(workload.SizeSmall)
+	a, err := (LinearRegression{}).Run(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (LinearRegression{}).Run(in, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Error("fit differs across thread counts")
+	}
+}
+
+func TestStringMatchFindsPlantedKeys(t *testing.T) {
+	// The generator plants occurrences; the checksum must react to them.
+	in := StringMatch{}.DefaultInput(workload.SizeTest)
+	a, err := (StringMatch{}).Run(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Branches == 0 {
+		t.Error("no comparisons recorded")
+	}
+}
+
+func TestMatrixMultiplySizeScaling(t *testing.T) {
+	small, err := (MatrixMultiply{}).Run(workload.Input{N: 16, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := (MatrixMultiply{}).Run(workload.Input{N: 32, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(n^3): doubling n must give ~8x the float work.
+	ratio := float64(big.FloatOps) / float64(small.FloatOps)
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("scaling ratio %.2f, want ~8", ratio)
+	}
+}
+
+func TestPCAIsIntegerExact(t *testing.T) {
+	// PCA accumulates in int64, so any thread count gives bitwise equal
+	// covariance — verified at a larger size where float accumulation
+	// would certainly diverge.
+	in := PCA{}.DefaultInput(workload.SizeSmall)
+	a, err := (PCA{}).Run(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (PCA{}).Run(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Error("pca results differ across thread counts")
+	}
+}

@@ -1,0 +1,267 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// Barnes is the SPLASH-3 Barnes–Hut hierarchical N-body kernel: particles
+// are inserted into an octree; forces are evaluated by tree traversal with
+// an opening-angle criterion. Tree construction is sequential (and
+// deterministic); force evaluation parallelizes over particles.
+type Barnes struct{}
+
+var _ workload.Workload = Barnes{}
+
+// Name implements workload.Workload.
+func (Barnes) Name() string { return "barnes" }
+
+// Suite implements workload.Workload.
+func (Barnes) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Barnes) Description() string {
+	return "Barnes-Hut hierarchical N-body simulation with an octree"
+}
+
+// DefaultInput implements workload.Workload.
+func (Barnes) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 128, Seed: 8, Extra: map[string]int{"steps": 1}}
+	case workload.SizeSmall:
+		return workload.Input{N: 1024, Seed: 8, Extra: map[string]int{"steps": 2}}
+	default:
+		return workload.Input{N: 8192, Seed: 8, Extra: map[string]int{"steps": 3}}
+	}
+}
+
+type bhNode struct {
+	// center and half define the cube this node covers.
+	cx, cy, cz float64
+	half       float64
+	// Aggregate mass and center of mass.
+	mass       float64
+	mx, my, mz float64
+	// body is the particle index for leaves (-1 for internal nodes).
+	body     int
+	children [8]*bhNode
+	leaf     bool
+}
+
+// Run implements workload.Workload.
+func (Barnes) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 8 {
+		return workload.Counters{}, fmt.Errorf("%w: barnes size %d", workload.ErrBadInput, n)
+	}
+	steps := in.Get("steps", 2)
+
+	rng := workload.NewPRNG(in.Seed)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	pz := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	vz := make([]float64, n)
+	mass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = rng.Float64()
+		py[i] = rng.Float64()
+		pz[i] = rng.Float64()
+		mass[i] = 0.5 + rng.Float64()
+	}
+
+	var total workload.Counters
+	total.AllocBytes += uint64(7 * n * 8)
+	total.AllocCount += 7
+
+	const theta2 = 0.25 // opening angle squared (theta = 0.5)
+	const dt = 1e-4
+
+	for step := 0; step < steps; step++ {
+		// Build the octree sequentially in particle order.
+		root := &bhNode{cx: 0.5, cy: 0.5, cz: 0.5, half: 0.5, body: -1, leaf: true}
+		var build workload.Counters
+		for i := 0; i < n; i++ {
+			insertBody(root, i, px, py, pz, &build)
+		}
+		computeMass(root, px, py, pz, mass, &build)
+		total.Add(build)
+
+		// Force evaluation parallel over particles; each traversal visits
+		// nodes in a fixed depth-first child order.
+		c := workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ax, ay, az := treeForce(root, i, px, py, pz, theta2, ctr)
+				vx[i] += dt * ax
+				vy[i] += dt * ay
+				vz[i] += dt * az
+				px[i] = clamp01(px[i] + dt*vx[i])
+				py[i] = clamp01(py[i] + dt*vy[i])
+				pz[i] = clamp01(pz[i] + dt*vz[i])
+				ctr.FloatOps += 12
+				ctr.MemWrites += 6
+			}
+		})
+		total.Add(c)
+	}
+
+	sum := uint64(0)
+	for i := 0; i < n; i += 5 {
+		sum = workload.Mix(sum, math.Float64bits(px[i]))
+		sum = workload.Mix(sum, math.Float64bits(vz[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func octant(nd *bhNode, x, y, z float64) int {
+	o := 0
+	if x >= nd.cx {
+		o |= 1
+	}
+	if y >= nd.cy {
+		o |= 2
+	}
+	if z >= nd.cz {
+		o |= 4
+	}
+	return o
+}
+
+func childCenter(nd *bhNode, o int) (float64, float64, float64, float64) {
+	h := nd.half / 2
+	cx, cy, cz := nd.cx-h, nd.cy-h, nd.cz-h
+	if o&1 != 0 {
+		cx = nd.cx + h
+	}
+	if o&2 != 0 {
+		cy = nd.cy + h
+	}
+	if o&4 != 0 {
+		cz = nd.cz + h
+	}
+	return cx, cy, cz, h
+}
+
+func insertBody(nd *bhNode, i int, px, py, pz []float64, ctr *workload.Counters) {
+	ctr.Branches += 3
+	ctr.MemReads += 3
+	if nd.leaf {
+		if nd.body == -1 {
+			nd.body = i
+			ctr.MemWrites++
+			return
+		}
+		// Split: push the existing body down, then insert i.
+		old := nd.body
+		nd.body = -1
+		nd.leaf = false
+		insertInto(nd, old, px, py, pz, ctr)
+		insertInto(nd, i, px, py, pz, ctr)
+		return
+	}
+	insertInto(nd, i, px, py, pz, ctr)
+}
+
+func insertInto(nd *bhNode, i int, px, py, pz []float64, ctr *workload.Counters) {
+	o := octant(nd, px[i], py[i], pz[i])
+	ctr.IntOps += 3
+	if nd.children[o] == nil {
+		cx, cy, cz, h := childCenter(nd, o)
+		nd.children[o] = &bhNode{cx: cx, cy: cy, cz: cz, half: h, body: -1, leaf: true}
+		ctr.AllocCount++
+		ctr.AllocBytes += 120
+	}
+	if nd.children[o].half < 1e-9 {
+		// Degenerate coincident points: treat the child as an aggregating
+		// leaf to bound recursion depth.
+		if nd.children[o].body == -1 {
+			nd.children[o].body = i
+		}
+		return
+	}
+	insertBody(nd.children[o], i, px, py, pz, ctr)
+}
+
+func computeMass(nd *bhNode, px, py, pz, mass []float64, ctr *workload.Counters) (float64, float64, float64, float64) {
+	if nd == nil {
+		return 0, 0, 0, 0
+	}
+	if nd.leaf {
+		if nd.body == -1 {
+			return 0, 0, 0, 0
+		}
+		i := nd.body
+		nd.mass = mass[i]
+		nd.mx, nd.my, nd.mz = px[i], py[i], pz[i]
+		ctr.MemReads += 4
+		return nd.mass, nd.mx * nd.mass, nd.my * nd.mass, nd.mz * nd.mass
+	}
+	var m, sx, sy, sz float64
+	for o := 0; o < 8; o++ {
+		cm, cx, cy, cz := computeMass(nd.children[o], px, py, pz, mass, ctr)
+		m += cm
+		sx += cx
+		sy += cy
+		sz += cz
+	}
+	ctr.FloatOps += 32
+	nd.mass = m
+	if m > 0 {
+		nd.mx, nd.my, nd.mz = sx/m, sy/m, sz/m
+	}
+	return m, sx, sy, sz
+}
+
+func treeForce(nd *bhNode, i int, px, py, pz []float64, theta2 float64, ctr *workload.Counters) (float64, float64, float64) {
+	if nd == nil || nd.mass == 0 {
+		return 0, 0, 0
+	}
+	dx := nd.mx - px[i]
+	dy := nd.my - py[i]
+	dz := nd.mz - pz[i]
+	r2 := dx*dx + dy*dy + dz*dz + 1e-9
+	ctr.FloatOps += 9
+	ctr.MemReads += 3
+	ctr.StridedReads++ // tree nodes are pointer-chased
+	size2 := 4 * nd.half * nd.half
+	if nd.leaf || size2 < theta2*r2 {
+		if nd.leaf && nd.body == i {
+			return 0, 0, 0
+		}
+		inv := 1 / math.Sqrt(r2)
+		f := nd.mass * inv * inv * inv
+		ctr.SqrtOps++
+		ctr.FloatOps += 6
+		ctr.Branches++
+		return f * dx, f * dy, f * dz
+	}
+	var ax, ay, az float64
+	for o := 0; o < 8; o++ {
+		gx, gy, gz := treeForce(nd.children[o], i, px, py, pz, theta2, ctr)
+		ax += gx
+		ay += gy
+		az += gz
+	}
+	ctr.FloatOps += 24
+	ctr.Branches += 8
+	return ax, ay, az
+}

@@ -1,0 +1,32 @@
+package splash
+
+import (
+	"fmt"
+	"testing"
+
+	"fex/internal/workload"
+)
+
+// Per-kernel wall-time benchmarks over the small input class, at one and
+// four threads — the raw numbers behind the suite's lineplot family.
+func BenchmarkKernels(b *testing.B) {
+	for _, w := range Workloads() {
+		w := w
+		for _, threads := range []int{1, 4} {
+			threads := threads
+			b.Run(fmt.Sprintf("%s/m=%d", w.Name(), threads), func(b *testing.B) {
+				in := w.DefaultInput(workload.SizeSmall)
+				b.ResetTimer()
+				var ops uint64
+				for i := 0; i < b.N; i++ {
+					c, err := w.Run(in, threads)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ops = c.TotalOps()
+				}
+				b.ReportMetric(float64(ops), "kernel-ops")
+			})
+		}
+	}
+}

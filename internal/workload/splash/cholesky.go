@@ -1,0 +1,116 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// Cholesky is the SPLASH-3 Cholesky factorization kernel, implemented as a
+// dense right-looking factorization of a symmetric positive-definite
+// matrix (A = L·Lᵀ).
+type Cholesky struct{}
+
+var _ workload.Workload = Cholesky{}
+
+// Name implements workload.Workload.
+func (Cholesky) Name() string { return "cholesky" }
+
+// Suite implements workload.Workload.
+func (Cholesky) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Cholesky) Description() string {
+	return "right-looking Cholesky factorization of an SPD matrix"
+}
+
+// DefaultInput implements workload.Workload.
+func (Cholesky) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 24, Seed: 3}
+	case workload.SizeSmall:
+		return workload.Input{N: 96, Seed: 3}
+	default:
+		return workload.Input{N: 288, Seed: 3}
+	}
+}
+
+// Run implements workload.Workload.
+func (Cholesky) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 2 {
+		return workload.Counters{}, fmt.Errorf("%w: cholesky size %d", workload.ErrBadInput, n)
+	}
+
+	// SPD by construction: A = B·Bᵀ + n·I, built deterministically.
+	rng := workload.NewPRNG(in.Seed)
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = rng.Float64() - 0.5
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b[i*n+k] * b[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a[i*n+j] = s
+			a[j*n+i] = s
+		}
+	}
+
+	var total workload.Counters
+	total.AllocBytes += uint64(2 * n * n * 8)
+	total.AllocCount += 2
+	total.FloatOps += uint64(n) * uint64(n) * uint64(n) / 2 // matrix setup
+	total.MemReads += uint64(n) * uint64(n)
+	total.MemWrites += uint64(n) * uint64(n)
+
+	for k := 0; k < n; k++ {
+		d := math.Sqrt(a[k*n+k])
+		a[k*n+k] = d
+		total.SqrtOps++
+		// Scale column k below the diagonal.
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= d
+		}
+		total.FloatOps += uint64(n - k - 1)
+		total.MemWrites += uint64(n - k - 1)
+		total.StridedReads += uint64(n - k - 1)
+		// Rank-1 update of the trailing submatrix: column j depends only on
+		// columns k and j, so parallelizing over j is deterministic.
+		cols := n - 1 - k
+		c := workload.ParallelFor(cols, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for t := lo; t < hi; t++ {
+				j := k + 1 + t
+				ljk := a[j*n+k]
+				for i := j; i < n; i++ {
+					a[i*n+j] -= a[i*n+k] * ljk
+				}
+				rows := uint64(n - j)
+				ctr.FloatOps += 2 * rows
+				ctr.MemReads += 2 * rows
+				ctr.MemWrites += rows
+				ctr.StridedReads += rows
+			}
+		})
+		total.Add(c)
+	}
+
+	sum := uint64(0)
+	for i := 0; i < n; i++ {
+		sum = workload.Mix(sum, math.Float64bits(a[i*n+i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}

@@ -1,0 +1,119 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"fex/internal/workload"
+)
+
+// FFT is the SPLASH-3 1-D complex FFT kernel: an iterative radix-2
+// Cooley–Tukey transform. Twiddle factors are computed on the fly with
+// sin/cos — this is what makes FFT the most transcendental-heavy kernel of
+// the suite and, with a compiler whose libm/vector codegen is weak, the
+// slowest relative to the baseline (the effect visible in Figure 6).
+type FFT struct{}
+
+var _ workload.Workload = FFT{}
+
+// Name implements workload.Workload.
+func (FFT) Name() string { return "fft" }
+
+// Suite implements workload.Workload.
+func (FFT) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (FFT) Description() string {
+	return "1-D radix-2 complex FFT with on-the-fly twiddle factors"
+}
+
+// DefaultInput implements workload.Workload.
+func (FFT) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 1 << 8, Seed: 1}
+	case workload.SizeSmall:
+		return workload.Input{N: 1 << 12, Seed: 1}
+	default:
+		return workload.Input{N: 1 << 16, Seed: 1}
+	}
+}
+
+// Run implements workload.Workload.
+func (FFT) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 2 || n&(n-1) != 0 {
+		return workload.Counters{}, fmt.Errorf("%w: fft size %d must be a power of two >= 2", workload.ErrBadInput, n)
+	}
+
+	// Deterministic complex input signal.
+	re := make([]float64, n)
+	im := make([]float64, n)
+	rng := workload.NewPRNG(in.Seed)
+	for i := 0; i < n; i++ {
+		re[i] = rng.Float64()*2 - 1
+		im[i] = rng.Float64()*2 - 1
+	}
+
+	var total workload.Counters
+	total.AllocBytes += uint64(2 * n * 8)
+	total.AllocCount += 2
+
+	// Bit-reversal permutation (sequential; O(n)).
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	total.MemReads += uint64(2 * n)
+	total.MemWrites += uint64(2 * n)
+	total.IntOps += uint64(3 * n)
+	total.Branches += uint64(n)
+
+	// log2(n) butterfly stages; butterflies within a stage touch disjoint
+	// pairs, so parallelizing over groups is bitwise deterministic.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		groups := n / size
+		ang := -2 * math.Pi / float64(size)
+		c := workload.ParallelFor(groups, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for g := lo; g < hi; g++ {
+				base := g * size
+				for k := 0; k < half; k++ {
+					s, co := math.Sincos(ang * float64(k))
+					i := base + k
+					j := i + half
+					tr := re[j]*co - im[j]*s
+					ti := re[j]*s + im[j]*co
+					re[j] = re[i] - tr
+					im[j] = im[i] - ti
+					re[i] += tr
+					im[i] += ti
+				}
+				ctr.TrigOps += uint64(2 * half)
+				ctr.FloatOps += uint64(10 * half)
+				ctr.MemReads += uint64(4 * half)
+				ctr.MemWrites += uint64(4 * half)
+				ctr.IntOps += uint64(4 * half)
+			}
+		})
+		total.Add(c)
+	}
+
+	// Checksum over the spectrum (order-independent XOR mixing).
+	sum := uint64(0)
+	for i := 0; i < n; i += 7 {
+		sum = workload.Mix(sum, math.Float64bits(re[i]))
+		sum = workload.Mix(sum, math.Float64bits(im[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}

@@ -1,0 +1,194 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// FMM is the SPLASH-3 fast-multipole N-body kernel, implemented as a
+// uniform-grid variant: particles are binned into cells, each cell computes
+// a monopole approximation (total mass + center of mass), and each particle
+// sums direct forces from its 3×3 neighborhood plus multipole forces from
+// all far cells — the O(N) near-field / O(cells) far-field structure that
+// distinguishes FMM from Barnes–Hut.
+type FMM struct{}
+
+var _ workload.Workload = FMM{}
+
+// Name implements workload.Workload.
+func (FMM) Name() string { return "fmm" }
+
+// Suite implements workload.Workload.
+func (FMM) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (FMM) Description() string {
+	return "fast multipole method N-body (2-D, monopole far field)"
+}
+
+// DefaultInput implements workload.Workload.
+func (FMM) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 256, Seed: 9, Extra: map[string]int{"grid": 4}}
+	case workload.SizeSmall:
+		return workload.Input{N: 2048, Seed: 9, Extra: map[string]int{"grid": 8}}
+	default:
+		return workload.Input{N: 16384, Seed: 9, Extra: map[string]int{"grid": 16}}
+	}
+}
+
+// Run implements workload.Workload.
+func (FMM) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 16 {
+		return workload.Counters{}, fmt.Errorf("%w: fmm size %d", workload.ErrBadInput, n)
+	}
+	grid := in.Get("grid", 8)
+	if grid < 2 {
+		return workload.Counters{}, fmt.Errorf("%w: fmm grid %d", workload.ErrBadInput, grid)
+	}
+
+	rng := workload.NewPRNG(in.Seed)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	mass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = rng.Float64()
+		py[i] = rng.Float64()
+		mass[i] = 0.5 + rng.Float64()
+	}
+
+	var total workload.Counters
+	total.AllocBytes += uint64(3 * n * 8)
+	total.AllocCount += 3
+
+	// Bin particles (sequential, insertion order preserved).
+	nCells := grid * grid
+	cells := make([][]int, nCells)
+	cellOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		cx := int(px[i] * float64(grid))
+		cy := int(py[i] * float64(grid))
+		if cx >= grid {
+			cx = grid - 1
+		}
+		if cy >= grid {
+			cy = grid - 1
+		}
+		idx := cx*grid + cy
+		cells[idx] = append(cells[idx], i)
+		cellOf[i] = idx
+	}
+	total.IntOps += uint64(5 * n)
+	total.MemWrites += uint64(2 * n)
+
+	// Upward pass: per-cell monopoles, parallel over cells (disjoint writes).
+	cmass := make([]float64, nCells)
+	cmx := make([]float64, nCells)
+	cmy := make([]float64, nCells)
+	c := workload.ParallelFor(nCells, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			var m, sx, sy float64
+			for _, i := range cells[ci] {
+				m += mass[i]
+				sx += mass[i] * px[i]
+				sy += mass[i] * py[i]
+			}
+			cmass[ci] = m
+			if m > 0 {
+				cmx[ci] = sx / m
+				cmy[ci] = sy / m
+			}
+			span := uint64(len(cells[ci]))
+			ctr.FloatOps += 5*span + 2
+			ctr.MemReads += 3 * span
+			ctr.MemWrites += 3
+		}
+	})
+	total.Add(c)
+
+	// Evaluation pass: near field direct, far field via monopoles.
+	fxOut := make([]float64, n)
+	fyOut := make([]float64, n)
+	c = workload.ParallelFor(n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := cellOf[i]
+			cx, cy := ci/grid, ci%grid
+			var ax, ay float64
+			// Near field: direct pairwise in the 3×3 neighborhood.
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || nx >= grid || ny < 0 || ny >= grid {
+						ctr.Branches++
+						continue
+					}
+					for _, j := range cells[nx*grid+ny] {
+						if j == i {
+							continue
+						}
+						ddx := px[j] - px[i]
+						ddy := py[j] - py[i]
+						r2 := ddx*ddx + ddy*ddy + 1e-9
+						f := mass[j] / (r2 * math.Sqrt(r2))
+						ax += f * ddx
+						ay += f * ddy
+						ctr.FloatOps += 12
+						ctr.SqrtOps++
+						ctr.MemReads += 3
+						ctr.Branches++
+					}
+				}
+			}
+			// Far field: every non-neighbor cell as a monopole, in fixed
+			// cell order.
+			for cj := 0; cj < nCells; cj++ {
+				jx, jy := cj/grid, cj%grid
+				if abs(jx-cx) <= 1 && abs(jy-cy) <= 1 {
+					ctr.Branches++
+					continue
+				}
+				if cmass[cj] == 0 {
+					ctr.Branches++
+					continue
+				}
+				ddx := cmx[cj] - px[i]
+				ddy := cmy[cj] - py[i]
+				r2 := ddx*ddx + ddy*ddy
+				f := cmass[cj] / (r2 * math.Sqrt(r2))
+				ax += f * ddx
+				ay += f * ddy
+				ctr.FloatOps += 12
+				ctr.SqrtOps++
+				ctr.MemReads += 3
+				ctr.StridedReads++
+			}
+			fxOut[i] = ax
+			fyOut[i] = ay
+			ctr.MemWrites += 2
+		}
+	})
+	total.Add(c)
+
+	sum := uint64(0)
+	for i := 0; i < n; i += 7 {
+		sum = workload.Mix(sum, math.Float64bits(fxOut[i]))
+		sum = workload.Mix(sum, math.Float64bits(fyOut[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,103 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// LU is the SPLASH-3 dense LU factorization kernel (no pivoting; the input
+// matrix is made strictly diagonally dominant so pivoting is unnecessary,
+// as in the original kernel's well-conditioned inputs).
+type LU struct{}
+
+var _ workload.Workload = LU{}
+
+// Name implements workload.Workload.
+func (LU) Name() string { return "lu" }
+
+// Suite implements workload.Workload.
+func (LU) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (LU) Description() string {
+	return "dense LU factorization of a diagonally dominant matrix"
+}
+
+// DefaultInput implements workload.Workload.
+func (LU) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 24, Seed: 2}
+	case workload.SizeSmall:
+		return workload.Input{N: 96, Seed: 2}
+	default:
+		return workload.Input{N: 320, Seed: 2}
+	}
+}
+
+// Run implements workload.Workload.
+func (LU) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 2 {
+		return workload.Counters{}, fmt.Errorf("%w: lu size %d", workload.ErrBadInput, n)
+	}
+	a := genDominantMatrix(n, in.Seed)
+
+	var total workload.Counters
+	total.AllocBytes += uint64(n * n * 8)
+	total.AllocCount++
+
+	for k := 0; k < n-1; k++ {
+		pivot := a[k*n+k]
+		rows := n - 1 - k
+		// Each trailing row is updated independently: deterministic.
+		c := workload.ParallelFor(rows, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				i := k + 1 + r
+				m := a[i*n+k] / pivot
+				a[i*n+k] = m
+				row := a[i*n : i*n+n]
+				krow := a[k*n : k*n+n]
+				for j := k + 1; j < n; j++ {
+					row[j] -= m * krow[j]
+				}
+				cols := uint64(n - k - 1)
+				ctr.FloatOps += 2*cols + 1
+				ctr.MemReads += 2*cols + 2
+				ctr.MemWrites += cols + 1
+				ctr.StridedReads++ // column access a[i*n+k]
+			}
+		})
+		total.Add(c)
+	}
+
+	sum := uint64(0)
+	for i := 0; i < n; i++ {
+		sum = workload.Mix(sum, math.Float64bits(a[i*n+i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// genDominantMatrix builds a deterministic, strictly diagonally dominant
+// n×n matrix in row-major order.
+func genDominantMatrix(n int, seed uint64) []float64 {
+	rng := workload.NewPRNG(seed)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			v := rng.Float64()*2 - 1
+			a[i*n+j] = v
+			rowSum += math.Abs(v)
+		}
+		a[i*n+i] = rowSum + 1
+	}
+	return a
+}

@@ -1,0 +1,95 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// Ocean is the SPLASH-3 ocean-current simulation kernel, implemented as the
+// core of the original: red–black/Jacobi relaxation of a 2-D grid (here a
+// double-buffered Jacobi 5-point stencil, which is bitwise deterministic
+// under row-parallel execution).
+type Ocean struct{}
+
+var _ workload.Workload = Ocean{}
+
+// Name implements workload.Workload.
+func (Ocean) Name() string { return "ocean" }
+
+// Suite implements workload.Workload.
+func (Ocean) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Ocean) Description() string {
+	return "ocean current simulation: Jacobi 5-point stencil relaxation"
+}
+
+// DefaultInput implements workload.Workload.
+func (Ocean) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 18, Seed: 5, Extra: map[string]int{"rounds": 4}}
+	case workload.SizeSmall:
+		return workload.Input{N: 66, Seed: 5, Extra: map[string]int{"rounds": 10}}
+	default:
+		return workload.Input{N: 258, Seed: 5, Extra: map[string]int{"rounds": 60}}
+	}
+}
+
+// Run implements workload.Workload.
+func (Ocean) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	n := in.N
+	if n < 3 {
+		return workload.Counters{}, fmt.Errorf("%w: ocean grid %d too small", workload.ErrBadInput, n)
+	}
+	rounds := in.Get("rounds", 10)
+
+	rng := workload.NewPRNG(in.Seed)
+	cur := make([]float64, n*n)
+	next := make([]float64, n*n)
+	for i := range cur {
+		cur[i] = rng.Float64()
+	}
+	copy(next, cur) // boundary cells never updated; keep them equal
+
+	var total workload.Counters
+	total.AllocBytes += uint64(2 * n * n * 8)
+	total.AllocCount += 2
+
+	interior := n - 2
+	for r := 0; r < rounds; r++ {
+		c := workload.ParallelFor(interior, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for t := lo; t < hi; t++ {
+				i := t + 1
+				rowU := cur[(i-1)*n:]
+				row := cur[i*n:]
+				rowD := cur[(i+1)*n:]
+				out := next[i*n:]
+				for j := 1; j < n-1; j++ {
+					out[j] = 0.2 * (row[j] + row[j-1] + row[j+1] + rowU[j] + rowD[j])
+				}
+				cols := uint64(n - 2)
+				ctr.FloatOps += 5 * cols
+				ctr.MemReads += 5 * cols
+				ctr.MemWrites += cols
+			}
+		})
+		total.Add(c)
+		cur, next = next, cur
+	}
+
+	sum := uint64(0)
+	for i := 1; i < n-1; i += 3 {
+		for j := 1; j < n-1; j += 5 {
+			sum = workload.Mix(sum, math.Float64bits(cur[i*n+j]))
+		}
+	}
+	total.Checksum = sum
+	return total, nil
+}

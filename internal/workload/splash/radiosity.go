@@ -1,0 +1,131 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// Radiosity is the SPLASH-3 radiosity kernel: iterative light-transport
+// equilibrium over scene patches. Form factors are computed from patch
+// geometry; radiosities are relaxed with double-buffered Jacobi gathering
+// (B_i = E_i + ρ_i · Σ_j F_ij · B_j), which is bitwise deterministic under
+// patch-parallel execution.
+type Radiosity struct{}
+
+var _ workload.Workload = Radiosity{}
+
+// Name implements workload.Workload.
+func (Radiosity) Name() string { return "radiosity" }
+
+// Suite implements workload.Workload.
+func (Radiosity) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Radiosity) Description() string {
+	return "iterative radiosity light transport over scene patches"
+}
+
+// DefaultInput implements workload.Workload.
+func (Radiosity) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 48, Seed: 12, Extra: map[string]int{"iters": 3}}
+	case workload.SizeSmall:
+		return workload.Input{N: 160, Seed: 12, Extra: map[string]int{"iters": 5}}
+	default:
+		return workload.Input{N: 640, Seed: 12, Extra: map[string]int{"iters": 8}}
+	}
+}
+
+// Run implements workload.Workload.
+func (Radiosity) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	m := in.N
+	if m < 8 {
+		return workload.Counters{}, fmt.Errorf("%w: radiosity patches %d", workload.ErrBadInput, m)
+	}
+	iters := in.Get("iters", 5)
+
+	rng := workload.NewPRNG(in.Seed)
+	px := make([]float64, m)
+	py := make([]float64, m)
+	pz := make([]float64, m)
+	nxv := make([]float64, m)
+	nyv := make([]float64, m)
+	nzv := make([]float64, m)
+	area := make([]float64, m)
+	rho := make([]float64, m)
+	emit := make([]float64, m)
+	for i := 0; i < m; i++ {
+		px[i] = rng.Float64() * 10
+		py[i] = rng.Float64() * 10
+		pz[i] = rng.Float64() * 10
+		// Random unit-ish normal.
+		nx := rng.Float64()*2 - 1
+		ny := rng.Float64()*2 - 1
+		nz := rng.Float64()*2 - 1
+		inv := 1 / math.Sqrt(nx*nx+ny*ny+nz*nz+1e-9)
+		nxv[i], nyv[i], nzv[i] = nx*inv, ny*inv, nz*inv
+		area[i] = 0.1 + rng.Float64()
+		rho[i] = 0.3 + 0.6*rng.Float64()
+		if i%16 == 0 {
+			emit[i] = 5 * rng.Float64() // sparse light sources
+		}
+	}
+
+	var total workload.Counters
+	total.AllocBytes += uint64(9 * m * 8)
+	total.AllocCount += 9
+
+	b := make([]float64, m)
+	bNext := make([]float64, m)
+	copy(b, emit)
+
+	for it := 0; it < iters; it++ {
+		c := workload.ParallelFor(m, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gather := 0.0
+				for j := 0; j < m; j++ {
+					if j == i || b[j] == 0 {
+						ctr.Branches++
+						continue
+					}
+					dx := px[j] - px[i]
+					dy := py[j] - py[i]
+					dz := pz[j] - pz[i]
+					r2 := dx*dx + dy*dy + dz*dz + 1e-6
+					inv := 1 / math.Sqrt(r2)
+					cosI := (dx*nxv[i] + dy*nyv[i] + dz*nzv[i]) * inv
+					cosJ := -(dx*nxv[j] + dy*nyv[j] + dz*nzv[j]) * inv
+					ctr.FloatOps += 26
+					ctr.SqrtOps++
+					ctr.MemReads += 9
+					ctr.Branches += 2
+					if cosI <= 0 || cosJ <= 0 {
+						continue
+					}
+					ff := cosI * cosJ * area[j] / (math.Pi * r2)
+					gather += ff * b[j]
+					ctr.FloatOps += 6
+				}
+				bNext[i] = emit[i] + rho[i]*gather
+				ctr.MemWrites++
+				ctr.FloatOps += 2
+			}
+		})
+		total.Add(c)
+		b, bNext = bNext, b
+	}
+
+	sum := uint64(0)
+	for i := 0; i < m; i += 3 {
+		sum = workload.Mix(sum, math.Float64bits(b[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}

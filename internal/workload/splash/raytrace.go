@@ -1,0 +1,182 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// Raytrace is the SPLASH-3 ray tracing kernel: a recursive ray tracer over
+// a procedurally generated sphere scene with one point light, shadow rays,
+// and one level of specular reflection. Pixels are independent, so the
+// kernel parallelizes over scanlines deterministically.
+type Raytrace struct{}
+
+var _ workload.Workload = Raytrace{}
+
+// Name implements workload.Workload.
+func (Raytrace) Name() string { return "raytrace" }
+
+// Suite implements workload.Workload.
+func (Raytrace) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (Raytrace) Description() string {
+	return "recursive ray tracer over a procedural sphere scene"
+}
+
+// DefaultInput implements workload.Workload.
+func (Raytrace) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 32, Seed: 10, Extra: map[string]int{"spheres": 8}}
+	case workload.SizeSmall:
+		return workload.Input{N: 96, Seed: 10, Extra: map[string]int{"spheres": 16}}
+	default:
+		return workload.Input{N: 256, Seed: 10, Extra: map[string]int{"spheres": 32}}
+	}
+}
+
+type sphere struct {
+	x, y, z, r float64
+	refl       float64
+	shade      float64
+}
+
+// Run implements workload.Workload.
+func (Raytrace) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	side := in.N
+	if side < 8 {
+		return workload.Counters{}, fmt.Errorf("%w: raytrace image side %d", workload.ErrBadInput, side)
+	}
+	nSpheres := in.Get("spheres", 16)
+
+	rng := workload.NewPRNG(in.Seed)
+	scene := make([]sphere, nSpheres)
+	for i := range scene {
+		scene[i] = sphere{
+			x:     rng.Float64()*8 - 4,
+			y:     rng.Float64()*8 - 4,
+			z:     rng.Float64()*6 + 4,
+			r:     0.3 + rng.Float64()*0.9,
+			refl:  rng.Float64() * 0.6,
+			shade: 0.2 + rng.Float64()*0.8,
+		}
+	}
+	img := make([]float64, side*side)
+
+	var total workload.Counters
+	total.AllocBytes += uint64(side*side*8 + nSpheres*48)
+	total.AllocCount += 2
+
+	const lx, ly, lz = -5.0, 8.0, 0.0
+	c := workload.ParallelFor(side, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < side; x++ {
+				// Primary ray through the pixel from the origin.
+				dx := (float64(x)/float64(side) - 0.5) * 2
+				dy := (float64(y)/float64(side) - 0.5) * 2
+				dz := 1.0
+				inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+				ctr.SqrtOps++
+				ctr.FloatOps += 9
+				img[y*side+x] = trace(scene, 0, 0, 0, dx*inv, dy*inv, dz*inv, lx, ly, lz, 2, ctr)
+				ctr.MemWrites++
+			}
+		}
+	})
+	total.Add(c)
+
+	sum := uint64(0)
+	for i := 0; i < len(img); i += 11 {
+		sum = workload.Mix(sum, math.Float64bits(img[i]))
+	}
+	total.Checksum = sum
+	return total, nil
+}
+
+// intersect returns the nearest hit among the spheres (index, distance).
+func intersect(scene []sphere, ox, oy, oz, dx, dy, dz float64, ctr *workload.Counters) (int, float64) {
+	best := -1
+	bestT := math.Inf(1)
+	for i := range scene {
+		s := &scene[i]
+		cx := s.x - ox
+		cy := s.y - oy
+		cz := s.z - oz
+		b := cx*dx + cy*dy + cz*dz
+		det := b*b - (cx*cx + cy*cy + cz*cz) + s.r*s.r
+		ctr.FloatOps += 14
+		ctr.MemReads += 4
+		ctr.Branches++
+		if det < 0 {
+			continue
+		}
+		sq := math.Sqrt(det)
+		ctr.SqrtOps++
+		t := b - sq
+		if t < 1e-4 {
+			t = b + sq
+		}
+		if t > 1e-4 && t < bestT {
+			bestT = t
+			best = i
+		}
+		ctr.Branches += 2
+	}
+	return best, bestT
+}
+
+// trace returns the shade carried by a ray, recursing for reflections.
+func trace(scene []sphere, ox, oy, oz, dx, dy, dz, lx, ly, lz float64, depth int, ctr *workload.Counters) float64 {
+	if depth == 0 {
+		return 0
+	}
+	hit, t := intersect(scene, ox, oy, oz, dx, dy, dz, ctr)
+	if hit < 0 {
+		// Sky gradient.
+		return 0.1 + 0.1*dy
+	}
+	s := &scene[hit]
+	hx := ox + t*dx
+	hy := oy + t*dy
+	hz := oz + t*dz
+	nx := (hx - s.x) / s.r
+	ny := (hy - s.y) / s.r
+	nz := (hz - s.z) / s.r
+	// Light direction and shadow ray.
+	ldx := lx - hx
+	ldy := ly - hy
+	ldz := lz - hz
+	linv := 1 / math.Sqrt(ldx*ldx+ldy*ldy+ldz*ldz)
+	ldx *= linv
+	ldy *= linv
+	ldz *= linv
+	ctr.SqrtOps++
+	ctr.FloatOps += 24
+	diff := nx*ldx + ny*ldy + nz*ldz
+	if diff < 0 {
+		diff = 0
+	}
+	if diff > 0 {
+		if sh, _ := intersect(scene, hx+nx*1e-3, hy+ny*1e-3, hz+nz*1e-3, ldx, ldy, ldz, ctr); sh >= 0 {
+			diff = 0
+		}
+	}
+	shade := s.shade * (0.15 + 0.85*diff)
+	if s.refl > 0 {
+		dot := dx*nx + dy*ny + dz*nz
+		rx := dx - 2*dot*nx
+		ry := dy - 2*dot*ny
+		rz := dz - 2*dot*nz
+		ctr.FloatOps += 12
+		shade += s.refl * trace(scene, hx+nx*1e-3, hy+ny*1e-3, hz+nz*1e-3, rx, ry, rz, lx, ly, lz, depth-1, ctr)
+	}
+	ctr.Branches += 3
+	return shade
+}

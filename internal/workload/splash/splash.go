@@ -1,0 +1,42 @@
+// Package splash implements the SPLASH-3 benchmark suite as deterministic,
+// multithreaded Go kernels: barnes, cholesky, fft, fmm, lu, ocean,
+// radiosity, radix, raytrace, volrend, water-nsquared, and water-spatial —
+// the twelve benchmarks of Figure 6 in the paper.
+//
+// SPLASH-3 "is used to evaluate parallel applications on large-scale NUMA
+// architectures"; every kernel here parallelizes the same way the original
+// pthread codes do (SPMD loops with barriers) and is bitwise deterministic
+// for a given input regardless of thread count: parallel regions only write
+// disjoint outputs, and floating-point reductions always merge over a fixed
+// block structure independent of the worker count.
+package splash
+
+import (
+	"fex/internal/workload"
+)
+
+// SuiteName is the suite identifier used in experiment configs and logs.
+const SuiteName = "splash"
+
+// Workloads returns all twelve SPLASH-3 kernels in Figure 6 order.
+func Workloads() []workload.Workload {
+	return []workload.Workload{
+		Barnes{},
+		Cholesky{},
+		FFT{},
+		FMM{},
+		LU{},
+		Ocean{},
+		Radiosity{},
+		Radix{},
+		Raytrace{},
+		Volrend{},
+		WaterNSquared{},
+		WaterSpatial{},
+	}
+}
+
+// Register adds all SPLASH kernels to a registry.
+func Register(r *workload.Registry) error {
+	return r.RegisterAll(Workloads()...)
+}

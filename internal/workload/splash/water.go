@@ -1,0 +1,291 @@
+package splash
+
+import (
+	"fmt"
+	"math"
+
+	"fex/internal/workload"
+)
+
+// waterSim holds the shared physics of the two water kernels: N molecules
+// in a periodic box interacting through a Lennard-Jones-style potential,
+// integrated with explicit Euler steps.
+type waterSim struct {
+	n          int
+	box        float64
+	px, py, pz []float64
+	vx, vy, vz []float64
+	fx, fy, fz []float64
+}
+
+func newWaterSim(n int, seed uint64) *waterSim {
+	s := &waterSim{
+		n: n, box: math.Cbrt(float64(n)) * 1.2,
+		px: make([]float64, n), py: make([]float64, n), pz: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+		fx: make([]float64, n), fy: make([]float64, n), fz: make([]float64, n),
+	}
+	rng := workload.NewPRNG(seed)
+	for i := 0; i < n; i++ {
+		s.px[i] = rng.Float64() * s.box
+		s.py[i] = rng.Float64() * s.box
+		s.pz[i] = rng.Float64() * s.box
+		s.vx[i] = rng.Float64()*0.02 - 0.01
+		s.vy[i] = rng.Float64()*0.02 - 0.01
+		s.vz[i] = rng.Float64()*0.02 - 0.01
+	}
+	return s
+}
+
+// pairForce computes the force contribution of molecule j on molecule i.
+// Returns (fx, fy, fz) and the op counts via the counter.
+func (s *waterSim) pairForce(i, j int, ctr *workload.Counters) (float64, float64, float64) {
+	dx := s.px[i] - s.px[j]
+	dy := s.py[i] - s.py[j]
+	dz := s.pz[i] - s.pz[j]
+	// Minimum-image convention for the periodic box.
+	dx -= s.box * math.Round(dx/s.box)
+	dy -= s.box * math.Round(dy/s.box)
+	dz -= s.box * math.Round(dz/s.box)
+	r2 := dx*dx + dy*dy + dz*dz + 1e-6
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	f := inv6 * (inv6 - 0.5) * inv2
+	ctr.FloatOps += 24
+	ctr.MemReads += 6
+	return f * dx, f * dy, f * dz
+}
+
+// integrate advances positions with the accumulated forces.
+func (s *waterSim) integrate(threads int) workload.Counters {
+	const dt = 1e-3
+	return workload.ParallelFor(s.n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.vx[i] += dt * s.fx[i]
+			s.vy[i] += dt * s.fy[i]
+			s.vz[i] += dt * s.fz[i]
+			s.px[i] = wrap(s.px[i]+dt*s.vx[i], s.box)
+			s.py[i] = wrap(s.py[i]+dt*s.vy[i], s.box)
+			s.pz[i] = wrap(s.pz[i]+dt*s.vz[i], s.box)
+			s.fx[i], s.fy[i], s.fz[i] = 0, 0, 0
+		}
+		span := uint64(hi - lo)
+		ctr.FloatOps += 12 * span
+		ctr.MemReads += 9 * span
+		ctr.MemWrites += 9 * span
+	})
+}
+
+func wrap(x, box float64) float64 {
+	if x < 0 {
+		return x + box
+	}
+	if x >= box {
+		return x - box
+	}
+	return x
+}
+
+func (s *waterSim) checksum() uint64 {
+	sum := uint64(0)
+	for i := 0; i < s.n; i += 3 {
+		sum = workload.Mix(sum, math.Float64bits(s.px[i]))
+		sum = workload.Mix(sum, math.Float64bits(s.vy[i]))
+	}
+	return sum
+}
+
+func (s *waterSim) allocCounters() workload.Counters {
+	return workload.Counters{
+		AllocBytes: uint64(9 * s.n * 8),
+		AllocCount: 9,
+	}
+}
+
+// WaterNSquared is the SPLASH-3 water-nsquared kernel: all-pairs O(N²)
+// force evaluation.
+type WaterNSquared struct{}
+
+var _ workload.Workload = WaterNSquared{}
+
+// Name implements workload.Workload.
+func (WaterNSquared) Name() string { return "water-nsquared" }
+
+// Suite implements workload.Workload.
+func (WaterNSquared) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (WaterNSquared) Description() string {
+	return "molecular dynamics with all-pairs O(N^2) force evaluation"
+}
+
+// DefaultInput implements workload.Workload.
+func (WaterNSquared) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 64, Seed: 6, Extra: map[string]int{"steps": 2}}
+	case workload.SizeSmall:
+		return workload.Input{N: 216, Seed: 6, Extra: map[string]int{"steps": 3}}
+	default:
+		return workload.Input{N: 1000, Seed: 6, Extra: map[string]int{"steps": 6}}
+	}
+}
+
+// Run implements workload.Workload.
+func (WaterNSquared) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	if in.N < 8 {
+		return workload.Counters{}, fmt.Errorf("%w: water size %d", workload.ErrBadInput, in.N)
+	}
+	steps := in.Get("steps", 4)
+	s := newWaterSim(in.N, in.Seed)
+
+	total := s.allocCounters()
+	for step := 0; step < steps; step++ {
+		// Per-molecule force: i's force sums over all j in fixed order, so
+		// the result is independent of how molecules are sharded.
+		c := workload.ParallelFor(s.n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var ax, ay, az float64
+				for j := 0; j < s.n; j++ {
+					if j == i {
+						continue
+					}
+					gx, gy, gz := s.pairForce(i, j, ctr)
+					ax += gx
+					ay += gy
+					az += gz
+				}
+				s.fx[i], s.fy[i], s.fz[i] = ax, ay, az
+				ctr.FloatOps += uint64(3 * s.n)
+				ctr.Branches += uint64(s.n)
+				ctr.MemWrites += 3
+			}
+		})
+		total.Add(c)
+		total.Add(s.integrate(threads))
+	}
+	total.Checksum = s.checksum()
+	return total, nil
+}
+
+// WaterSpatial is the SPLASH-3 water-spatial kernel: the same physics with
+// a uniform cell grid so each molecule only interacts with neighbors in the
+// 27 surrounding cells.
+type WaterSpatial struct{}
+
+var _ workload.Workload = WaterSpatial{}
+
+// Name implements workload.Workload.
+func (WaterSpatial) Name() string { return "water-spatial" }
+
+// Suite implements workload.Workload.
+func (WaterSpatial) Suite() string { return SuiteName }
+
+// Description implements workload.Workload.
+func (WaterSpatial) Description() string {
+	return "molecular dynamics with cell-list spatial decomposition"
+}
+
+// DefaultInput implements workload.Workload.
+func (WaterSpatial) DefaultInput(class workload.SizeClass) workload.Input {
+	switch class {
+	case workload.SizeTest:
+		return workload.Input{N: 64, Seed: 7, Extra: map[string]int{"steps": 2}}
+	case workload.SizeSmall:
+		return workload.Input{N: 512, Seed: 7, Extra: map[string]int{"steps": 3}}
+	default:
+		return workload.Input{N: 4096, Seed: 7, Extra: map[string]int{"steps": 6}}
+	}
+}
+
+// Run implements workload.Workload.
+func (WaterSpatial) Run(in workload.Input, threads int) (workload.Counters, error) {
+	threads, err := workload.ValidateThreads(threads)
+	if err != nil {
+		return workload.Counters{}, err
+	}
+	if in.N < 8 {
+		return workload.Counters{}, fmt.Errorf("%w: water size %d", workload.ErrBadInput, in.N)
+	}
+	steps := in.Get("steps", 4)
+	s := newWaterSim(in.N, in.Seed)
+
+	// Cell grid: side chosen so a cell is about one interaction radius.
+	side := int(s.box / 1.3)
+	if side < 3 {
+		side = 3
+	}
+	cellSize := s.box / float64(side)
+	nCells := side * side * side
+
+	total := s.allocCounters()
+	for step := 0; step < steps; step++ {
+		// Build cell lists sequentially (cheap, deterministic).
+		cells := make([][]int, nCells)
+		for i := 0; i < s.n; i++ {
+			cx := cellIndex(s.px[i], cellSize, side)
+			cy := cellIndex(s.py[i], cellSize, side)
+			cz := cellIndex(s.pz[i], cellSize, side)
+			idx := (cx*side+cy)*side + cz
+			cells[idx] = append(cells[idx], i)
+		}
+		total.IntOps += uint64(6 * s.n)
+		total.MemWrites += uint64(s.n)
+		total.AllocCount += uint64(nCells)
+
+		// Forces: for molecule i, iterate neighbor cells in fixed (dx,dy,dz)
+		// order and molecules within a cell in insertion order —
+		// deterministic regardless of sharding.
+		c := workload.ParallelFor(s.n, threads, func(ctr *workload.Counters, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cx := cellIndex(s.px[i], cellSize, side)
+				cy := cellIndex(s.py[i], cellSize, side)
+				cz := cellIndex(s.pz[i], cellSize, side)
+				var ax, ay, az float64
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							nx := (cx + dx + side) % side
+							ny := (cy + dy + side) % side
+							nz := (cz + dz + side) % side
+							for _, j := range cells[(nx*side+ny)*side+nz] {
+								if j == i {
+									continue
+								}
+								gx, gy, gz := s.pairForce(i, j, ctr)
+								ax += gx
+								ay += gy
+								az += gz
+								ctr.FloatOps += 3
+								ctr.Branches++
+							}
+							ctr.IntOps += 9
+							ctr.StridedReads++
+						}
+					}
+				}
+				s.fx[i], s.fy[i], s.fz[i] = ax, ay, az
+				ctr.MemWrites += 3
+			}
+		})
+		total.Add(c)
+		total.Add(s.integrate(threads))
+	}
+	total.Checksum = s.checksum()
+	return total, nil
+}
+
+func cellIndex(x, cellSize float64, side int) int {
+	c := int(x / cellSize)
+	if c < 0 {
+		c = 0
+	}
+	if c >= side {
+		c = side - 1
+	}
+	return c
+}

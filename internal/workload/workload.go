@@ -1,0 +1,267 @@
+// Package workload defines the benchmark-kernel substrate: the contract
+// every benchmark in every suite implements, plus the execution counters
+// that feed the modeled performance counters in internal/measure.
+//
+// The paper composes four benchmark suites (Phoenix, SPLASH, PARSEC, SPEC)
+// plus microbenchmarks; this reproduction implements real, deterministic,
+// multithreaded Go kernels for Phoenix, SPLASH-3, PARSEC, and micro (SPEC
+// CPU2006 is proprietary and, exactly as in the paper, "will not be
+// open-sourced as part of FEX"). Every kernel:
+//
+//   - actually computes its algorithm (FFT, LU, radix sort, n-body, …),
+//   - is deterministic for a given Input (fixed PRNG, fixed reduction
+//     order) regardless of thread count or scheduling,
+//   - counts its work (integer/float/trig operations, memory reads and
+//     writes, branches, allocations) so measurements are machine-independent,
+//   - returns a Checksum so the framework can verify that different build
+//     types computed the same result.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SizeClass selects input scale. Test inputs are tiny — they exist so that
+// "fex run -i test" can validate makefiles and scripts quickly (§III-A).
+type SizeClass int
+
+// Input size classes.
+const (
+	SizeTest SizeClass = iota + 1
+	SizeSmall
+	SizeNative
+)
+
+// String returns the class name as used by the -i flag.
+func (s SizeClass) String() string {
+	switch s {
+	case SizeTest:
+		return "test"
+	case SizeSmall:
+		return "small"
+	case SizeNative:
+		return "native"
+	default:
+		return fmt.Sprintf("SizeClass(%d)", int(s))
+	}
+}
+
+// ParseSizeClass parses a -i flag value.
+func ParseSizeClass(s string) (SizeClass, error) {
+	switch s {
+	case "test":
+		return SizeTest, nil
+	case "small":
+		return SizeSmall, nil
+	case "native", "":
+		return SizeNative, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown input class %q", s)
+	}
+}
+
+// Input parameterizes one kernel execution.
+type Input struct {
+	// N is the primary problem size (elements, particles, grid side, …).
+	N int
+	// Seed drives the kernel's deterministic PRNG.
+	Seed uint64
+	// Extra carries kernel-specific knobs (iterations, clusters, …).
+	Extra map[string]int
+}
+
+// Get returns Extra[key] or def when absent.
+func (in Input) Get(key string, def int) int {
+	if v, ok := in.Extra[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Counters is the execution profile of one kernel run. The modeled PMU in
+// internal/measure converts these into cycles/instructions/cache misses
+// using the active toolchain's cost vector.
+type Counters struct {
+	// IntOps counts integer ALU operations.
+	IntOps uint64
+	// FloatOps counts floating-point add/sub/mul/div operations.
+	FloatOps uint64
+	// TrigOps counts libm transcendental calls (sin, cos, exp, log, erf);
+	// separated because compiler/libm lowering quality differs most here.
+	TrigOps uint64
+	// SqrtOps counts square roots, which lower to a hardware instruction
+	// under every modeled compiler (unlike TrigOps).
+	SqrtOps uint64
+	// MemReads and MemWrites count data memory accesses.
+	MemReads  uint64
+	MemWrites uint64
+	// StridedReads counts non-sequential (cache-unfriendly) accesses.
+	StridedReads uint64
+	// Branches counts conditional branches.
+	Branches uint64
+	// AllocBytes and AllocCount track heap allocation (drives memory
+	// overhead experiments; redzone-style instrumentation scales with it).
+	AllocBytes uint64
+	AllocCount uint64
+	// SyncOps counts barrier/lock operations (multithreading overheads).
+	SyncOps uint64
+	// Checksum is an order-independent digest of the computed result, used
+	// to verify that all build types computed the same answer.
+	Checksum uint64
+}
+
+// Add accumulates other into c (checksums combine by XOR so the result is
+// independent of merge order).
+func (c *Counters) Add(other Counters) {
+	c.IntOps += other.IntOps
+	c.FloatOps += other.FloatOps
+	c.TrigOps += other.TrigOps
+	c.SqrtOps += other.SqrtOps
+	c.MemReads += other.MemReads
+	c.MemWrites += other.MemWrites
+	c.StridedReads += other.StridedReads
+	c.Branches += other.Branches
+	c.AllocBytes += other.AllocBytes
+	c.AllocCount += other.AllocCount
+	c.SyncOps += other.SyncOps
+	c.Checksum ^= other.Checksum
+}
+
+// TotalOps returns the total operation count (a rough instruction proxy).
+func (c *Counters) TotalOps() uint64 {
+	return c.IntOps + c.FloatOps + c.TrigOps + c.SqrtOps + c.MemReads + c.MemWrites + c.Branches
+}
+
+// Workload is one benchmark kernel.
+type Workload interface {
+	// Name is the benchmark name within its suite (e.g. "fft").
+	Name() string
+	// Suite is the suite name (e.g. "splash").
+	Suite() string
+	// Description is a one-line summary.
+	Description() string
+	// DefaultInput returns the input for a size class.
+	DefaultInput(class SizeClass) Input
+	// Run executes the kernel with the given thread count and returns its
+	// counters. Run must be deterministic in (in, threads) and must return
+	// the same Checksum for every thread count.
+	Run(in Input, threads int) (Counters, error)
+}
+
+// ErrBadInput reports an invalid kernel input.
+var ErrBadInput = errors.New("workload: invalid input")
+
+// DryRunner is implemented by workloads that require a preliminary warm-up
+// execution before every measured run. The framework honours it through a
+// per-benchmark hook, exactly as the paper implements Phoenix's dry run
+// "through a per_benchmark_action hook" (§II-A).
+type DryRunner interface {
+	NeedsDryRun() bool
+}
+
+// NeedsDryRun reports whether w requires a preliminary dry run.
+func NeedsDryRun(w Workload) bool {
+	dr, ok := w.(DryRunner)
+	return ok && dr.NeedsDryRun()
+}
+
+// ValidateThreads normalizes a thread count.
+func ValidateThreads(threads int) (int, error) {
+	if threads <= 0 {
+		return 0, fmt.Errorf("%w: thread count %d", ErrBadInput, threads)
+	}
+	if threads > 1024 {
+		return 0, fmt.Errorf("%w: thread count %d too large", ErrBadInput, threads)
+	}
+	return threads, nil
+}
+
+// Registry maps suite name → benchmark name → Workload.
+type Registry struct {
+	mu     sync.RWMutex
+	suites map[string]map[string]Workload
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{suites: make(map[string]map[string]Workload)}
+}
+
+// Register adds a workload; duplicate (suite, name) pairs are an error.
+func (r *Registry) Register(w Workload) error {
+	if w == nil {
+		return errors.New("workload: register nil workload")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	suite := r.suites[w.Suite()]
+	if suite == nil {
+		suite = make(map[string]Workload)
+		r.suites[w.Suite()] = suite
+	}
+	if _, dup := suite[w.Name()]; dup {
+		return fmt.Errorf("workload: duplicate %s/%s", w.Suite(), w.Name())
+	}
+	suite[w.Name()] = w
+	return nil
+}
+
+// RegisterAll registers every workload, stopping at the first error.
+func (r *Registry) RegisterAll(ws ...Workload) error {
+	for _, w := range ws {
+		if err := r.Register(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup returns the named workload.
+func (r *Registry) Lookup(suite, name string) (Workload, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.suites[suite]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown suite %q", suite)
+	}
+	w, ok := s[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q in suite %q", name, suite)
+	}
+	return w, nil
+}
+
+// Suite returns the workloads of a suite sorted by name.
+func (r *Registry) Suite(suite string) ([]Workload, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.suites[suite]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown suite %q", suite)
+	}
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Workload, 0, len(names))
+	for _, n := range names {
+		out = append(out, s[n])
+	}
+	return out, nil
+}
+
+// Suites returns the registered suite names, sorted.
+func (r *Registry) Suites() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.suites))
+	for s := range r.suites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -376,6 +376,77 @@ func BenchmarkAblation_ThreadScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_ParallelScaling demonstrates the -jobs experiment
+// scheduler: a 4-benchmark suite whose per-run action models one
+// fixed-length measurement period. Jobs: 4 must cut wall-clock time at
+// least 2× versus the paper-faithful serial loop while collecting a
+// byte-identical CSV (the scheduler's determinism contract).
+func BenchmarkAblation_ParallelScaling(b *testing.B) {
+	const measurementPeriod = 20 * time.Millisecond
+	fx := newFexB(b)
+	hooks := core.Hooks{
+		// No real builds: the cells' cost is purely the measurement period,
+		// so the timing isolates scheduling behaviour.
+		PerBenchmarkAction: func(rc *core.RunContext, buildType string, w workload.Workload) error {
+			return nil
+		},
+		PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+			time.Sleep(measurementPeriod)
+			return map[string]float64{"cycles": float64(len(w.Name())*1000 + threads)}, nil
+		},
+	}
+	if err := fx.RegisterExperiment(&core.Experiment{
+		Name: "parallel_scaling",
+		Kind: core.KindPerformance,
+		NewRunner: func(fx *core.Fex) (core.Runner, error) {
+			return &core.BenchRunner{Suite: "splash", Hooks: hooks}, nil
+		},
+		Collect: core.GenericCollect,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{
+		Experiment: "parallel_scaling",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft", "lu", "radix", "ocean"},
+		Input:      workload.SizeTest,
+	}
+	var speedup float64
+	var serialCSV, parallelCSV string
+	for i := 0; i < b.N; i++ {
+		cfg.Jobs = 1
+		start := time.Now()
+		serialReport, err := fx.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(start)
+
+		cfg.Jobs = 4
+		start = time.Now()
+		parallelReport, err := fx.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(start)
+
+		speedup = serial.Seconds() / parallel.Seconds()
+		serialCSV = serialReport.Table.CSVString()
+		parallelCSV = parallelReport.Table.CSVString()
+	}
+	if serialCSV != parallelCSV {
+		b.Fatalf("collected CSV differs between jobs=1 and jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
+			serialCSV, parallelCSV)
+	}
+	if speedup < 2 {
+		b.Fatalf("jobs=4 speedup %.2fx below the 2x floor on a 4-benchmark suite", speedup)
+	}
+	printTable("Parallel scheduler scaling (4 benchmarks, jobs=4)",
+		fmt.Sprintf("serial=4x%v  parallel~1x%v  speedup=%.2fx\n",
+			measurementPeriod, measurementPeriod, speedup))
+	b.ReportMetric(speedup, "jobs4-speedup")
+}
+
 // BenchmarkAblation_RepetitionEstimate exercises the Kalibera–Jones-style
 // repetition estimator over a realistic pilot sample (the statistics the
 // paper lists as future work).

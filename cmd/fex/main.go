@@ -14,7 +14,8 @@
 // Flags (matching §III-B): -t build types / plot kind, -b benchmark
 // filter, -m thread counts, -r repetitions, -i input class, -d debug
 // builds, -v verbose, --no-build, -o host output directory, --state state
-// file (container persistence between invocations).
+// file (container persistence between invocations), -jobs parallel
+// experiment cells (default 1: the paper's serial loop).
 package main
 
 import (
@@ -44,6 +45,7 @@ type cliArgs struct {
 	benches   []string
 	threads   []int
 	reps      int
+	jobs      int
 	input     string
 	debug     bool
 	verbose   bool
@@ -56,7 +58,7 @@ func parseArgs(argv []string) (cliArgs, error) {
 	if len(argv) == 0 {
 		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|list> -n <name> [args]")
 	}
-	args := cliArgs{action: argv[0], reps: 1}
+	args := cliArgs{action: argv[0], reps: 1, jobs: 1}
 	i := 1
 	next := func() (string, bool) {
 		if i < len(argv) && !strings.HasPrefix(argv[i], "-") {
@@ -110,6 +112,16 @@ func parseArgs(argv []string) (cliArgs, error) {
 				return args, fmt.Errorf("bad -r value %q: %w", v, err)
 			}
 			args.reps = n
+		case "-jobs":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-jobs requires a value")
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return args, fmt.Errorf("bad -jobs value %q (want a positive integer)", v)
+			}
+			args.jobs = n
 		case "-i":
 			v, ok := next()
 			if !ok {
@@ -286,6 +298,7 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		Benchmarks: args.benches,
 		Threads:    args.threads,
 		Reps:       args.reps,
+		Jobs:       args.jobs,
 		Debug:      args.debug,
 		Verbose:    args.verbose,
 		NoBuild:    args.noBuild,

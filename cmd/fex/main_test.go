@@ -14,6 +14,7 @@ func TestParseArgsRunFlags(t *testing.T) {
 		"-b", "fft", "lu",
 		"-m", "1", "2", "4",
 		"-r", "10",
+		"-jobs", "4",
 		"-i", "test",
 		"-d", "-v", "--no-build",
 		"-o", "/tmp/out",
@@ -34,6 +35,9 @@ func TestParseArgsRunFlags(t *testing.T) {
 	if args.reps != 10 || args.input != "test" {
 		t.Errorf("reps/input: %d/%q", args.reps, args.input)
 	}
+	if args.jobs != 4 {
+		t.Errorf("jobs: %d, want 4", args.jobs)
+	}
 	if !args.debug || !args.verbose || !args.noBuild {
 		t.Error("boolean flags not parsed")
 	}
@@ -49,6 +53,9 @@ func TestParseArgsErrors(t *testing.T) {
 		{"run", "-t"},            // -t without values
 		{"run", "-r", "notanum"}, // bad -r
 		{"run", "-m", "x"},       // bad -m
+		{"run", "-jobs"},         // -jobs without value
+		{"run", "-jobs", "zero"}, // bad -jobs
+		{"run", "-jobs", "0"},    // -jobs below 1
 		{"run", "--bogus"},       // unknown flag
 		{"run", "-o"},            // -o without value
 	}

@@ -1,0 +1,3 @@
+module fex
+
+go 1.22

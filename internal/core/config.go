@@ -56,6 +56,11 @@ type Config struct {
 	// Tool selects the measurement tool ("perf-stat", "perf-stat-mem",
 	// "time"); empty uses the experiment default.
 	Tool string
+	// Jobs bounds the experiment scheduler's worker pool (-jobs): how many
+	// (build type, benchmark) cells run concurrently. 0 or 1 preserves the
+	// paper's strictly serial loop; measured repetitions within a cell are
+	// serialized regardless (see schedule.go).
+	Jobs int
 }
 
 // Normalize validates the config and fills defaults.
@@ -89,6 +94,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.Input == 0 {
 		c.Input = workload.SizeNative
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 1
 	}
 	return nil
 }
@@ -128,6 +136,9 @@ func (c Config) String() string {
 	}
 	if c.Input != 0 && c.Input != workload.SizeNative {
 		sb.WriteString(" -i " + c.Input.String())
+	}
+	if c.Jobs > 1 {
+		sb.WriteString(" -jobs " + strconv.Itoa(c.Jobs))
 	}
 	if c.Debug {
 		sb.WriteString(" -d")

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -278,14 +279,14 @@ func (fx *Fex) RegisterEnvProvider(key string, p env.Provider) error {
 }
 
 // logPath returns the container path of an experiment's run log.
-func logPath(experiment string) string { return LogDir + "/" + experiment + ".log" }
+func logPath(experiment string) string { return filepath.Join(LogDir, experiment+".log") }
 
 // csvPath returns the container path of an experiment's aggregated CSV.
-func csvPath(experiment string) string { return ResultDir + "/" + experiment + ".csv" }
+func csvPath(experiment string) string { return filepath.Join(ResultDir, experiment+".csv") }
 
 // plotPath returns the container path of a rendered plot.
 func plotPath(experiment, kind string) string {
-	return PlotDir + "/" + experiment + "_" + kind + ".svg"
+	return filepath.Join(PlotDir, experiment+"_"+kind+".svg")
 }
 
 // RunReport summarizes one experiment execution.

@@ -76,47 +76,81 @@ var errSkipBenchmark = errors.New("core: skip benchmark")
 // current benchmark.
 func SkipBenchmark() error { return errSkipBenchmark }
 
-// Run implements Runner: the experiment loop.
+// Run implements Runner: the experiment loop. With Config.Jobs > 1 the
+// independent (build type, benchmark) cells of the loop run on a bounded
+// worker pool (see schedule.go); the default of 1 executes the
+// paper-faithful serial order.
 func (r *BenchRunner) Run(rc *RunContext) error {
 	benches, err := rc.Fex.selectBenchmarks(r.Suite, rc.Config.Benchmarks)
 	if err != nil {
 		return err
+	}
+	if rc.Config.Jobs > 1 {
+		return r.runParallel(rc, benches)
 	}
 	for _, buildType := range rc.Config.BuildTypes {
 		if err := r.perType(rc, buildType); err != nil {
 			return fmt.Errorf("experiment %s, type %s: %w", rc.Config.Experiment, buildType, err)
 		}
 		for _, w := range benches {
-			err := r.perBenchmark(rc, buildType, w)
-			if errors.Is(err, errSkipBenchmark) {
-				rc.Log.WriteNote(fmt.Sprintf("skipped %s/%s [%s]", w.Suite(), w.Name(), buildType))
-				continue
+			if err := r.runCell(rc, buildType, w); err != nil {
+				return err
 			}
+		}
+	}
+	return nil
+}
+
+// runParallel executes the loop's cells on the worker pool. Per-type
+// actions keep their ordering guarantee relative to their own cells: every
+// PerTypeAction runs (serially, in -t order) before any cell starts. That
+// is the one observable reordering versus the serial loop, where a later
+// type's action runs after the earlier type's benchmarks.
+func (r *BenchRunner) runParallel(rc *RunContext, benches []workload.Workload) error {
+	return runParallel(rc, benches,
+		func(buildType string) error {
+			if err := r.perType(rc, buildType); err != nil {
+				return fmt.Errorf("experiment %s, type %s: %w", rc.Config.Experiment, buildType, err)
+			}
+			return nil
+		},
+		func(cellRC *RunContext, c cell) error {
+			return r.runCell(cellRC, c.buildType, c.workload)
+		})
+}
+
+// runCell executes one cell — per-benchmark action, then the serialized
+// threads × repetitions sweep — writing records to rc.Log. A
+// SkipBenchmark() from the per-benchmark action skips exactly this cell.
+func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workload) error {
+	err := r.perBenchmark(rc, buildType, w)
+	if errors.Is(err, errSkipBenchmark) {
+		rc.Log.WriteNote(fmt.Sprintf("skipped %s/%s [%s]", w.Suite(), w.Name(), buildType))
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("experiment %s, %s/%s [%s]: %w",
+			rc.Config.Experiment, w.Suite(), w.Name(), buildType, err)
+	}
+	for _, threads := range rc.Config.Threads {
+		if err := r.perThread(rc, buildType, w, threads); err != nil {
+			return fmt.Errorf("experiment %s, %s/%s [%s] m=%d: %w",
+				rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, err)
+		}
+		for rep := 0; rep < rc.Config.Reps; rep++ {
+			values, err := r.perRun(rc, buildType, w, threads, rep)
 			if err != nil {
-				return fmt.Errorf("experiment %s, %s/%s [%s]: %w",
-					rc.Config.Experiment, w.Suite(), w.Name(), buildType, err)
+				return fmt.Errorf("experiment %s, %s/%s [%s] m=%d rep=%d: %w",
+					rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, rep, err)
 			}
-			for _, threads := range rc.Config.Threads {
-				if err := r.perThread(rc, buildType, w, threads); err != nil {
-					return fmt.Errorf("experiment %s, %s/%s [%s] m=%d: %w",
-						rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, err)
-				}
-				for rep := 0; rep < rc.Config.Reps; rep++ {
-					values, err := r.perRun(rc, buildType, w, threads, rep)
-					if err != nil {
-						return fmt.Errorf("experiment %s, %s/%s [%s] m=%d rep=%d: %w",
-							rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, rep, err)
-					}
-					rc.Log.WriteMeasurement(runlog.Measurement{
-						Suite:     w.Suite(),
-						Benchmark: w.Name(),
-						BuildType: buildType,
-						Threads:   threads,
-						Rep:       rep,
-						Values:    values,
-					})
-				}
-			}
+			rc.Log.WriteMeasurement(runlog.Measurement{
+				Suite:     w.Suite(),
+				Benchmark: w.Name(),
+				BuildType: buildType,
+				Threads:   threads,
+				Rep:       rep,
+				Values:    values,
+			})
 		}
 	}
 	return nil
@@ -208,7 +242,9 @@ type VariableInputRunner struct {
 var _ Runner = (*VariableInputRunner)(nil)
 
 // Run implements Runner with the extended loop: build types × benchmarks ×
-// inputs × thread counts × repetitions.
+// inputs × thread counts × repetitions. Like BenchRunner, Config.Jobs > 1
+// runs the (build type, benchmark) cells on the worker pool; the input
+// sweep stays inside the cell, serialized.
 func (r *VariableInputRunner) Run(rc *RunContext) error {
 	inputs := r.Inputs
 	if len(inputs) == 0 {
@@ -218,6 +254,18 @@ func (r *VariableInputRunner) Run(rc *RunContext) error {
 	if err != nil {
 		return err
 	}
+	if rc.Config.Jobs > 1 {
+		return runParallel(rc, benches,
+			func(buildType string) error {
+				if r.Hooks.PerTypeAction != nil {
+					return r.Hooks.PerTypeAction(rc, buildType)
+				}
+				return nil
+			},
+			func(cellRC *RunContext, c cell) error {
+				return r.runCell(cellRC, c.buildType, c.workload, inputs)
+			})
+	}
 	for _, buildType := range rc.Config.BuildTypes {
 		if r.Hooks.PerTypeAction != nil {
 			if err := r.Hooks.PerTypeAction(rc, buildType); err != nil {
@@ -225,32 +273,41 @@ func (r *VariableInputRunner) Run(rc *RunContext) error {
 			}
 		}
 		for _, w := range benches {
-			if err := DefaultPerBenchmark(rc, buildType, w); err != nil {
-				return fmt.Errorf("variable-input %s/%s [%s]: %w", w.Suite(), w.Name(), buildType, err)
-			}
-			artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
-			if err != nil {
+			if err := r.runCell(rc, buildType, w, inputs); err != nil {
 				return err
 			}
-			for _, input := range inputs {
-				for _, threads := range rc.Config.Threads {
-					for rep := 0; rep < rc.Config.Reps; rep++ {
-						values, err := executeWithTool(artifact, w.DefaultInput(input), threads, rc.Config.Tool)
-						if err != nil {
-							return fmt.Errorf("variable-input %s/%s [%s] input=%s: %w",
-								w.Suite(), w.Name(), buildType, input, err)
-						}
-						values["input_class"] = float64(input)
-						rc.Log.WriteMeasurement(runlog.Measurement{
-							Suite:     w.Suite(),
-							Benchmark: w.Name() + ":" + input.String(),
-							BuildType: buildType,
-							Threads:   threads,
-							Rep:       rep,
-							Values:    values,
-						})
-					}
+		}
+	}
+	return nil
+}
+
+// runCell executes one variable-input cell: build + dry run, then the
+// serialized inputs × threads × repetitions sweep.
+func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w workload.Workload, inputs []workload.SizeClass) error {
+	if err := DefaultPerBenchmark(rc, buildType, w); err != nil {
+		return fmt.Errorf("variable-input %s/%s [%s]: %w", w.Suite(), w.Name(), buildType, err)
+	}
+	artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+	if err != nil {
+		return err
+	}
+	for _, input := range inputs {
+		for _, threads := range rc.Config.Threads {
+			for rep := 0; rep < rc.Config.Reps; rep++ {
+				values, err := executeWithTool(artifact, w.DefaultInput(input), threads, rc.Config.Tool)
+				if err != nil {
+					return fmt.Errorf("variable-input %s/%s [%s] input=%s: %w",
+						w.Suite(), w.Name(), buildType, input, err)
 				}
+				values["input_class"] = float64(input)
+				rc.Log.WriteMeasurement(runlog.Measurement{
+					Suite:     w.Suite(),
+					Benchmark: w.Name() + ":" + input.String(),
+					BuildType: buildType,
+					Threads:   threads,
+					Rep:       rep,
+					Values:    values,
+				})
 			}
 		}
 	}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"fex/internal/runlog"
+	"fex/internal/workload"
+)
+
+// This file is the parallel experiment scheduler. The paper's experiment
+// loop (Figure 4) iterates build types × benchmarks × threads ×
+// repetitions strictly in order; cells of that loop that share no state —
+// one (build type, benchmark) pair each — can run concurrently without
+// affecting measurement validity, because the measured repetitions inside
+// a cell stay serialized. Config.Jobs bounds the worker pool; the default
+// of 1 keeps the paper-faithful serial order.
+//
+// Determinism contract: every cell logs into a private runlog.Shard, and
+// the shards are merged into the main log in canonical loop order, so the
+// stored log — and therefore Collect's CSV — is byte-identical to a
+// serial run's (modulo live wall-clock metrics). Verbose -v output is
+// serialized line-by-line but interleaves across cells in completion
+// order.
+
+// cell is one independent unit of the experiment loop: one
+// (build type, benchmark) pair. Thread counts and repetitions stay inside
+// the cell, serialized.
+type cell struct {
+	buildType string
+	workload  workload.Workload
+}
+
+// makeCells decomposes a run into cells in canonical loop order: build
+// types outermost, benchmarks innermost, exactly as the serial loop
+// visits them.
+func makeCells(buildTypes []string, benches []workload.Workload) []cell {
+	out := make([]cell, 0, len(buildTypes)*len(benches))
+	for _, bt := range buildTypes {
+		for _, w := range benches {
+			out = append(out, cell{buildType: bt, workload: w})
+		}
+	}
+	return out
+}
+
+// runParallel is the shared parallel path of the runners: it executes
+// perType for every build type (serially, in -t order, before any cell
+// starts), fans the cells out on the worker pool, and merges the cell
+// shards into rc.Log in canonical order.
+func runParallel(rc *RunContext, benches []workload.Workload, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
+	for _, buildType := range rc.Config.BuildTypes {
+		if err := perType(buildType); err != nil {
+			return err
+		}
+	}
+	shards, err := runCells(rc, makeCells(rc.Config.BuildTypes, benches), cellFn)
+	if mergeErr := rc.Log.Append(shards...); mergeErr != nil && err == nil {
+		err = mergeErr
+	}
+	return err
+}
+
+// runCells executes fn over the cells on a bounded pool of
+// rc.Config.Jobs workers. Each invocation receives a derived RunContext
+// whose Log writes to a private shard and whose Verbose writer is
+// serialized across cells. The returned shards are in canonical (input)
+// order regardless of completion order; a nil shard marks a cell that was
+// never dispatched because an earlier failure stopped the run.
+//
+// Error semantics mirror the serial loop as closely as concurrency
+// allows: after any cell fails, no new cells are dispatched (in-flight
+// ones finish), and the earliest failed cell in canonical order among
+// those that ran determines the returned error.
+func runCells(rc *RunContext, cells []cell, fn func(*RunContext, cell) error) ([]*runlog.Shard, error) {
+	jobs := rc.Config.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+	shards := make([]*runlog.Shard, len(cells))
+	errs := make([]error, len(cells))
+	verbose := newSyncWriter(rc.Verbose)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for n := 0; n < jobs; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// A cell may have been queued just before another cell
+				// failed; don't start it (its shard stays nil).
+				if failed.Load() {
+					continue
+				}
+				shard := runlog.NewShard()
+				shards[i] = shard
+				cellRC := &RunContext{
+					Fex:     rc.Fex,
+					Config:  rc.Config,
+					Env:     rc.Env,
+					Log:     shard.Writer(),
+					Verbose: verbose,
+				}
+				if err := fn(cellRC, cells[i]); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		if failed.Load() {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return shards, err
+		}
+	}
+	return shards, nil
+}
+
+// syncWriter serializes concurrent writes so -v progress lines from
+// parallel cells never interleave mid-line (each logf call is a single
+// Write).
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// newSyncWriter wraps w in a write lock; nil stays nil so logf's
+// nil-check keeps working.
+func newSyncWriter(w io.Writer) io.Writer {
+	if w == nil {
+		return nil
+	}
+	return &syncWriter{w: w}
+}
+
+func (sw *syncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
+}

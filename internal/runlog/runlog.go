@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -69,8 +70,14 @@ type Note struct {
 	Text string
 }
 
-// Writer serializes records to an io.Writer.
+// Writer serializes records to an io.Writer. It is safe for concurrent
+// use: each record is written atomically under an internal lock, so
+// parallel experiment cells can share one Writer without tearing lines.
+// Record *ordering* under concurrency is whatever the scheduler produces;
+// callers that need deterministic logs buffer records per cell in a Shard
+// and merge the shards in canonical order via Append.
 type Writer struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	err error
 }
@@ -81,6 +88,8 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 func (lw *Writer) writeLine(parts ...string) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
 	if lw.err != nil {
 		return
 	}
@@ -139,10 +148,56 @@ func (lw *Writer) WriteNote(text string) {
 
 // Flush flushes buffered records and returns the first error encountered.
 func (lw *Writer) Flush() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
 	if lw.err != nil {
 		return lw.err
 	}
 	return lw.w.Flush()
+}
+
+// Shard is an in-memory log fragment: a private Writer one experiment
+// cell appends to while running concurrently with other cells. After the
+// run, shards are merged into the main log in canonical loop order with
+// Writer.Append, which makes a parallel run's log byte-identical to the
+// serial run's.
+type Shard struct {
+	buf strings.Builder
+	w   *Writer
+}
+
+// NewShard returns an empty log fragment.
+func NewShard() *Shard {
+	s := &Shard{}
+	s.w = NewWriter(&s.buf)
+	return s
+}
+
+// Writer returns the shard's record writer.
+func (s *Shard) Writer() *Writer { return s.w }
+
+// Append flushes each shard and appends its records to lw in argument
+// order. Nil shards (cells that never ran, e.g. after an earlier cell
+// failed) are skipped. It returns the first shard or writer error.
+func (lw *Writer) Append(shards ...*Shard) error {
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		lw.mu.Lock()
+		if lw.err == nil {
+			_, lw.err = lw.w.WriteString(s.buf.String())
+		}
+		err := lw.err
+		lw.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Log is a fully parsed experiment log.

@@ -15,7 +15,11 @@
 // filter, -m thread counts, -r repetitions, -i input class, -d debug
 // builds, -v verbose, --no-build, -o host output directory, --state state
 // file (container persistence between invocations), -jobs parallel
-// experiment cells (default 1: the paper's serial loop).
+// experiment cells (default 1: the paper's serial loop), -hosts
+// comma-separated cluster worker hosts (cells are dispatched remotely
+// with failover; logs stay byte-identical to a serial run),
+// --modeled-time record modeled instead of live wall time (makes logs
+// fully machine-independent).
 package main
 
 import (
@@ -46,10 +50,12 @@ type cliArgs struct {
 	threads   []int
 	reps      int
 	jobs      int
+	hosts     []string
 	input     string
 	debug     bool
 	verbose   bool
 	noBuild   bool
+	modelTime bool
 	outDir    string
 	stateFile string
 }
@@ -122,6 +128,18 @@ func parseArgs(argv []string) (cliArgs, error) {
 				return args, fmt.Errorf("bad -jobs value %q (want a positive integer)", v)
 			}
 			args.jobs = n
+		case "-hosts":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-hosts requires a comma-separated host list")
+			}
+			for _, h := range strings.Split(v, ",") {
+				h = strings.TrimSpace(h)
+				if h == "" {
+					return args, fmt.Errorf("bad -hosts value %q (empty host name)", v)
+				}
+				args.hosts = append(args.hosts, h)
+			}
 		case "-i":
 			v, ok := next()
 			if !ok {
@@ -134,6 +152,8 @@ func parseArgs(argv []string) (cliArgs, error) {
 			args.verbose = true
 		case "--no-build":
 			args.noBuild = true
+		case "--modeled-time":
+			args.modelTime = true
 		case "-o":
 			v, ok := next()
 			if !ok {
@@ -299,9 +319,11 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		Threads:    args.threads,
 		Reps:       args.reps,
 		Jobs:       args.jobs,
+		Hosts:      args.hosts,
 		Debug:      args.debug,
 		Verbose:    args.verbose,
 		NoBuild:    args.noBuild,
+		ModelTime:  args.modelTime,
 	}
 	if args.input != "" {
 		cls, err := workload.ParseSizeClass(args.input)

@@ -177,3 +177,67 @@ func TestCLIRunRequiresName(t *testing.T) {
 		}
 	}
 }
+
+func TestParseArgsClusterFlags(t *testing.T) {
+	args, err := parseArgs([]string{
+		"run", "-n", "splash",
+		"-t", "gcc_native",
+		"-hosts", "w1, w2,w3",
+		"--modeled-time",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args.hosts) != 3 || args.hosts[0] != "w1" || args.hosts[1] != "w2" || args.hosts[2] != "w3" {
+		t.Errorf("hosts %v", args.hosts)
+	}
+	if !args.modelTime {
+		t.Error("--modeled-time not parsed")
+	}
+
+	for _, argv := range [][]string{
+		{"run", "-hosts"},           // missing value
+		{"run", "-hosts", "w1,,w2"}, // empty host name
+	} {
+		if _, err := parseArgs(argv); err == nil {
+			t.Errorf("parseArgs(%v): expected error", argv)
+		}
+	}
+}
+
+func TestCLIClusterRunMatchesSerialCSV(t *testing.T) {
+	serialDir, clusterDir := t.TempDir(), t.TempDir()
+	if err := run([]string{
+		"run", "-n", "micro",
+		"-t", "gcc_native", "gcc_asan",
+		"-i", "test", "-r", "2",
+		"--modeled-time",
+		"-o", serialDir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"run", "-n", "micro",
+		"-t", "gcc_native", "gcc_asan",
+		"-i", "test", "-r", "2",
+		"--modeled-time",
+		"-hosts", "w1,w2",
+		"-o", clusterDir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := os.ReadFile(filepath.Join(serialDir, "micro.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := os.ReadFile(filepath.Join(clusterDir, "micro.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial) != string(cluster) {
+		t.Errorf("cluster CSV differs from serial CSV:\n--- serial ---\n%s\n--- cluster ---\n%s", serial, cluster)
+	}
+	if len(serial) == 0 {
+		t.Error("empty CSV")
+	}
+}

@@ -409,6 +409,29 @@ func (c *Container) Stopped() bool {
 	return c.stopped
 }
 
+// Clone instantiates a new container carrying a copy of this container's
+// current filesystem and environment — the cluster-distribution step: the
+// coordinator ships its container state (benchmark sources plus whatever
+// the setup stage installed) to a worker host, which boots a private
+// replica. The clone shares nothing mutable with the original; writes on
+// either side stay invisible to the other.
+func (c *Container) Clone(id string) (*Container, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return nil, ErrStopped
+	}
+	if id == "" {
+		return nil, errors.New("container: clone requires an id")
+	}
+	fsys := c.fs.Clone()
+	envCopy := make(map[string]string, len(c.env))
+	for k, v := range c.env {
+		envCopy[k] = v
+	}
+	return &Container{ID: id, image: c.image, fs: fsys, env: envCopy}, nil
+}
+
 // Commit snapshots the container's current filesystem as a new image layer
 // stacked on the original image — used to persist setup-stage installs.
 func (c *Container) Commit(name, tag, comment string) (*Image, error) {

@@ -301,3 +301,72 @@ func TestRunNilImage(t *testing.T) {
 		t.Error("expected error for nil image")
 	}
 }
+
+func TestCloneIsolatesFilesystemAndEnv(t *testing.T) {
+	img, err := BuildBaseImage(BaseImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := orig.FS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.WriteFile("/state/installed.txt", []byte("gcc-6.1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Setenv("ROLE", "coordinator"); err != nil {
+		t.Fatal(err)
+	}
+
+	clone, err := orig.Clone("worker-w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := clone.FS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State present at clone time is carried over.
+	data, err := cfs.ReadFile("/state/installed.txt")
+	if err != nil || string(data) != "gcc-6.1" {
+		t.Fatalf("clone missing pre-clone state: %q, %v", data, err)
+	}
+	if v, _ := clone.Getenv("ROLE"); v != "coordinator" {
+		t.Errorf("clone env ROLE = %q", v)
+	}
+	// Writes after the clone stay private to each side.
+	if err := cfs.WriteFile("/state/worker.txt", []byte("w1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fsys.Exists("/state/worker.txt") {
+		t.Error("clone write leaked into the original container")
+	}
+	if err := fsys.WriteFile("/state/coord.txt", []byte("c"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if cfs.Exists("/state/coord.txt") {
+		t.Error("original write leaked into the clone")
+	}
+}
+
+func TestCloneValidation(t *testing.T) {
+	img, err := BuildBaseImage(BaseImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctr.Clone(""); err == nil {
+		t.Error("empty clone id accepted")
+	}
+	ctr.Stop()
+	if _, err := ctr.Clone("x"); err == nil {
+		t.Error("clone of stopped container accepted")
+	}
+}

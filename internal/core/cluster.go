@@ -1,0 +1,317 @@
+package core
+
+// This file is the cluster execution tier: the distributed backend of the
+// experiment scheduler (schedule.go). The paper lists distributed
+// experiments as future work ("e.g., using the Fabric library", §IV-B);
+// this tier realizes them over the in-process cluster model of
+// internal/remote, keeping the determinism contract of the local
+// scheduler intact.
+//
+// Topology: one worker per configured host (-hosts h1,h2,...). A worker
+// is the host-side half of the experiment — a private container cloned
+// from the coordinator's (the "ship the image to each host" step), its
+// own build system over that container, and a registered "run-cell"
+// command standing in for the SSH session that executes one experiment
+// cell remotely. The coordinator places (build type, benchmark) cells
+// onto idle workers, fetches each cell's shard log from the Host.Run
+// output, and merges the shards into the main log in canonical loop
+// order — so a cluster run's stored log and CSV are byte-identical to a
+// serial local run's.
+//
+// Failover: a cell whose host returns remote.ErrUnreachable is retried
+// on the next healthy host; the dead host leaves the placement pool for
+// the rest of the run and the failover is logged once to the -v stream
+// (never to the run log, which must stay byte-identical). Only when no
+// healthy host remains for a cell does the run fail, with an error that
+// names the cell and every host tried.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fex/internal/buildsys"
+	"fex/internal/installer"
+	"fex/internal/remote"
+	"fex/internal/runlog"
+)
+
+// cmdRunCell is the remote command a worker registers for cell execution
+// (the in-process stand-in for "ssh host fex run-cell ...").
+const cmdRunCell = "run-cell"
+
+// clusterWorker is one host's execution side: the remote host handle
+// plus, once the first cell lands on it, a private container cloned from
+// the coordinator and a build system bound to that container. Every cell
+// dispatched to the worker builds and runs against this private state,
+// so workers share nothing mutable.
+type clusterWorker struct {
+	host *remote.Host
+	fx   *Fex
+
+	// Provisioning (container clone + build system assembly) is lazy:
+	// it runs on the worker's first placement, so spare failover hosts
+	// that never receive a cell cost nothing.
+	provision sync.Once
+	build     *buildsys.System
+	provErr   error
+}
+
+// buildSystem provisions the worker on first use — the "ship the image
+// to the host" step: clone the coordinator container (after its
+// CleanBuild, so every worker starts from the same pristine,
+// fully-installed state) and assemble a build system over the clone.
+func (w *clusterWorker) buildSystem() (*buildsys.System, error) {
+	w.provision.Do(func() {
+		name := w.host.Name()
+		ctr, err := w.fx.ctr.Clone("worker-" + name)
+		if err != nil {
+			w.provErr = fmt.Errorf("cluster: provision %s: %w", name, err)
+			return
+		}
+		inst, err := installer.New(w.fx.repo, ctr)
+		if err != nil {
+			w.provErr = fmt.Errorf("cluster: provision %s: %w", name, err)
+			return
+		}
+		fsys, err := ctr.FS()
+		if err != nil {
+			w.provErr = fmt.Errorf("cluster: provision %s: %w", name, err)
+			return
+		}
+		w.build, w.provErr = newBenchBuildSystem(fsys, inst.IsInstalled, w.fx.registry)
+	})
+	return w.build, w.provErr
+}
+
+// clusterWorkers resolves one worker per configured host, ensuring the
+// hosts exist in the framework cluster. The heavyweight per-host state is
+// provisioned lazily by buildSystem.
+func (fx *Fex) clusterWorkers(hosts []string) ([]*clusterWorker, error) {
+	workers := make([]*clusterWorker, 0, len(hosts))
+	for _, name := range hosts {
+		h, err := fx.cluster.Ensure(name)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %q: %w", name, err)
+		}
+		workers = append(workers, &clusterWorker{host: h, fx: fx})
+	}
+	return workers, nil
+}
+
+// clusterResult is one remote cell execution's outcome, reported back to
+// the coordinator loop.
+type clusterResult struct {
+	cell   int
+	worker int
+	shard  *runlog.Shard
+	err    error
+}
+
+// runCellsCluster executes the cells on the cluster workers named by
+// rc.Config.Hosts. Placement is work-conserving: each worker runs one
+// cell at a time, and idle workers pull the earliest queued cell they
+// have not yet attempted, so fast hosts absorb more of the run. The
+// returned shards are in canonical (input) order regardless of placement;
+// nil shards mark cells that were never dispatched because an earlier
+// failure stopped the run. Error semantics mirror runCells: after a
+// genuine cell failure no new cells are dispatched, and the earliest
+// failed cell in canonical order determines the returned error.
+func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) error) ([]*runlog.Shard, error) {
+	shards := make([]*runlog.Shard, len(cells))
+	if len(cells) == 0 {
+		return shards, nil
+	}
+	workers, err := rc.Fex.clusterWorkers(rc.Config.Hosts)
+	if err != nil {
+		return nil, err
+	}
+	verbose := newSyncWriter(rc.Verbose)
+	// Coordinator-side context: shares the run log but logs through the
+	// serialized verbose writer, like the cell contexts.
+	vrc := &RunContext{Fex: rc.Fex, Config: rc.Config, Env: rc.Env, Log: rc.Log, Verbose: verbose}
+	vrc.logf("== cluster: %d cells across %d hosts (%s)",
+		len(cells), len(workers), strings.Join(rc.Config.Hosts, ", "))
+
+	// Register the run-cell command on every worker. The handler executes
+	// one cell against the worker's private build system, buffering its
+	// records in a fresh shard, and ships the shard text back as the
+	// command's log output.
+	for wi, w := range workers {
+		w := w
+		handler := func(ctx context.Context, job remote.Job) (remote.Output, error) {
+			i, err := strconv.Atoi(job.Args["cell"])
+			if err != nil || i < 0 || i >= len(cells) {
+				return remote.Output{}, fmt.Errorf("cluster: bad cell index %q", job.Args["cell"])
+			}
+			build, err := w.buildSystem()
+			if err != nil {
+				return remote.Output{}, err
+			}
+			shard := runlog.NewShard()
+			cellRC := &RunContext{
+				Fex:     rc.Fex,
+				Config:  rc.Config,
+				Env:     rc.Env,
+				Log:     shard.Writer(),
+				Verbose: verbose,
+				build:   build,
+			}
+			if err := fn(cellRC, cells[i]); err != nil {
+				return remote.Output{}, err
+			}
+			text, err := shard.Text()
+			if err != nil {
+				return remote.Output{}, err
+			}
+			return remote.Output{Log: text}, nil
+		}
+		if err := workers[wi].host.RegisterCommand(cmdRunCell, handler); err != nil {
+			return nil, err
+		}
+	}
+	// Tear the run-cell sessions down when the run ends: the handler
+	// closures capture the workers' cloned containers and build caches,
+	// which must not outlive the run on the long-lived cluster hosts.
+	defer func() {
+		for _, w := range workers {
+			w.host.UnregisterCommand(cmdRunCell)
+		}
+	}()
+
+	var (
+		ctx     = context.Background()
+		results = make(chan clusterResult)
+		errs    = make([]error, len(cells))
+		// queue holds undispatched cell indices in canonical order;
+		// attempted[i] records the hosts cell i was placed on; down marks
+		// workers observed unreachable (out of the pool for this run).
+		queue     = make([]int, 0, len(cells))
+		attempted = make([]map[string]bool, len(cells))
+		idle      = make([]int, 0, len(workers))
+		down      = make(map[int]bool, len(workers))
+		inFlight  = 0
+		stop      = false
+	)
+	for i := range cells {
+		queue = append(queue, i)
+		attempted[i] = make(map[string]bool)
+	}
+	for wi := range workers {
+		idle = append(idle, wi)
+	}
+
+	launch := func(wi, ci int) {
+		attempted[ci][workers[wi].host.Name()] = true
+		inFlight++
+		go func() {
+			out, err := workers[wi].host.Run(ctx, remote.Job{
+				Command: cmdRunCell,
+				Args:    map[string]string{"cell": strconv.Itoa(ci)},
+			})
+			if err != nil {
+				results <- clusterResult{cell: ci, worker: wi, err: err}
+				return
+			}
+			// The command output is the fetched shard log; rebuild the
+			// shard so it merges through the same Append path as local
+			// cells.
+			results <- clusterResult{cell: ci, worker: wi, shard: runlog.RestoreShard(out.Log)}
+		}()
+	}
+
+	// triedHosts renders the hosts a cell was attempted on, in -hosts
+	// order, for error attribution.
+	triedHosts := func(ci int) string {
+		var tried []string
+		for _, w := range workers {
+			if attempted[ci][w.host.Name()] {
+				tried = append(tried, w.host.Name())
+			}
+		}
+		return strings.Join(tried, ", ")
+	}
+
+	// assign places queued cells onto idle workers. A queued cell with no
+	// untried healthy host left fails the run: every placement was lost to
+	// unreachable hosts.
+	assign := func() {
+		if stop {
+			return
+		}
+		for qi := 0; qi < len(queue); {
+			ci := queue[qi]
+			eligible := false
+			for wi := range workers {
+				if !down[wi] && !attempted[ci][workers[wi].host.Name()] {
+					eligible = true
+					break
+				}
+			}
+			if !eligible {
+				c := cells[ci]
+				errs[ci] = fmt.Errorf("cluster: cell %s/%s [%s]: no reachable host left of %s (tried %s): %w",
+					c.workload.Suite(), c.workload.Name(), c.buildType,
+					strings.Join(rc.Config.Hosts, ", "), triedHosts(ci), remote.ErrUnreachable)
+				stop = true
+				return
+			}
+			placed := false
+			for ii, wi := range idle {
+				if !attempted[ci][workers[wi].host.Name()] {
+					idle = append(idle[:ii], idle[ii+1:]...)
+					queue = append(queue[:qi], queue[qi+1:]...)
+					launch(wi, ci)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				qi++ // eligible hosts are busy; leave the cell queued
+			}
+		}
+	}
+
+	assign()
+	for inFlight > 0 {
+		r := <-results
+		inFlight--
+		switch {
+		case r.err == nil:
+			shards[r.cell] = r.shard
+			idle = append(idle, r.worker)
+		case errors.Is(r.err, remote.ErrUnreachable):
+			// Host outage: drop the host from the pool and retry the cell
+			// elsewhere. Logged once — each worker runs one cell at a
+			// time, so a dying host strands exactly one placement.
+			c := cells[r.cell]
+			down[r.worker] = true
+			vrc.logf("cluster: host %s unreachable; failing over %s/%s [%s]",
+				workers[r.worker].host.Name(), c.workload.Suite(), c.workload.Name(), c.buildType)
+			queue = append([]int{r.cell}, queue...)
+		default:
+			// Genuine cell failure: keep the serial loop's first-error
+			// abort, attributed to the cell and host by the remote wrapper.
+			errs[r.cell] = r.err
+			stop = true
+			idle = append(idle, r.worker)
+		}
+		assign()
+	}
+
+	// Drain the per-host log retention (run.py's final "fetch the logs"):
+	// every shard already reached the coordinator via the command output.
+	for _, w := range workers {
+		w.host.FetchLogs()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return shards, err
+		}
+	}
+	return shards, nil
+}

@@ -61,6 +61,18 @@ type Config struct {
 	// paper's strictly serial loop; measured repetitions within a cell are
 	// serialized regardless (see schedule.go).
 	Jobs int
+	// Hosts names the cluster worker hosts (-hosts h1,h2,...) the
+	// experiment cells are dispatched to. Empty runs everything locally;
+	// non-empty selects the cluster backend (see cluster.go): one worker —
+	// container, build system, cell shards — per host, with failover onto
+	// the remaining healthy hosts when one becomes unreachable.
+	Hosts []string
+	// ModelTime records modeled wall time (modeled cycles at the nominal
+	// modeled clock, see measure.ModeledClockGHz) instead of live wall time
+	// in the "wall_ns" metric (--modeled-time). Modeled time is a pure
+	// function of the workload and build type, so runs produce
+	// byte-identical logs on any machine — serial, parallel, or cluster.
+	ModelTime bool
 }
 
 // Normalize validates the config and fills defaults.
@@ -97,6 +109,16 @@ func (c *Config) Normalize() error {
 	}
 	if c.Jobs <= 0 {
 		c.Jobs = 1
+	}
+	seenHost := make(map[string]bool, len(c.Hosts))
+	for _, h := range c.Hosts {
+		if h == "" {
+			return errors.New("core: empty cluster host name")
+		}
+		if seenHost[h] {
+			return fmt.Errorf("core: duplicate cluster host %q", h)
+		}
+		seenHost[h] = true
 	}
 	return nil
 }
@@ -139,6 +161,12 @@ func (c Config) String() string {
 	}
 	if c.Jobs > 1 {
 		sb.WriteString(" -jobs " + strconv.Itoa(c.Jobs))
+	}
+	if len(c.Hosts) > 0 {
+		sb.WriteString(" -hosts " + strings.Join(c.Hosts, ","))
+	}
+	if c.ModelTime {
+		sb.WriteString(" --modeled-time")
 	}
 	if c.Debug {
 		sb.WriteString(" -d")

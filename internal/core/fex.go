@@ -13,6 +13,7 @@ import (
 	"fex/internal/container"
 	"fex/internal/env"
 	"fex/internal/installer"
+	"fex/internal/remote"
 	"fex/internal/runlog"
 	"fex/internal/table"
 	"fex/internal/toolchain"
@@ -51,6 +52,11 @@ type Options struct {
 	// Now supplies timestamps (defaults to time.Now); injectable for
 	// deterministic tests.
 	Now func() time.Time
+	// Cluster is the worker-host cluster experiment cells are dispatched
+	// to when Config.Hosts is set; nil creates an empty cluster whose
+	// hosts are registered on first use. Tests inject a pre-built cluster
+	// to configure latency and reachability fault injection.
+	Cluster *remote.Cluster
 }
 
 // Fex is the framework object behind one fex.py invocation (Figure 3):
@@ -60,10 +66,12 @@ type Options struct {
 type Fex struct {
 	ctr         *container.Container
 	inst        *installer.Installer
+	repo        *installer.Repository
 	build       *buildsys.System
 	registry    *workload.Registry
 	experiments map[string]*Experiment
 	providers   map[string]env.Provider
+	cluster     *remote.Cluster
 	verbose     io.Writer
 	now         func() time.Time
 }
@@ -114,25 +122,11 @@ func New(opts Options) (*Fex, error) {
 	if err != nil {
 		return nil, err
 	}
-	bld := buildsys.NewSystem(fsys, func(artifact string) (bool, error) {
+	bld, err := newBenchBuildSystem(fsys, func(artifact string) (bool, error) {
 		return inst.IsInstalled(artifact)
-	})
-	if err := bld.InstallDefaults(); err != nil {
-		return nil, err
-	}
-	if err := bld.RegisterBenchmarks(reg); err != nil {
-		return nil, fmt.Errorf("register benchmark makefiles: %w", err)
-	}
-	// SPLASH-3 carries its own multi-file build descriptions (§IV-A's
-	// suite build-system integration), replacing the generated defaults.
-	splashFiles, err := splash.BuildFiles()
+	}, reg)
 	if err != nil {
 		return nil, err
-	}
-	for path, text := range splashFiles {
-		if err := bld.AddMakefileText(path, buildsys.LayerApplication, text); err != nil {
-			return nil, fmt.Errorf("splash build files: %w", err)
-		}
 	}
 
 	verbose := opts.Verbose
@@ -143,12 +137,18 @@ func New(opts Options) (*Fex, error) {
 	if now == nil {
 		now = time.Now
 	}
+	cluster := opts.Cluster
+	if cluster == nil {
+		cluster = remote.NewCluster()
+	}
 	fx := &Fex{
 		ctr:         ctr,
 		inst:        inst,
+		repo:        repo,
 		build:       bld,
 		registry:    reg,
 		experiments: make(map[string]*Experiment),
+		cluster:     cluster,
 		providers: map[string]env.Provider{
 			"native": env.NativeProvider{},
 			"asan":   env.ASanProvider{},
@@ -162,6 +162,32 @@ func New(opts Options) (*Fex, error) {
 	return fx, nil
 }
 
+// newBenchBuildSystem assembles a benchmark build system over the given
+// filesystem: shipped makefiles, generated per-benchmark makefiles, and
+// the SPLASH-3 multi-file build descriptions (§IV-A's suite build-system
+// integration). The coordinator and every cluster worker construct their
+// build systems through this one path, so builds resolve identically on
+// any host.
+func newBenchBuildSystem(fsys *vfs.FS, installed buildsys.InstalledFunc, reg *workload.Registry) (*buildsys.System, error) {
+	bld := buildsys.NewSystem(fsys, installed)
+	if err := bld.InstallDefaults(); err != nil {
+		return nil, err
+	}
+	if err := bld.RegisterBenchmarks(reg); err != nil {
+		return nil, fmt.Errorf("register benchmark makefiles: %w", err)
+	}
+	splashFiles, err := splash.BuildFiles()
+	if err != nil {
+		return nil, err
+	}
+	for path, text := range splashFiles {
+		if err := bld.AddMakefileText(path, buildsys.LayerApplication, text); err != nil {
+			return nil, fmt.Errorf("splash build files: %w", err)
+		}
+	}
+	return bld, nil
+}
+
 // Container exposes the experiment container (for tests and tooling).
 func (fx *Fex) Container() *container.Container { return fx.ctr }
 
@@ -170,6 +196,10 @@ func (fx *Fex) BuildSystem() *buildsys.System { return fx.build }
 
 // Registry exposes the workload registry.
 func (fx *Fex) Registry() *workload.Registry { return fx.registry }
+
+// Cluster exposes the worker-host cluster used by -hosts runs (for tests
+// and tooling that pre-register hosts or inject faults).
+func (fx *Fex) Cluster() *remote.Cluster { return fx.cluster }
 
 // Install runs the setup stage for one artifact ("fex install -n gcc-6.1"):
 // it resolves and installs the artifact and its transitive dependencies
@@ -336,10 +366,11 @@ func (fx *Fex) Run(cfg Config) (*RunReport, error) {
 	benchNames := cfg.Benchmarks
 	if len(benchNames) == 0 && exp.Suite != "" {
 		ws, err := fx.registry.Suite(exp.Suite)
-		if err == nil {
-			for _, w := range ws {
-				benchNames = append(benchNames, w.Name())
-			}
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", cfg.Experiment, err)
+		}
+		for _, w := range ws {
+			benchNames = append(benchNames, w.Name())
 		}
 	}
 	lw.WriteHeader(runlog.Header{

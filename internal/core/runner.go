@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"fex/internal/buildsys"
 	"fex/internal/env"
 	"fex/internal/measure"
 	"fex/internal/runlog"
@@ -21,6 +22,23 @@ type RunContext struct {
 	Env     *env.Environment
 	Log     *runlog.Writer
 	Verbose io.Writer
+
+	// build overrides the framework build system for this context. Cluster
+	// workers set it so cells dispatched to them compile against the
+	// worker's private container instead of the coordinator's; nil uses
+	// the framework's own build system.
+	build *buildsys.System
+}
+
+// Artifact builds (or fetches from the context's build cache) one
+// benchmark binary. Runners and hooks must build through this method, not
+// Fex.Artifact, so cells executing on a cluster worker use the worker's
+// build system.
+func (rc *RunContext) Artifact(w workload.Workload, buildType string, debug bool) (*toolchain.Artifact, error) {
+	if rc.build != nil {
+		return rc.build.Build(w, buildType, debug)
+	}
+	return rc.Fex.Artifact(w, buildType, debug)
 }
 
 // logf writes progress output when -v is set.
@@ -28,6 +46,18 @@ func (rc *RunContext) logf(format string, args ...any) {
 	if rc.Config.Verbose && rc.Verbose != nil {
 		fmt.Fprintf(rc.Verbose, format+"\n", args...)
 	}
+}
+
+// finishSample prepares an executed sample for metric collection: under
+// --modeled-time the live wall clock is replaced by modeled wall time (a
+// pure function of the workload and build type) before any tool sees the
+// sample, so every wall-derived metric — wall_ns, the time tool's
+// wall_seconds — is machine-independent.
+func (rc *RunContext) finishSample(s measure.Sample) measure.Sample {
+	if rc.Config.ModelTime {
+		s.WallTime = s.ModeledWall()
+	}
+	return s
 }
 
 // Runner executes one experiment. Implementations mirror the paper's
@@ -78,14 +108,15 @@ func SkipBenchmark() error { return errSkipBenchmark }
 
 // Run implements Runner: the experiment loop. With Config.Jobs > 1 the
 // independent (build type, benchmark) cells of the loop run on a bounded
-// worker pool (see schedule.go); the default of 1 executes the
+// worker pool, and with Config.Hosts they are dispatched to cluster
+// workers (see schedule.go and cluster.go); the default executes the
 // paper-faithful serial order.
 func (r *BenchRunner) Run(rc *RunContext) error {
 	benches, err := rc.Fex.selectBenchmarks(r.Suite, rc.Config.Benchmarks)
 	if err != nil {
 		return err
 	}
-	if rc.Config.Jobs > 1 {
+	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
 		return r.runParallel(rc, benches)
 	}
 	for _, buildType := range rc.Config.BuildTypes {
@@ -177,7 +208,7 @@ func (r *BenchRunner) perBenchmark(rc *RunContext, buildType string, w workload.
 // workload asks for one.
 func DefaultPerBenchmark(rc *RunContext, buildType string, w workload.Workload) error {
 	rc.logf("  build %s/%s [%s]", w.Suite(), w.Name(), buildType)
-	artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+	artifact, err := rc.Artifact(w, buildType, rc.Config.Debug)
 	if err != nil {
 		return err
 	}
@@ -209,7 +240,7 @@ func (r *BenchRunner) perRun(rc *RunContext, buildType string, w workload.Worklo
 // DefaultPerRun executes the built artifact on the configured input size
 // and extracts metrics with the configured measurement tool.
 func DefaultPerRun(rc *RunContext, buildType string, w workload.Workload, threads int) (map[string]float64, error) {
-	artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+	artifact, err := rc.Artifact(w, buildType, rc.Config.Debug)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +248,7 @@ func DefaultPerRun(rc *RunContext, buildType string, w workload.Workload, thread
 	if err != nil {
 		return nil, err
 	}
+	sample = rc.finishSample(sample)
 	tool, err := measure.ToolByName(rc.Config.Tool)
 	if err != nil {
 		return nil, err
@@ -254,7 +286,7 @@ func (r *VariableInputRunner) Run(rc *RunContext) error {
 	if err != nil {
 		return err
 	}
-	if rc.Config.Jobs > 1 {
+	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
 		return runParallel(rc, benches,
 			func(buildType string) error {
 				if r.Hooks.PerTypeAction != nil {
@@ -287,14 +319,14 @@ func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w worklo
 	if err := DefaultPerBenchmark(rc, buildType, w); err != nil {
 		return fmt.Errorf("variable-input %s/%s [%s]: %w", w.Suite(), w.Name(), buildType, err)
 	}
-	artifact, err := rc.Fex.Artifact(w, buildType, rc.Config.Debug)
+	artifact, err := rc.Artifact(w, buildType, rc.Config.Debug)
 	if err != nil {
 		return err
 	}
 	for _, input := range inputs {
 		for _, threads := range rc.Config.Threads {
 			for rep := 0; rep < rc.Config.Reps; rep++ {
-				values, err := executeWithTool(artifact, w.DefaultInput(input), threads, rc.Config.Tool)
+				values, err := executeWithTool(rc, artifact, w.DefaultInput(input), threads)
 				if err != nil {
 					return fmt.Errorf("variable-input %s/%s [%s] input=%s: %w",
 						w.Suite(), w.Name(), buildType, input, err)
@@ -314,12 +346,13 @@ func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w worklo
 	return nil
 }
 
-func executeWithTool(artifact *toolchain.Artifact, in workload.Input, threads int, toolName string) (map[string]float64, error) {
+func executeWithTool(rc *RunContext, artifact *toolchain.Artifact, in workload.Input, threads int) (map[string]float64, error) {
 	sample, err := artifact.Execute(in, threads)
 	if err != nil {
 		return nil, err
 	}
-	tool, err := measure.ToolByName(toolName)
+	sample = rc.finishSample(sample)
+	tool, err := measure.ToolByName(rc.Config.Tool)
 	if err != nil {
 		return nil, err
 	}

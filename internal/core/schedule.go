@@ -47,15 +47,23 @@ func makeCells(buildTypes []string, benches []workload.Workload) []cell {
 
 // runParallel is the shared parallel path of the runners: it executes
 // perType for every build type (serially, in -t order, before any cell
-// starts), fans the cells out on the worker pool, and merges the cell
-// shards into rc.Log in canonical order.
+// starts), fans the cells out — on the local worker pool, or onto the
+// cluster hosts when -hosts is set (see cluster.go) — and merges the
+// cell shards into rc.Log in canonical order.
 func runParallel(rc *RunContext, benches []workload.Workload, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
 	for _, buildType := range rc.Config.BuildTypes {
 		if err := perType(buildType); err != nil {
 			return err
 		}
 	}
-	shards, err := runCells(rc, makeCells(rc.Config.BuildTypes, benches), cellFn)
+	cells := makeCells(rc.Config.BuildTypes, benches)
+	var shards []*runlog.Shard
+	var err error
+	if len(rc.Config.Hosts) > 0 {
+		shards, err = runCellsCluster(rc, cells, cellFn)
+	} else {
+		shards, err = runCells(rc, cells, cellFn)
+	}
 	if mergeErr := rc.Log.Append(shards...); mergeErr != nil && err == nil {
 		err = mergeErr
 	}

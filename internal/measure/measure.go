@@ -135,6 +135,10 @@ type Sample struct {
 	BranchMisses float64
 	// MaxRSSBytes is the modeled peak resident set.
 	MaxRSSBytes float64
+	// MemStallCycles is the cycle cost of the cache misses above under the
+	// active cost vector's miss penalties (the "mem_cycles" metric of the
+	// perf-stat-mem tool).
+	MemStallCycles float64
 	// Checksum is the kernel's result digest (for cross-build validation).
 	Checksum uint64
 	// Threads records the thread count of the run.
@@ -171,6 +175,7 @@ func Model(c workload.Counters, cv CostVector, threads int) (Sample, error) {
 	llcMisses := seqReads*cv.L1MissRate*cv.LLCMissRate + strided*cv.StridedL1Rate*cv.StridedLLCRate
 	branchMisses := float64(c.Branches) * cv.BranchMissRate
 
+	memStall := l1Misses*cv.L1MissPenalty + llcMisses*cv.LLCMissPenalty
 	work := float64(c.IntOps)*cv.IntOp +
 		float64(c.FloatOps)*cv.FloatOp +
 		float64(c.TrigOps)*cv.TrigOp +
@@ -181,8 +186,7 @@ func Model(c workload.Counters, cv CostVector, threads int) (Sample, error) {
 		float64(c.Branches)*cv.Branch +
 		float64(c.AllocCount)*cv.AllocOp +
 		float64(c.AllocBytes)*cv.AllocByte +
-		l1Misses*cv.L1MissPenalty +
-		llcMisses*cv.LLCMissPenalty +
+		memStall +
 		branchMisses*cv.BranchMissPenalty
 
 	// Amdahl-style parallel section with a small imbalance penalty plus an
@@ -192,15 +196,29 @@ func Model(c workload.Counters, cv CostVector, threads int) (Sample, error) {
 	cycles := work/t*imbalance + float64(c.SyncOps)*cv.SyncOp
 
 	return Sample{
-		Cycles:       cycles,
-		Instructions: float64(c.TotalOps()),
-		L1DMisses:    l1Misses,
-		LLCMisses:    llcMisses,
-		BranchMisses: branchMisses,
-		MaxRSSBytes:  float64(c.AllocBytes) * cv.MemFactor,
-		Checksum:     c.Checksum,
-		Threads:      threads,
+		Cycles:         cycles,
+		Instructions:   float64(c.TotalOps()),
+		L1DMisses:      l1Misses,
+		LLCMisses:      llcMisses,
+		BranchMisses:   branchMisses,
+		MaxRSSBytes:    float64(c.AllocBytes) * cv.MemFactor,
+		MemStallCycles: memStall,
+		Checksum:       c.Checksum,
+		Threads:        threads,
 	}, nil
+}
+
+// ModeledClockGHz is the nominal clock rate of the modeled Xeon-class
+// machine, used to convert modeled cycles into modeled wall time.
+const ModeledClockGHz = 2.6
+
+// ModeledWall converts the sample's modeled cycles into wall time at the
+// nominal modeled clock. Unlike the live WallTime it is a pure function of
+// the workload and cost vector, so experiments that record it instead of
+// live time produce byte-identical logs on any machine — the property the
+// cluster determinism harness asserts.
+func (s Sample) ModeledWall() time.Duration {
+	return time.Duration(s.Cycles / ModeledClockGHz)
 }
 
 // Timed runs fn and returns its wall-clock duration alongside its result.
@@ -254,7 +272,7 @@ func (PerfStatMem) Collect(s Sample) map[string]float64 {
 		"llc_misses":  s.LLCMisses,
 		"max_rss":     s.MaxRSSBytes,
 		"cache_refs":  s.L1DMisses + s.LLCMisses,
-		"mem_cycles":  s.L1DMisses*10 + s.LLCMisses*180,
+		"mem_cycles":  s.MemStallCycles,
 		"rss_mbytes":  s.MaxRSSBytes / (1 << 20),
 		"cycles":      s.Cycles,
 		"write_ratio": 0, // populated by callers that track write mixes
@@ -323,6 +341,7 @@ func Aggregate(samples []Sample) (Sample, error) {
 		out.LLCMisses += s.LLCMisses
 		out.BranchMisses += s.BranchMisses
 		out.MaxRSSBytes += s.MaxRSSBytes
+		out.MemStallCycles += s.MemStallCycles
 		out.WallTime += s.WallTime
 	}
 	n := float64(len(samples))
@@ -332,6 +351,7 @@ func Aggregate(samples []Sample) (Sample, error) {
 	out.LLCMisses /= n
 	out.BranchMisses /= n
 	out.MaxRSSBytes /= n
+	out.MemStallCycles /= n
 	out.WallTime = time.Duration(float64(out.WallTime) / n)
 	return out, nil
 }

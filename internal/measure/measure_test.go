@@ -231,3 +231,72 @@ func TestQuickMoreThreadsNeverSlowerForParallelWork(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMemCyclesDerivedFromCostVector(t *testing.T) {
+	c := workload.Counters{MemReads: 100000, StridedReads: 20000, IntOps: 1000}
+
+	// Under the baseline, mem_cycles must equal the misses weighted by the
+	// baseline's penalties — no hardcoded constants.
+	base := Baseline()
+	s, err := Model(c, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.L1DMisses*base.L1MissPenalty + s.LLCMisses*base.LLCMissPenalty
+	got := PerfStatMem{}.Collect(s)["mem_cycles"]
+	if got != want {
+		t.Errorf("mem_cycles = %g, want %g", got, want)
+	}
+
+	// A vector with different penalties must shift mem_cycles accordingly:
+	// the metric tracks the active cost model, not the baseline.
+	slow := base
+	slow.L1MissPenalty = 25
+	slow.LLCMissPenalty = 400
+	s2, err := Model(c, slow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := s2.L1DMisses*25 + s2.LLCMisses*400
+	got2 := PerfStatMem{}.Collect(s2)["mem_cycles"]
+	if got2 != want2 {
+		t.Errorf("mem_cycles under modified vector = %g, want %g", got2, want2)
+	}
+	if got2 == got {
+		t.Error("mem_cycles ignored the cost vector's penalties")
+	}
+}
+
+func TestAggregateAveragesMemStallCycles(t *testing.T) {
+	a := Sample{MemStallCycles: 100, Checksum: 7, Threads: 1}
+	b := Sample{MemStallCycles: 300, Checksum: 7, Threads: 1}
+	agg, err := Aggregate([]Sample{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.MemStallCycles != 200 {
+		t.Errorf("MemStallCycles = %g, want 200", agg.MemStallCycles)
+	}
+}
+
+func TestModeledWallIsDeterministic(t *testing.T) {
+	c := workload.Counters{IntOps: 1 << 20, MemReads: 1 << 18}
+	s1, err := Model(c, Baseline(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Model(c, Baseline(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ModeledWall() != s2.ModeledWall() {
+		t.Error("modeled wall time differs across identical runs")
+	}
+	if s1.ModeledWall() <= 0 {
+		t.Errorf("modeled wall time %v not positive", s1.ModeledWall())
+	}
+	wantNS := s1.Cycles / ModeledClockGHz
+	if got := float64(s1.ModeledWall().Nanoseconds()); got < wantNS-1 || got > wantNS+1 {
+		t.Errorf("modeled wall = %g ns, want ~%g", got, wantNS)
+	}
+}

@@ -74,6 +74,15 @@ func (h *Host) RegisterCommand(name string, fn Handler) error {
 	return nil
 }
 
+// UnregisterCommand removes a command handler from the host (tearing
+// down the SSH-session stand-in so per-run state the handler captured is
+// released). Unknown names are a no-op.
+func (h *Host) UnregisterCommand(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.handlers, name)
+}
+
 // SetLatency injects a per-invocation network delay.
 func (h *Host) SetLatency(d time.Duration) {
 	h.mu.Lock()
@@ -143,6 +152,13 @@ func NewCluster() *Cluster {
 	return &Cluster{hosts: make(map[string]*Host)}
 }
 
+// addHost registers a fresh host under c.mu.
+func (c *Cluster) addHost(name string) *Host {
+	h := &Host{name: name, handlers: make(map[string]Handler)}
+	c.hosts[name] = h
+	return h
+}
+
 // AddHost registers a new host and returns it.
 func (c *Cluster) AddHost(name string) (*Host, error) {
 	if name == "" {
@@ -153,9 +169,22 @@ func (c *Cluster) AddHost(name string) (*Host, error) {
 	if _, dup := c.hosts[name]; dup {
 		return nil, fmt.Errorf("remote: duplicate host %q", name)
 	}
-	h := &Host{name: name, handlers: make(map[string]Handler)}
-	c.hosts[name] = h
-	return h, nil
+	return c.addHost(name), nil
+}
+
+// Ensure returns the named host, registering it first if it does not
+// exist yet — how the CLI materializes `-hosts h1,h2` into cluster
+// members on first use.
+func (c *Cluster) Ensure(name string) (*Host, error) {
+	if name == "" {
+		return nil, errors.New("remote: host requires a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.hosts[name]; ok {
+		return h, nil
+	}
+	return c.addHost(name), nil
 }
 
 // Host looks up a host by name.

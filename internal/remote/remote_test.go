@@ -137,3 +137,42 @@ func TestClusterHosts(t *testing.T) {
 		t.Errorf("got %v", err)
 	}
 }
+
+func TestClusterEnsure(t *testing.T) {
+	c := NewCluster()
+	h1, err := c.Ensure("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Ensure("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != again {
+		t.Error("Ensure created a second host for the same name")
+	}
+	if _, err := c.Ensure(""); err == nil {
+		t.Error("empty host name accepted")
+	}
+	pre, err := c.AddHost("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Ensure("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pre {
+		t.Error("Ensure did not return the AddHost-registered host")
+	}
+}
+
+func TestUnregisterCommand(t *testing.T) {
+	h := testHost(t)
+	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) { return Output{}, nil })
+	h.UnregisterCommand("x")
+	if _, err := h.Run(context.Background(), Job{Command: "x"}); !errors.Is(err, ErrUnknownCommand) {
+		t.Errorf("got %v", err)
+	}
+	h.UnregisterCommand("never-registered") // no-op
+}

@@ -176,6 +176,25 @@ func NewShard() *Shard {
 // Writer returns the shard's record writer.
 func (s *Shard) Writer() *Writer { return s.w }
 
+// Text flushes the shard and returns its accumulated records as log text —
+// what a cluster worker ships back to the coordinator (the "fetch the
+// logs" step of a remote cell).
+func (s *Shard) Text() (string, error) {
+	if err := s.w.Flush(); err != nil {
+		return "", err
+	}
+	return s.buf.String(), nil
+}
+
+// RestoreShard reconstructs a shard from log text previously produced by
+// Text. The coordinator uses it to re-materialize a remote cell's shard so
+// fetched cluster logs merge through the same Append path as local ones.
+func RestoreShard(text string) *Shard {
+	s := NewShard()
+	s.buf.WriteString(text)
+	return s
+}
+
 // Append flushes each shard and appends its records to lw in argument
 // order. Nil shards (cells that never ran, e.g. after an earlier cell
 // failed) are skipped. It returns the first shard or writer error.

@@ -277,3 +277,42 @@ func TestWriterConcurrentUse(t *testing.T) {
 			len(lg.Measurements), len(lg.Notes), writers*records)
 	}
 }
+
+func TestShardTextRoundTrip(t *testing.T) {
+	s := NewShard()
+	s.Writer().WriteNote("built splash/fft [gcc_native]")
+	s.Writer().WriteMeasurement(Measurement{
+		Suite: "splash", Benchmark: "fft", BuildType: "gcc_native",
+		Threads: 2, Rep: 1, Values: map[string]float64{"cycles": 42},
+	})
+	text, err := s.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "NOTE|built splash/fft") || !strings.Contains(text, "cycles=42") {
+		t.Fatalf("shard text missing records:\n%s", text)
+	}
+
+	// A restored shard must merge byte-identically to the original.
+	var restored strings.Builder
+	dw := NewWriter(&restored)
+	if err := dw.Append(RestoreShard(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.String() != text {
+		t.Errorf("restored shard merge differs:\n%q\nvs\n%q", restored.String(), text)
+	}
+}
+
+func TestShardTextEmpty(t *testing.T) {
+	text, err := NewShard().Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "" {
+		t.Errorf("empty shard produced %q", text)
+	}
+}

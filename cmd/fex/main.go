@@ -9,17 +9,21 @@
 //	run      -n <experiment> -t <types...> build, run, and collect an experiment
 //	collect  -n <experiment>               re-run the collect stage from the stored log
 //	plot     -n <experiment> -t <kind>     render a plot from collected results
+//	clean                                  evict the persistent result store
 //	list                                   print the supported-experiments inventory (Table I)
 //
 // Flags (matching §III-B): -t build types / plot kind, -b benchmark
-// filter, -m thread counts, -r repetitions, -i input class, -d debug
+// filter, -m thread counts, -r repetitions (a count, or
+// "auto[:level,relwidth]" for adaptive repetitions that stop once the
+// confidence interval is tight enough), -i input class, -d debug
 // builds, -v verbose, --no-build, -o host output directory, --state state
 // file (container persistence between invocations), -jobs parallel
 // experiment cells (default 1: the paper's serial loop), -hosts
 // comma-separated cluster worker hosts (cells are dispatched remotely
 // with failover; logs stay byte-identical to a serial run),
 // --modeled-time record modeled instead of live wall time (makes logs
-// fully machine-independent).
+// fully machine-independent), -resume replay already-satisfied cells from
+// the persistent result store instead of re-measuring them.
 package main
 
 import (
@@ -43,26 +47,30 @@ func main() {
 
 // cliArgs holds parsed command-line arguments.
 type cliArgs struct {
-	action    string
-	name      string
-	types     []string
-	benches   []string
-	threads   []int
-	reps      int
-	jobs      int
-	hosts     []string
-	input     string
-	debug     bool
-	verbose   bool
-	noBuild   bool
-	modelTime bool
-	outDir    string
-	stateFile string
+	action      string
+	name        string
+	types       []string
+	benches     []string
+	threads     []int
+	reps        int
+	adaptive    bool
+	repLevel    float64
+	repRelWidth float64
+	jobs        int
+	hosts       []string
+	input       string
+	debug       bool
+	verbose     bool
+	noBuild     bool
+	modelTime   bool
+	resume      bool
+	outDir      string
+	stateFile   string
 }
 
 func parseArgs(argv []string) (cliArgs, error) {
 	if len(argv) == 0 {
-		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|list> -n <name> [args]")
+		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|analyze|clean|list> -n <name> [args]")
 	}
 	args := cliArgs{action: argv[0], reps: 1, jobs: 1}
 	i := 1
@@ -113,11 +121,14 @@ func parseArgs(argv []string) (cliArgs, error) {
 			if !ok {
 				return args, errors.New("-r requires a value")
 			}
-			n, err := strconv.Atoi(v)
+			reps, adaptive, level, relWidth, err := core.ParseRepsSpec(v)
 			if err != nil {
-				return args, fmt.Errorf("bad -r value %q: %w", v, err)
+				return args, err
 			}
-			args.reps = n
+			args.reps, args.adaptive, args.repLevel, args.repRelWidth = reps, adaptive, level, relWidth
+			if adaptive {
+				args.reps = 1 // placeholder; Config.Normalize pins the pilot size
+			}
 		case "-jobs":
 			v, ok := next()
 			if !ok {
@@ -154,6 +165,8 @@ func parseArgs(argv []string) (cliArgs, error) {
 			args.noBuild = true
 		case "--modeled-time":
 			args.modelTime = true
+		case "-resume":
+			args.resume = true
 		case "-o":
 			v, ok := next()
 			if !ok {
@@ -235,6 +248,12 @@ func run(argv []string) error {
 		}
 		report, err := fx.Run(cfg)
 		if err != nil {
+			// The result store already holds every cell that completed
+			// before the failure; persist the state anyway so a retry with
+			// -resume measures only what is missing.
+			if saveErr := saveState(); saveErr != nil {
+				return errors.Join(err, saveErr)
+			}
 			return err
 		}
 		fmt.Printf("experiment %s: %d measurements\n", report.Experiment, report.Measurements)
@@ -302,28 +321,45 @@ func run(argv []string) error {
 		fmt.Print(report.String())
 		return nil
 
+	case "clean":
+		// fex clean [--state file]: evict the persistent result store so
+		// the next -resume run measures everything cold.
+		before, err := fx.ResultStore().Stats()
+		if err != nil {
+			return err
+		}
+		if err := fx.CleanStore(); err != nil {
+			return err
+		}
+		fmt.Printf("store cleaned: evicted %d cells (%d bytes)\n", before.Records, before.Bytes)
+		return saveState()
+
 	case "list":
 		fmt.Print(fx.BuildInventory().String())
 		return nil
 
 	default:
-		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, list)", args.action)
+		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, clean, list)", args.action)
 	}
 }
 
 func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 	cfg := core.Config{
-		Experiment: args.name,
-		BuildTypes: args.types,
-		Benchmarks: args.benches,
-		Threads:    args.threads,
-		Reps:       args.reps,
-		Jobs:       args.jobs,
-		Hosts:      args.hosts,
-		Debug:      args.debug,
-		Verbose:    args.verbose,
-		NoBuild:    args.noBuild,
-		ModelTime:  args.modelTime,
+		Experiment:   args.name,
+		BuildTypes:   args.types,
+		Benchmarks:   args.benches,
+		Threads:      args.threads,
+		Reps:         args.reps,
+		AdaptiveReps: args.adaptive,
+		RepLevel:     args.repLevel,
+		RepRelWidth:  args.repRelWidth,
+		Jobs:         args.jobs,
+		Hosts:        args.hosts,
+		Debug:        args.debug,
+		Verbose:      args.verbose,
+		NoBuild:      args.noBuild,
+		ModelTime:    args.modelTime,
+		Resume:       args.resume,
 	}
 	if args.input != "" {
 		cls, err := workload.ParseSizeClass(args.input)

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -63,6 +64,129 @@ func TestParseArgsErrors(t *testing.T) {
 		if _, err := parseArgs(argv); err == nil {
 			t.Errorf("parseArgs(%v): expected error", argv)
 		}
+	}
+}
+
+func TestParseArgsResumeAndAdaptiveReps(t *testing.T) {
+	args, err := parseArgs([]string{
+		"run", "-n", "micro",
+		"-t", "gcc_native",
+		"-r", "auto:0.99,0.02",
+		"-resume",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !args.adaptive || args.repLevel != 0.99 || args.repRelWidth != 0.02 {
+		t.Errorf("adaptive=%t level=%v relwidth=%v", args.adaptive, args.repLevel, args.repRelWidth)
+	}
+	if !args.resume {
+		t.Error("-resume not parsed")
+	}
+
+	args, err = parseArgs([]string{"run", "-n", "micro", "-r", "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !args.adaptive || args.repLevel != 0 || args.repRelWidth != 0 {
+		t.Errorf("bare auto: adaptive=%t level=%v relwidth=%v (params must default)", args.adaptive, args.repLevel, args.repRelWidth)
+	}
+
+	for _, argv := range [][]string{
+		{"run", "-r", "auto:0.99"},     // missing relwidth
+		{"run", "-r", "auto:x,0.05"},   // bad level
+		{"run", "-r", "auto:0.95,y"},   // bad relwidth
+		{"run", "-r", "auto:0.95,0,1"}, // too many params
+	} {
+		if _, err := parseArgs(argv); err == nil {
+			t.Errorf("parseArgs(%v): expected error", argv)
+		}
+	}
+}
+
+// TestCLIResumeRoundtripWithState is the CLI half of the resumable-run
+// story: the result store rides in the --state file, so a second
+// invocation with -resume replays the first invocation's cells and exports
+// a byte-identical CSV and log.
+func TestCLIResumeRoundtripWithState(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "fex.state")
+	coldDir, warmDir := filepath.Join(dir, "cold"), filepath.Join(dir, "warm")
+	base := []string{
+		"run", "-n", "micro",
+		"-t", "gcc_native", "gcc_asan",
+		"-b", "array_read", "branch_heavy",
+		"-i", "test", "-r", "2",
+		"--modeled-time",
+		"--state", state,
+	}
+	if err := run(append(append([]string{}, base...), "-o", coldDir)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-resume", "-o", warmDir)); err != nil {
+		t.Fatal(err)
+	}
+	// The CLI stamps real invocation times into the log header; mask that
+	// one field — everything else, including every measurement byte, must
+	// match (the in-process determinism suite proves full byte identity
+	// under an injected clock).
+	maskStarted := regexp.MustCompile(`started=[^|\n]*`)
+	for _, name := range []string{"micro.csv", "micro.log"} {
+		cold, err := os.ReadFile(filepath.Join(coldDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := os.ReadFile(filepath.Join(warmDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := maskStarted.ReplaceAllString(string(cold), "started=T")
+		w := maskStarted.ReplaceAllString(string(warm), "started=T")
+		if c != w {
+			t.Errorf("%s differs between cold and warm -resume run:\n--- cold ---\n%s\n--- warm ---\n%s", name, cold, warm)
+		}
+	}
+
+	// fex clean empties the store in the state file; the run after it
+	// still works (measures cold again).
+	if err := run([]string{"clean", "--state", state}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-resume")); err != nil {
+		t.Fatalf("resume after clean: %v", err)
+	}
+}
+
+// TestCLIFailedRunStillSavesState pins the partial-run durability
+// contract at the CLI layer: even when a run fails, the container state —
+// and with it every result-store cell that completed before the failure —
+// is persisted, so a retry with -resume measures only what is missing.
+func TestCLIFailedRunStillSavesState(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "fex.state")
+	err := run([]string{
+		"run", "-n", "micro",
+		"-t", "gcc_native",
+		"-b", "no_such_benchmark",
+		"--state", state,
+	})
+	if err == nil {
+		t.Fatal("run with unknown benchmark succeeded")
+	}
+	if _, statErr := os.Stat(state); statErr != nil {
+		t.Errorf("state file not saved after failed run: %v", statErr)
+	}
+}
+
+func TestCLIRunAdaptiveReps(t *testing.T) {
+	if err := run([]string{
+		"run", "-n", "micro",
+		"-t", "gcc_native",
+		"-b", "array_read",
+		"-i", "test",
+		"-r", "auto",
+		"--modeled-time",
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 

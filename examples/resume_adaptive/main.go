@@ -1,0 +1,145 @@
+// Resume_adaptive demonstrates the persistent result store: resumable
+// runs (-resume) and adaptive repetition counts (-r auto).
+//
+// The walkthrough:
+//
+//  1. run the micro suite cold with -r auto — each sweep runs a pilot
+//     batch and stops as soon as the confidence interval is tight enough
+//     (with --modeled-time the metrics are deterministic, so every sweep
+//     stops at the pilot);
+//  2. run the same experiment again with -resume — every cell replays
+//     from the store, executing zero measured repetitions, and the stored
+//     log and CSV stay byte-identical to the cold run;
+//  3. extend the experiment with an extra benchmark under -resume — only
+//     the new cells are measured (incremental evaluation);
+//  4. clean the store and show the next -resume run measures cold again.
+//
+// A registered hook counts real benchmark executions, making the "zero
+// repetitions on resume" claim observable.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"fex/internal/core"
+	"fex/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resume_adaptive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fx, err := core.New(core.Options{})
+	if err != nil {
+		return err
+	}
+	if _, err := fx.Install("gcc-6.1"); err != nil {
+		return err
+	}
+
+	// Count measured repetitions through a per-run hook: the default
+	// action runs unchanged, the counter just watches it.
+	var executed atomic.Int64
+	if err := fx.RegisterExperiment(&core.Experiment{
+		Name:        "micro_counted",
+		Description: "micro suite with counted executions",
+		Suite:       "micro",
+		Kind:        core.KindPerformance,
+		NewRunner: func(fx *core.Fex) (core.Runner, error) {
+			return &core.BenchRunner{Suite: "micro", Hooks: core.Hooks{
+				PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+					executed.Add(1)
+					return core.DefaultPerRun(rc, buildType, w, threads)
+				},
+			}}, nil
+		},
+		Collect: core.GenericCollect,
+	}); err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Experiment:   "micro_counted",
+		BuildTypes:   []string{"gcc_native", "gcc_asan"},
+		Benchmarks:   []string{"array_read", "branch_heavy"},
+		Input:        workload.SizeTest,
+		AdaptiveReps: true, // -r auto
+		ModelTime:    true,
+	}
+
+	// --- 1. cold adaptive run -------------------------------------------
+	fmt.Println("== cold run with -r auto")
+	report, err := fx.Run(cfg)
+	if err != nil {
+		return err
+	}
+	coldLog, err := fx.ReadResult(report.LogPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d measurements from %d executed repetitions\n", report.Measurements, executed.Load())
+	fmt.Printf("   (deterministic modeled metrics -> every sweep stopped at the %d-rep pilot)\n", core.AdaptivePilot)
+
+	// --- 2. warm -resume run --------------------------------------------
+	fmt.Println("== warm rerun with -resume")
+	executed.Store(0)
+	warm := cfg
+	warm.Resume = true
+	report, err = fx.Run(warm)
+	if err != nil {
+		return err
+	}
+	warmLog, err := fx.ReadResult(report.LogPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d measurements from %d executed repetitions\n", report.Measurements, executed.Load())
+	if executed.Load() != 0 {
+		return fmt.Errorf("resume executed %d repetitions, want 0", executed.Load())
+	}
+	if string(warmLog) != string(coldLog) {
+		return fmt.Errorf("resumed log differs from cold run")
+	}
+	fmt.Println("   zero repetitions executed; log byte-identical to the cold run")
+
+	// --- 3. incremental extension ---------------------------------------
+	fmt.Println("== extend the experiment under -resume (add alloc_churn)")
+	executed.Store(0)
+	extended := warm
+	extended.Benchmarks = append(append([]string{}, warm.Benchmarks...), "alloc_churn")
+	report, err = fx.Run(extended)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d measurements, only %d newly executed repetitions (the new benchmark's cells)\n",
+		report.Measurements, executed.Load())
+	if executed.Load() == 0 {
+		return fmt.Errorf("extension measured nothing; expected the new cells to run")
+	}
+
+	// --- 4. fex clean -----------------------------------------------------
+	stats, err := fx.ResultStore().Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== store holds %d cells (%d bytes); cleaning\n", stats.Records, stats.Bytes)
+	if err := fx.CleanStore(); err != nil {
+		return err
+	}
+	executed.Store(0)
+	if _, err := fx.Run(warm); err != nil {
+		return err
+	}
+	fmt.Printf("   after clean, -resume measured cold again: %d executed repetitions\n", executed.Load())
+	if executed.Load() == 0 {
+		return fmt.Errorf("cleaned store still replayed")
+	}
+	fmt.Println("resume_adaptive complete")
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestExamplesRun executes the example end to end — the same run() main
+// calls — inside a scratch directory. Skipped under -short: it performs
+// real installs, builds, and four full experiment runs.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end example run skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := run(); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fex/internal/stats"
+	"fex/internal/workload"
+)
+
+// simulateSweep drives a repController through one sweep fed from stream,
+// the way runCell does: after each repetition the stream's next value
+// joins the samples. It returns the number of repetitions executed.
+func simulateSweep(ctl *repController, stream []float64) int {
+	var samples []float64
+	n := 0
+	for ctl.more(n, samples) {
+		if n < len(stream) {
+			samples = append(samples, stream[n])
+		}
+		n++
+	}
+	return n
+}
+
+func TestRepControllerFixed(t *testing.T) {
+	for _, reps := range []int{1, 3, 7} {
+		cfg := Config{Reps: reps}
+		if got := simulateSweep(newRepController(cfg), nil); got != reps {
+			t.Errorf("fixed -r %d executed %d reps", reps, got)
+		}
+	}
+}
+
+// TestRepControllerAdaptiveQuick is the property test of the -r auto stop
+// rule: for synthetic sample streams with a known pilot, the controller
+// stops at exactly stats.RequiredRepetitions of that pilot — clamped so
+// it never stops below the pilot size and never exceeds the cap.
+func TestRepControllerAdaptiveQuick(t *testing.T) {
+	levels := []float64{0.90, 0.95, 0.99}
+	prop := func(seed int64, levelIdx uint8, relRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		level := levels[int(levelIdx)%len(levels)]
+		// relWidth in (0.0005, 0.5]: spans "needs the cap" to "pilot is
+		// plenty".
+		relWidth := 0.0005 + float64(relRaw%1000)/1000*0.4995
+		// A positive stream with seed-dependent dispersion (CoV roughly
+		// rng-chosen in [0, 0.5]).
+		mean := 1 + rng.Float64()*99
+		sd := rng.Float64() * 0.5 * mean
+		stream := make([]float64, AdaptiveCap+8)
+		for i := range stream {
+			stream[i] = math.Abs(mean + sd*rng.NormFloat64())
+		}
+
+		cfg := Config{AdaptiveReps: true, RepLevel: level, RepRelWidth: relWidth}
+		got := simulateSweep(newRepController(cfg), stream)
+
+		want := AdaptivePilot
+		if req, err := stats.RequiredRepetitions(stream[:AdaptivePilot], level, relWidth); err == nil {
+			want = req
+			if want > AdaptiveCap {
+				want = AdaptiveCap
+			}
+			if want < AdaptivePilot {
+				want = AdaptivePilot
+			}
+		} else {
+			// Too noisy for the estimate: the controller must spend the
+			// full cap, never fall back to the minimum.
+			m, _ := stats.Mean(stream[:AdaptivePilot])
+			sd, _ := stats.StdDev(stream[:AdaptivePilot])
+			if m != 0 && sd != 0 {
+				want = AdaptiveCap
+			}
+		}
+		if got != want {
+			t.Logf("seed=%d level=%v relWidth=%v: executed %d, RequiredRepetitions wants %d", seed, level, relWidth, got, want)
+			return false
+		}
+		return got >= AdaptivePilot && got <= AdaptiveCap
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepControllerDegeneratePilots pins the pilot edge cases: constant
+// streams (zero variance), zero-mean streams, and streams shorter than
+// the pilot (the adaptive metric missing from the hook's values) all stop
+// at exactly the pilot size.
+func TestRepControllerDegeneratePilots(t *testing.T) {
+	cfg := Config{AdaptiveReps: true, RepLevel: DefaultRepLevel, RepRelWidth: DefaultRepRelWidth}
+	cases := map[string][]float64{
+		"constant":  {7, 7, 7, 7, 7, 7, 7, 7},
+		"zero mean": {0, 0, 0, 0, 0, 0, 0, 0},
+		"no metric": nil,
+		"too short": {1, 2},
+	}
+	for name, stream := range cases {
+		if got := simulateSweep(newRepController(cfg), stream); got != AdaptivePilot {
+			t.Errorf("%s pilot: executed %d reps, want pilot %d", name, got, AdaptivePilot)
+		}
+	}
+}
+
+// TestRepControllerTooNoisyPilotRunsToCap pins the unattainable-target
+// case: a pilot so dispersed that stats.RequiredRepetitions exceeds its
+// 1e6 bound must spend the full cap — the noisiest cells get the most
+// repetitions the policy allows, never the minimum.
+func TestRepControllerTooNoisyPilotRunsToCap(t *testing.T) {
+	pilot := []float64{1, 10000, 5, 8000, 3}
+	if _, err := stats.RequiredRepetitions(pilot, 0.99, 1e-6); err == nil {
+		t.Fatal("test pilot is not noisy enough to trip the bound")
+	}
+	cfg := Config{AdaptiveReps: true, RepLevel: 0.99, RepRelWidth: 1e-6}
+	stream := append(append([]float64{}, pilot...), make([]float64, AdaptiveCap)...)
+	if got := simulateSweep(newRepController(cfg), stream); got != AdaptiveCap {
+		t.Errorf("too-noisy pilot executed %d reps, want cap %d", got, AdaptiveCap)
+	}
+}
+
+// TestAdaptiveRunnerStopsPerRequiredRepetitions wires the controller
+// through the real experiment loop: a hook feeds a synthetic noisy stream
+// as wall_ns, and the measured repetition count per sweep must equal the
+// RequiredRepetitions verdict on the pilot prefix of exactly that stream.
+func TestAdaptiveRunnerStopsPerRequiredRepetitions(t *testing.T) {
+	// A fixed noisy stream, noisy enough that the pilot demands more than
+	// itself but fewer than the cap.
+	stream := []float64{100, 112, 91, 104, 97}
+	for i := len(stream); i < AdaptiveCap+1; i++ {
+		stream = append(stream, 100+float64(i%7))
+	}
+	want, err := stats.RequiredRepetitions(stream[:AdaptivePilot], DefaultRepLevel, DefaultRepRelWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want <= AdaptivePilot || want >= AdaptiveCap {
+		t.Fatalf("test stream is not discriminating: RequiredRepetitions=%d", want)
+	}
+
+	fx := newSchedFex(t)
+	hooks := deterministicHooks(0)
+	perSweep := map[string]int{}
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+		key := fmt.Sprintf("%s/%s/%d", buildType, w.Name(), threads)
+		perSweep[key]++
+		return map[string]float64{"wall_ns": stream[rep]}, nil
+	}
+	registerSchedExperiment(t, fx, "adaptive_stop", hooks)
+
+	report, err := fx.Run(Config{
+		Experiment:   "adaptive_stop",
+		BuildTypes:   []string{"gcc_native", "clang_native"},
+		Benchmarks:   []string{"fft", "lu"},
+		Threads:      []int{1, 2},
+		AdaptiveReps: true,
+		Input:        workload.SizeTest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perSweep) != 2*2*2 {
+		t.Fatalf("%d sweeps, want 8", len(perSweep))
+	}
+	for key, got := range perSweep {
+		if got != want {
+			t.Errorf("sweep %s executed %d reps, want %d", key, got, want)
+		}
+	}
+	if wantTotal := 8 * want; report.Measurements != wantTotal {
+		t.Errorf("%d measurements, want %d", report.Measurements, wantTotal)
+	}
+}
+
+// TestAdaptiveRunnerConstantStreamStopsAtPilot asserts the fast path: a
+// zero-variance metric (the modeled counters) stops every sweep at the
+// pilot, so -r auto never wastes repetitions on deterministic streams.
+func TestAdaptiveRunnerConstantStreamStopsAtPilot(t *testing.T) {
+	fx := newSchedFex(t)
+	hooks := deterministicHooks(0)
+	runs := 0
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+		runs++
+		return map[string]float64{"cycles": 42}, nil
+	}
+	registerSchedExperiment(t, fx, "adaptive_const", hooks)
+	_, err := fx.Run(Config{
+		Experiment:   "adaptive_const",
+		BuildTypes:   []string{"gcc_native"},
+		Benchmarks:   []string{"fft"},
+		AdaptiveReps: true,
+		Input:        workload.SizeTest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != AdaptivePilot {
+		t.Errorf("constant stream executed %d reps, want pilot %d", runs, AdaptivePilot)
+	}
+}
+
+// TestAdaptiveVariableInputRunner asserts the extended loop applies the
+// stop rule per (input, threads) sweep.
+func TestAdaptiveVariableInputRunner(t *testing.T) {
+	fx := newSchedFex(t)
+	installAll(t, fx, "gcc-6.1")
+	if err := fx.RegisterExperiment(&Experiment{
+		Name: "adaptive_varinput",
+		Kind: KindVariableInput,
+		NewRunner: func(fx *Fex) (Runner, error) {
+			return &VariableInputRunner{
+				Suite:  "phoenix",
+				Inputs: []workload.SizeClass{workload.SizeTest, workload.SizeSmall},
+			}, nil
+		},
+		Collect: GenericCollect,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := fx.Run(Config{
+		Experiment:   "adaptive_varinput",
+		BuildTypes:   []string{"gcc_native"},
+		Benchmarks:   []string{"histogram"},
+		AdaptiveReps: true,
+		ModelTime:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modeled time is deterministic → every sweep stops at the pilot:
+	// 1 type × 1 bench × 2 inputs × 1 thread count × pilot reps.
+	if want := 2 * AdaptivePilot; report.Measurements != want {
+		t.Errorf("%d measurements, want %d", report.Measurements, want)
+	}
+}
+
+func TestParseRepsSpec(t *testing.T) {
+	cases := []struct {
+		in       string
+		reps     int
+		adaptive bool
+		level    float64
+		relWidth float64
+		wantErr  bool
+	}{
+		{in: "4", reps: 4},
+		{in: "auto", adaptive: true},
+		{in: "auto:0.99,0.02", adaptive: true, level: 0.99, relWidth: 0.02},
+		{in: "auto:0.99", wantErr: true},
+		{in: "auto:x,0.02", wantErr: true},
+		{in: "auto:0.99,y", wantErr: true},
+		{in: "auto:0,0.05", wantErr: true}, // explicit zero level must not become the default
+		{in: "auto:0.95,0", wantErr: true}, // explicit zero relwidth must not become the default
+		{in: "auto:1.5,0.05", wantErr: true},
+		{in: "auto:0.95,-0.01", wantErr: true},
+		{in: "many", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		reps, adaptive, level, relWidth, err := ParseRepsSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseRepsSpec(%q): expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseRepsSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if reps != tc.reps || adaptive != tc.adaptive || level != tc.level || relWidth != tc.relWidth {
+			t.Errorf("ParseRepsSpec(%q) = (%d,%t,%v,%v)", tc.in, reps, adaptive, level, relWidth)
+		}
+	}
+}

@@ -131,7 +131,11 @@ func (fx *Fex) Analyze(experiment, metric, typeA, typeB string) (*AnalysisReport
 		a := samples[bench][typeA]
 		bvals := samples[bench][typeB]
 		if len(a) == 0 || len(bvals) == 0 {
-			return nil, fmt.Errorf("analyze %s: benchmark %s lacks both types", experiment, bench)
+			// A benchmark measured under only one of the two types — e.g.
+			// skipped via SkipBenchmark() for a build type it does not
+			// support — has nothing to compare; drop it from the report
+			// instead of failing the whole analysis.
+			continue
 		}
 		if len(a) < minReps {
 			minReps = len(a)
@@ -159,6 +163,10 @@ func (fx *Fex) Analyze(experiment, metric, typeA, typeB string) (*AnalysisReport
 			cmp.Test = &res
 		}
 		report.Comparisons = append(report.Comparisons, cmp)
+	}
+	if len(report.Comparisons) == 0 {
+		return nil, fmt.Errorf("analyze %s: no benchmark has measurements for both %q and %q",
+			experiment, typeA, typeB)
 	}
 	report.MinReps = minReps
 	return report, nil

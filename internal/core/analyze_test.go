@@ -82,6 +82,111 @@ func TestAnalyzeSingleRepHasNoTest(t *testing.T) {
 	}
 }
 
+// writeSyntheticLog stores a hand-written run log in the container
+// filesystem under the given experiment name — Analyze reads the stored
+// log directly, so edge cases (zero baselines, one-sided benchmarks) can
+// be staged without executing a run.
+func writeSyntheticLog(t *testing.T, fx *Fex, experiment, logText string) {
+	t.Helper()
+	fsys, err := fx.vfsOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.WriteFile(logPath(experiment), []byte(logText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeZeroBaseline pins the zero-baseline edge case of the
+// speedup/overhead aggregation: a baseline whose mean is exactly zero
+// cannot produce a ratio, so the comparison reports Ratio 0 instead of
+// dividing by zero, and the analysis still succeeds.
+func TestAnalyzeZeroBaseline(t *testing.T) {
+	fx := newFex(t)
+	writeSyntheticLog(t, fx, "synth_zero", ""+
+		"HDR|experiment=synth_zero|types=a,b|reps=2\n"+
+		"RUN|suite=s|bench=x|type=a|threads=1|rep=0|cycles=0\n"+
+		"RUN|suite=s|bench=x|type=a|threads=1|rep=1|cycles=0\n"+
+		"RUN|suite=s|bench=x|type=b|threads=1|rep=0|cycles=10\n"+
+		"RUN|suite=s|bench=x|type=b|threads=1|rep=1|cycles=12\n")
+	report, err := fx.Analyze("synth_zero", "cycles", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Comparisons) != 1 {
+		t.Fatalf("comparisons %d, want 1", len(report.Comparisons))
+	}
+	c := report.Comparisons[0]
+	if c.Ratio != 0 {
+		t.Errorf("zero-baseline ratio %v, want 0", c.Ratio)
+	}
+	if c.A.Mean != 0 || c.B.Mean != 11 {
+		t.Errorf("summaries: A.Mean=%v B.Mean=%v", c.A.Mean, c.B.Mean)
+	}
+	if c.Test == nil {
+		t.Error("two reps per side must still produce a t-test")
+	}
+}
+
+// TestAnalyzeSkippedBenchmarkIsDropped pins the skipped-benchmark edge
+// case: a benchmark measured under only one of the compared types (the
+// SkipBenchmark() scenario) is dropped from the report; benchmarks with
+// both sides still analyze, and MinReps reflects only analyzed benchmarks.
+func TestAnalyzeSkippedBenchmarkIsDropped(t *testing.T) {
+	fx := newFex(t)
+	writeSyntheticLog(t, fx, "synth_skip", ""+
+		"HDR|experiment=synth_skip|types=a,b|reps=1\n"+
+		"NOTE|skipped s/only_a [b]\n"+
+		"RUN|suite=s|bench=only_a|type=a|threads=1|rep=0|cycles=5\n"+
+		"RUN|suite=s|bench=both|type=a|threads=1|rep=0|cycles=10\n"+
+		"RUN|suite=s|bench=both|type=b|threads=1|rep=0|cycles=20\n")
+	report, err := fx.Analyze("synth_skip", "cycles", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Comparisons) != 1 || report.Comparisons[0].Benchmark != "both" {
+		t.Fatalf("comparisons %+v, want exactly [both]", report.Comparisons)
+	}
+	if got := report.Comparisons[0].Ratio; got != 2 {
+		t.Errorf("ratio %v, want 2", got)
+	}
+	if report.MinReps != 1 {
+		t.Errorf("MinReps %d, want 1 (single rep)", report.MinReps)
+	}
+	if report.Comparisons[0].Test != nil {
+		t.Error("single-rep benchmark produced a t-test")
+	}
+
+	// When *every* benchmark is one-sided the analysis fails loudly
+	// rather than returning an empty report.
+	writeSyntheticLog(t, fx, "synth_allskip", ""+
+		"HDR|experiment=synth_allskip|types=a,b|reps=1\n"+
+		"RUN|suite=s|bench=only_a|type=a|threads=1|rep=0|cycles=5\n")
+	if _, err := fx.Analyze("synth_allskip", "cycles", "a", "b"); err == nil ||
+		!strings.Contains(err.Error(), "no benchmark has measurements for both") {
+		t.Errorf("all-skipped analysis: %v", err)
+	}
+}
+
+// TestAnalyzeMinThreadsSelection pins that analysis samples at the
+// smallest thread count present, not across the whole sweep.
+func TestAnalyzeMinThreadsSelection(t *testing.T) {
+	fx := newFex(t)
+	writeSyntheticLog(t, fx, "synth_threads", ""+
+		"HDR|experiment=synth_threads|types=a,b|reps=1\n"+
+		"RUN|suite=s|bench=x|type=a|threads=2|rep=0|cycles=100\n"+
+		"RUN|suite=s|bench=x|type=b|threads=2|rep=0|cycles=400\n"+
+		"RUN|suite=s|bench=x|type=a|threads=1|rep=0|cycles=10\n"+
+		"RUN|suite=s|bench=x|type=b|threads=1|rep=0|cycles=30\n")
+	report, err := fx.Analyze("synth_threads", "cycles", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Comparisons[0].Ratio; got != 3 {
+		t.Errorf("ratio %v, want 3 (threads=1 samples only)", got)
+	}
+}
+
 func TestAnalyzeErrors(t *testing.T) {
 	fx := newFex(t)
 	if _, err := fx.Analyze("micro", "", "a", "b"); err == nil {

@@ -282,6 +282,10 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 		switch {
 		case r.err == nil:
 			shards[r.cell] = r.shard
+			// The fetched shard is durable the moment it reaches the
+			// coordinator: a run that later fails still leaves this cell
+			// resumable.
+			persistCell(vrc, cells[r.cell], r.shard)
 			idle = append(idle, r.worker)
 		case errors.Is(r.err, remote.ErrUnreachable):
 			// Host outage: drop the host from the pool and retry the cell

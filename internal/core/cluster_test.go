@@ -52,102 +52,107 @@ func runOnce(t *testing.T, cfg Config, installs []string) (string, string) {
 	return string(lg), string(csv)
 }
 
-// TestClusterDeterminismBuiltinExperiments is the golden suite of the
-// determinism contract: for every builtin experiment whose runner is
+// determinismExperiments is the builtin-experiment matrix of the
+// determinism contract: every builtin experiment whose runner is
 // cell-based (the benchmark suites and their variable-input variants)
-// plus the serial-only RIPE experiment, all three execution modes must
-// store byte-identical run logs and CSVs. --modeled-time makes wall_ns a
-// pure function of the workload, so the comparison covers every metric
-// byte, not a live-timing subset. The network experiments (nginx, apache,
+// plus the RIPE experiment. The network experiments (nginx, apache,
 // memcached) measure live load-generator timing and are inherently
-// machine-dependent; they have no determinism contract to assert.
+// machine-dependent; they have no determinism contract to assert. The
+// matrix is shared by the cold three-mode suite below and the cold/warm
+// -resume suite (resume_test.go).
+var determinismExperiments = []struct {
+	name     string
+	cfg      Config
+	installs []string
+}{
+	{
+		name: "phoenix",
+		cfg: Config{
+			Experiment: "phoenix",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Threads:    []int{1, 2},
+			Reps:       2,
+			Input:      workload.SizeTest,
+		},
+		installs: []string{"gcc-6.1", "clang-3.8.0"},
+	},
+	{
+		name: "splash",
+		cfg: Config{
+			Experiment: "splash",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Threads:    []int{1, 2},
+			Input:      workload.SizeTest,
+		},
+		installs: []string{"gcc-6.1", "clang-3.8.0"},
+	},
+	{
+		name: "parsec",
+		cfg: Config{
+			Experiment: "parsec",
+			BuildTypes: []string{"gcc_native", "gcc_asan"},
+			Reps:       2,
+			Input:      workload.SizeTest,
+		},
+		installs: []string{"gcc-6.1"},
+	},
+	{
+		name: "micro",
+		cfg: Config{
+			Experiment: "micro",
+			BuildTypes: []string{"gcc_native", "clang_native", "gcc_asan"},
+			Input:      workload.SizeTest,
+		},
+		installs: []string{"gcc-6.1", "clang-3.8.0"},
+	},
+	{
+		name: "phoenix_var_input",
+		cfg: Config{
+			Experiment: "phoenix_var_input",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Benchmarks: []string{"histogram", "string_match"},
+		},
+		installs: []string{"gcc-6.1", "clang-3.8.0"},
+	},
+	{
+		name: "parsec_var_input",
+		cfg: Config{
+			Experiment: "parsec_var_input",
+			BuildTypes: []string{"gcc_native"},
+			Benchmarks: []string{"blackscholes", "streamcluster"},
+		},
+		installs: []string{"gcc-6.1"},
+	},
+	{
+		// The time tool derives wall_seconds from the wall clock;
+		// --modeled-time must make that metric deterministic too.
+		name: "micro_time_tool",
+		cfg: Config{
+			Experiment: "micro",
+			BuildTypes: []string{"gcc_native", "gcc_asan"},
+			Reps:       2,
+			Input:      workload.SizeTest,
+			Tool:       "time",
+		},
+		installs: []string{"gcc-6.1"},
+	},
+	{
+		name: "ripe",
+		cfg: Config{
+			Experiment: "ripe",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+		},
+		installs: []string{"gcc-6.1", "clang-3.8.0", "ripe"},
+	},
+}
+
+// TestClusterDeterminismBuiltinExperiments is the golden suite of the
+// determinism contract: all three execution modes must store
+// byte-identical run logs and CSVs for every experiment in the matrix.
+// --modeled-time makes wall_ns a pure function of the workload, so the
+// comparison covers every metric byte, not a live-timing subset.
 func TestClusterDeterminismBuiltinExperiments(t *testing.T) {
-	experiments := []struct {
-		name     string
-		cfg      Config
-		installs []string
-	}{
-		{
-			name: "phoenix",
-			cfg: Config{
-				Experiment: "phoenix",
-				BuildTypes: []string{"gcc_native", "clang_native"},
-				Threads:    []int{1, 2},
-				Reps:       2,
-				Input:      workload.SizeTest,
-			},
-			installs: []string{"gcc-6.1", "clang-3.8.0"},
-		},
-		{
-			name: "splash",
-			cfg: Config{
-				Experiment: "splash",
-				BuildTypes: []string{"gcc_native", "clang_native"},
-				Threads:    []int{1, 2},
-				Input:      workload.SizeTest,
-			},
-			installs: []string{"gcc-6.1", "clang-3.8.0"},
-		},
-		{
-			name: "parsec",
-			cfg: Config{
-				Experiment: "parsec",
-				BuildTypes: []string{"gcc_native", "gcc_asan"},
-				Reps:       2,
-				Input:      workload.SizeTest,
-			},
-			installs: []string{"gcc-6.1"},
-		},
-		{
-			name: "micro",
-			cfg: Config{
-				Experiment: "micro",
-				BuildTypes: []string{"gcc_native", "clang_native", "gcc_asan"},
-				Input:      workload.SizeTest,
-			},
-			installs: []string{"gcc-6.1", "clang-3.8.0"},
-		},
-		{
-			name: "phoenix_var_input",
-			cfg: Config{
-				Experiment: "phoenix_var_input",
-				BuildTypes: []string{"gcc_native", "clang_native"},
-				Benchmarks: []string{"histogram", "string_match"},
-			},
-			installs: []string{"gcc-6.1", "clang-3.8.0"},
-		},
-		{
-			name: "parsec_var_input",
-			cfg: Config{
-				Experiment: "parsec_var_input",
-				BuildTypes: []string{"gcc_native"},
-				Benchmarks: []string{"blackscholes", "streamcluster"},
-			},
-			installs: []string{"gcc-6.1"},
-		},
-		{
-			// The time tool derives wall_seconds from the wall clock;
-			// --modeled-time must make that metric deterministic too.
-			name: "micro_time_tool",
-			cfg: Config{
-				Experiment: "micro",
-				BuildTypes: []string{"gcc_native", "gcc_asan"},
-				Reps:       2,
-				Input:      workload.SizeTest,
-				Tool:       "time",
-			},
-			installs: []string{"gcc-6.1"},
-		},
-		{
-			name: "ripe",
-			cfg: Config{
-				Experiment: "ripe",
-				BuildTypes: []string{"gcc_native", "clang_native"},
-			},
-			installs: []string{"gcc-6.1", "clang-3.8.0", "ripe"},
-		},
-	}
-	for _, tc := range experiments {
+	for _, tc := range determinismExperiments {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()

@@ -73,6 +73,27 @@ type Config struct {
 	// function of the workload and build type, so runs produce
 	// byte-identical logs on any machine — serial, parallel, or cluster.
 	ModelTime bool
+	// Resume consults the persistent result store before executing each
+	// experiment cell (-resume): a cell whose fingerprint — experiment,
+	// build type, benchmark, thread sweep, input class, tool, repetition
+	// policy, and cost-model hash — is already satisfied replays its stored
+	// records instead of re-measuring, in every execution tier. Replayed
+	// records merge in canonical loop order, so a resumed log and CSV are
+	// byte-identical to a cold serial run's.
+	Resume bool
+	// AdaptiveReps selects adaptive repetition counts (-r auto): each
+	// (threads) sweep of a cell runs AdaptivePilot measured repetitions,
+	// feeds them to stats.RequiredRepetitions, and keeps measuring until
+	// the Student-t confidence interval of the adaptive metric is within
+	// RepRelWidth of its mean at RepLevel confidence, capped at
+	// AdaptiveCap. Reps is ignored when set.
+	AdaptiveReps bool
+	// RepLevel is the adaptive confidence level (-r auto:level,relwidth);
+	// 0 defaults to DefaultRepLevel.
+	RepLevel float64
+	// RepRelWidth is the adaptive target half-width as a fraction of the
+	// mean; 0 defaults to DefaultRepRelWidth.
+	RepRelWidth float64
 }
 
 // Normalize validates the config and fills defaults.
@@ -100,6 +121,23 @@ func (c *Config) Normalize() error {
 		if t < 1 {
 			return fmt.Errorf("core: invalid thread count %d", t)
 		}
+	}
+	if c.AdaptiveReps {
+		if c.RepLevel == 0 {
+			c.RepLevel = DefaultRepLevel
+		}
+		if c.RepRelWidth == 0 {
+			c.RepRelWidth = DefaultRepRelWidth
+		}
+		if c.RepLevel <= 0 || c.RepLevel >= 1 {
+			return fmt.Errorf("core: adaptive confidence level %v out of range (0,1)", c.RepLevel)
+		}
+		if c.RepRelWidth <= 0 {
+			return fmt.Errorf("core: adaptive relative width %v must be positive", c.RepRelWidth)
+		}
+		// The pilot batch is the guaranteed minimum; Reps mirrors it so
+		// log headers and reports stay meaningful under -r auto.
+		c.Reps = AdaptivePilot
 	}
 	if c.Reps <= 0 {
 		c.Reps = 1
@@ -153,7 +191,19 @@ func (c Config) String() string {
 		}
 		sb.WriteString(" -m " + strings.Join(parts, " "))
 	}
-	if c.Reps > 1 {
+	level, relWidth := c.RepLevel, c.RepRelWidth
+	if level == 0 {
+		level = DefaultRepLevel
+	}
+	if relWidth == 0 {
+		relWidth = DefaultRepRelWidth
+	}
+	switch {
+	case c.AdaptiveReps && (level != DefaultRepLevel || relWidth != DefaultRepRelWidth):
+		sb.WriteString(fmt.Sprintf(" -r auto:%g,%g", level, relWidth))
+	case c.AdaptiveReps:
+		sb.WriteString(" -r auto")
+	case c.Reps > 1:
 		sb.WriteString(" -r " + strconv.Itoa(c.Reps))
 	}
 	if c.Input != 0 && c.Input != workload.SizeNative {
@@ -167,6 +217,9 @@ func (c Config) String() string {
 	}
 	if c.ModelTime {
 		sb.WriteString(" --modeled-time")
+	}
+	if c.Resume {
+		sb.WriteString(" -resume")
 	}
 	if c.Debug {
 		sb.WriteString(" -d")

@@ -114,6 +114,23 @@ func TestConfigString(t *testing.T) {
 			t.Errorf("config string %q missing %q", s, want)
 		}
 	}
+
+	cfg.Reps = 0
+	cfg.AdaptiveReps = true
+	cfg.Resume = true
+	s = cfg.String()
+	for _, want := range []string{" -r auto", " -resume"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("config string %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "auto:") {
+		t.Errorf("default adaptive params rendered explicitly: %q", s)
+	}
+	cfg.RepLevel, cfg.RepRelWidth = 0.99, 0.02
+	if s = cfg.String(); !strings.Contains(s, "-r auto:0.99,0.02") {
+		t.Errorf("config string %q missing custom adaptive spec", s)
+	}
 }
 
 func TestParseThreadList(t *testing.T) {

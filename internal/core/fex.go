@@ -1,12 +1,15 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"fex/internal/buildsys"
@@ -15,6 +18,7 @@ import (
 	"fex/internal/installer"
 	"fex/internal/remote"
 	"fex/internal/runlog"
+	"fex/internal/store"
 	"fex/internal/table"
 	"fex/internal/toolchain"
 	"fex/internal/vfs"
@@ -33,6 +37,9 @@ const (
 	ResultDir = "/fex/results"
 	// PlotDir receives rendered plots.
 	PlotDir = "/fex/plots"
+	// StoreDir holds the persistent result store: one content-addressed
+	// record per experiment cell (see internal/store).
+	StoreDir = "/fex/store"
 )
 
 // Options configures framework construction. Zero values select the
@@ -69,6 +76,9 @@ type Fex struct {
 	repo        *installer.Repository
 	build       *buildsys.System
 	registry    *workload.Registry
+	store       *store.Store
+	calOnce     sync.Once
+	calDigest   string
 	experiments map[string]*Experiment
 	providers   map[string]env.Provider
 	cluster     *remote.Cluster
@@ -147,6 +157,7 @@ func New(opts Options) (*Fex, error) {
 		repo:        repo,
 		build:       bld,
 		registry:    reg,
+		store:       store.New(fsys, StoreDir),
 		experiments: make(map[string]*Experiment),
 		cluster:     cluster,
 		providers: map[string]env.Provider{
@@ -200,6 +211,40 @@ func (fx *Fex) Registry() *workload.Registry { return fx.registry }
 // Cluster exposes the worker-host cluster used by -hosts runs (for tests
 // and tooling that pre-register hosts or inject faults).
 func (fx *Fex) Cluster() *remote.Cluster { return fx.cluster }
+
+// ResultStore exposes the persistent result store -resume runs replay
+// from. It lives in the container filesystem (StoreDir), so --state
+// persistence carries it across CLI invocations.
+func (fx *Fex) ResultStore() *store.Store { return fx.store }
+
+// CleanStore evicts every stored cell — the "fex clean" action. Safe at
+// any time: subsequent runs simply measure cold and refill the store.
+func (fx *Fex) CleanStore() error {
+	if fx.store == nil {
+		return nil
+	}
+	return fx.store.Clean()
+}
+
+// costModelHash digests the measurement context that cell fingerprints
+// cannot express structurally: the full cost-model calibration (baseline,
+// per-compiler codegen, sanitizer and debug scales — every derived vector
+// a build type can resolve to) and the config modes that change what a
+// repetition records. Any drift here must miss the store rather than
+// replay measurements taken under a different model. The calibration
+// rendering is constant for the process, so its digest is computed once;
+// the per-call work is hashing a short fixed-size string (this runs up to
+// twice per cell, from concurrent scheduler workers).
+func (fx *Fex) costModelHash(cfg Config) string {
+	fx.calOnce.Do(func() {
+		sum := sha256.Sum256([]byte(toolchain.CalibrationCanonical()))
+		fx.calDigest = hex.EncodeToString(sum[:])
+	})
+	h := sha256.New()
+	fmt.Fprintf(h, "calibration:%s\n", fx.calDigest)
+	fmt.Fprintf(h, "debug:%t\nmodeled-time:%t\n", cfg.Debug, cfg.ModelTime)
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Install runs the setup stage for one artifact ("fex install -n gcc-6.1"):
 // it resolves and installs the artifact and its transitive dependencies

@@ -1,0 +1,468 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fex/internal/workload"
+)
+
+// This file extends the determinism harness to the result store
+// (internal/store) and -resume: a warm resumed run — in every execution
+// tier, cold store filled by any tier — must execute zero measured
+// repetitions yet store a log and CSV byte-identical to a cold serial
+// run's. Like cluster_test.go, everything here runs under -race in CI.
+
+// runOn executes cfg on an existing framework (so the result store
+// persists between the cold and warm run) and returns the stored log and
+// CSV bytes.
+func runOn(t *testing.T, fx *Fex, cfg Config) (string, string) {
+	t.Helper()
+	report, err := fx.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.String(), err)
+	}
+	lg, err := fx.ReadResult(report.LogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := fx.ReadResult(report.CSVPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(lg), string(csv)
+}
+
+// TestResumeDeterminismBuiltinExperiments is the warm half of the golden
+// suite: for every cell-based builtin experiment and every execution tier,
+// a cold run followed by a warm -resume run on the same framework must
+// leave the log and CSV byte-identical to a cold *serial* run on a fresh
+// framework — replay is invisible in the experiment record.
+func TestResumeDeterminismBuiltinExperiments(t *testing.T) {
+	for _, tc := range determinismExperiments {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			serialCfg := tc.cfg
+			serialCfg.ModelTime = true
+			wantLog, wantCSV := runOnce(t, serialCfg, tc.installs)
+			for _, mode := range runModes {
+				cfg := tc.cfg
+				cfg.ModelTime = true
+				mode.set(&cfg)
+				fx := newSchedFex(t)
+				installAll(t, fx, tc.installs...)
+				runOn(t, fx, cfg) // cold: fills the store
+				warm := cfg
+				warm.Resume = true
+				lg, csv := runOn(t, fx, warm)
+				if lg != wantLog {
+					t.Errorf("%s/%s: warm -resume log differs from cold serial:\n--- cold serial ---\n%s\n--- warm %s ---\n%s",
+						tc.name, mode.name, wantLog, mode.name, lg)
+				}
+				if csv != wantCSV {
+					t.Errorf("%s/%s: warm -resume CSV differs from cold serial:\n--- cold serial ---\n%s\n--- warm %s ---\n%s",
+						tc.name, mode.name, wantCSV, mode.name, csv)
+				}
+			}
+		})
+	}
+}
+
+// countingHooks wraps deterministicHooks with atomic counters over the
+// per-benchmark (build) and per-run (measure) actions — the evidence that
+// a warm run executed zero of either.
+func countingHooks(builds, reps *atomic.Int64) Hooks {
+	hooks := deterministicHooks(0)
+	baseBench := hooks.PerBenchmarkAction
+	hooks.PerBenchmarkAction = func(rc *RunContext, buildType string, w workload.Workload) error {
+		builds.Add(1)
+		return baseBench(rc, buildType, w)
+	}
+	baseRun := hooks.PerRunAction
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+		reps.Add(1)
+		return baseRun(rc, buildType, w, threads, rep)
+	}
+	return hooks
+}
+
+// TestResumeExecutesZeroRepetitions is the acceptance test of the store:
+// in every execution tier, a warm -resume rerun of an unchanged experiment
+// executes zero per-benchmark actions and zero measured repetitions, yet
+// reproduces the cold run's bytes exactly.
+func TestResumeExecutesZeroRepetitions(t *testing.T) {
+	cfg := Config{
+		Experiment: "resume_zero",
+		BuildTypes: []string{"gcc_native", "clang_native"},
+		Benchmarks: []string{"fft", "lu", "radix"},
+		Threads:    []int{1, 2},
+		Reps:       2,
+		Input:      workload.SizeTest,
+	}
+	for _, mode := range runModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			var builds, reps atomic.Int64
+			fx := newSchedFex(t)
+			registerSchedExperiment(t, fx, "resume_zero", countingHooks(&builds, &reps))
+			modeCfg := cfg
+			mode.set(&modeCfg)
+
+			coldLog, coldCSV := runOn(t, fx, modeCfg)
+			if builds.Load() == 0 || reps.Load() == 0 {
+				t.Fatalf("cold run executed builds=%d reps=%d", builds.Load(), reps.Load())
+			}
+			builds.Store(0)
+			reps.Store(0)
+
+			warm := modeCfg
+			warm.Resume = true
+			warmLog, warmCSV := runOn(t, fx, warm)
+			if b := builds.Load(); b != 0 {
+				t.Errorf("warm -resume run executed %d per-benchmark actions, want 0", b)
+			}
+			if r := reps.Load(); r != 0 {
+				t.Errorf("warm -resume run executed %d measured repetitions, want 0", r)
+			}
+			if warmLog != coldLog {
+				t.Errorf("warm log differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", coldLog, warmLog)
+			}
+			if warmCSV != coldCSV {
+				t.Errorf("warm CSV differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", coldCSV, warmCSV)
+			}
+		})
+	}
+}
+
+// TestResumePartialRunExtends proves incremental evaluation: a cold run
+// over a benchmark subset seeds the store; a warm -resume run over a
+// superset measures only the new cells, and its output is byte-identical
+// to a cold serial run of the full set.
+func TestResumePartialRunExtends(t *testing.T) {
+	subset := Config{
+		Experiment: "resume_partial",
+		BuildTypes: []string{"gcc_native", "clang_native"},
+		Benchmarks: []string{"fft", "lu"},
+		Reps:       2,
+		Input:      workload.SizeTest,
+	}
+	full := subset
+	full.Benchmarks = []string{"fft", "lu", "radix"}
+
+	// Golden bytes: a cold serial run of the full set on a fresh framework.
+	var refBuilds, refReps atomic.Int64
+	ref := newSchedFex(t)
+	registerSchedExperiment(t, ref, "resume_partial", countingHooks(&refBuilds, &refReps))
+	wantLog, wantCSV := runOn(t, ref, full)
+
+	var builds, reps atomic.Int64
+	fx := newSchedFex(t)
+	registerSchedExperiment(t, fx, "resume_partial", countingHooks(&builds, &reps))
+	runOn(t, fx, subset)
+	builds.Store(0)
+	reps.Store(0)
+
+	warm := full
+	warm.Resume = true
+	warm.Jobs = 4 // replay must compose with the parallel tier
+	gotLog, gotCSV := runOn(t, fx, warm)
+	// Only the two new cells (radix under each build type) execute: one
+	// per-benchmark action and Reps repetitions each.
+	if b := builds.Load(); b != 2 {
+		t.Errorf("extending run executed %d per-benchmark actions, want 2", b)
+	}
+	if r := reps.Load(); r != 2*2 {
+		t.Errorf("extending run executed %d repetitions, want 4", r)
+	}
+	if gotLog != wantLog {
+		t.Errorf("extended log differs from cold serial full run:\n--- want ---\n%s\n--- got ---\n%s", wantLog, gotLog)
+	}
+	if gotCSV != wantCSV {
+		t.Errorf("extended CSV differs from cold serial full run:\n--- want ---\n%s\n--- got ---\n%s", wantCSV, gotCSV)
+	}
+}
+
+// TestResumeMissesOnConfigChange asserts the fingerprint discriminates:
+// any change to the measurement context — threads, input class, reps
+// policy, tool, debug mode — must miss the store and re-measure.
+func TestResumeMissesOnConfigChange(t *testing.T) {
+	base := Config{
+		Experiment: "resume_miss",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft"},
+		Threads:    []int{1, 2},
+		Reps:       2,
+		Input:      workload.SizeTest,
+	}
+	changes := map[string]func(*Config){
+		"threads":  func(c *Config) { c.Threads = []int{1} },
+		"reps":     func(c *Config) { c.Reps = 3 },
+		"adaptive": func(c *Config) { c.AdaptiveReps = true },
+		"input":    func(c *Config) { c.Input = workload.SizeSmall },
+		"tool":     func(c *Config) { c.Tool = "time" },
+		"debug":    func(c *Config) { c.Debug = true },
+	}
+	for name, change := range changes {
+		name, change := name, change
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var builds, reps atomic.Int64
+			fx := newSchedFex(t)
+			registerSchedExperiment(t, fx, "resume_miss", countingHooks(&builds, &reps))
+			runOn(t, fx, base)
+			reps.Store(0)
+
+			warm := base
+			warm.Resume = true
+			change(&warm)
+			runOn(t, fx, warm)
+			if reps.Load() == 0 {
+				t.Errorf("changed %s still replayed from the store", name)
+			}
+		})
+	}
+
+	// The control: no change replays everything.
+	var builds, reps atomic.Int64
+	fx := newSchedFex(t)
+	registerSchedExperiment(t, fx, "resume_miss", countingHooks(&builds, &reps))
+	runOn(t, fx, base)
+	reps.Store(0)
+	warm := base
+	warm.Resume = true
+	runOn(t, fx, warm)
+	if reps.Load() != 0 {
+		t.Errorf("unchanged config re-measured %d repetitions", reps.Load())
+	}
+}
+
+// TestResumeWithoutFlagDoesNotReplay asserts -resume is opt-in: the store
+// fills on every run, but a plain rerun measures everything again.
+func TestResumeWithoutFlagDoesNotReplay(t *testing.T) {
+	var builds, reps atomic.Int64
+	fx := newSchedFex(t)
+	registerSchedExperiment(t, fx, "resume_optin", countingHooks(&builds, &reps))
+	cfg := Config{
+		Experiment: "resume_optin",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft"},
+		Input:      workload.SizeTest,
+	}
+	runOn(t, fx, cfg)
+	reps.Store(0)
+	runOn(t, fx, cfg)
+	if reps.Load() == 0 {
+		t.Error("rerun without -resume replayed from the store")
+	}
+}
+
+// TestResumeCorruptEntrySelfHeals tampers with every stored record after
+// the cold run: the warm run must detect the damage, fall back to
+// re-measuring, and still produce byte-identical output.
+func TestResumeCorruptEntrySelfHeals(t *testing.T) {
+	var builds, reps atomic.Int64
+	fx := newSchedFex(t)
+	registerSchedExperiment(t, fx, "resume_corrupt", countingHooks(&builds, &reps))
+	cfg := Config{
+		Experiment: "resume_corrupt",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft", "lu"},
+		Reps:       2,
+		Input:      workload.SizeTest,
+	}
+	coldLog, coldCSV := runOn(t, fx, cfg)
+
+	// Overwrite every store record with garbage.
+	fsys, err := fx.vfsOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := fx.ResultStore().Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("cold run stored nothing")
+	}
+	corrupted := 0
+	for _, key := range keys {
+		path := StoreDir + "/" + key[:2] + "/" + key
+		if err := fsys.WriteFile(path, []byte("not a store record"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	reps.Store(0)
+
+	warm := cfg
+	warm.Resume = true
+	warmLog, warmCSV := runOn(t, fx, warm)
+	if reps.Load() == 0 {
+		t.Error("corrupt store entries were replayed")
+	}
+	if warmLog != coldLog || warmCSV != coldCSV {
+		t.Errorf("self-healed run differs from cold run (corrupted %d records)", corrupted)
+	}
+}
+
+// TestResumeReplayedCellSurvivesStoredRecordValidation asserts a replayed
+// record that parses but belongs to a different fingerprint (a planted
+// collision) is rejected, not replayed.
+func TestResumePlantedRecordRejected(t *testing.T) {
+	var builds, reps atomic.Int64
+	fx := newSchedFex(t)
+	registerSchedExperiment(t, fx, "resume_planted", countingHooks(&builds, &reps))
+	cfg := Config{
+		Experiment: "resume_planted",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft"},
+		Input:      workload.SizeTest,
+	}
+	runOn(t, fx, cfg)
+
+	// Re-key the stored record under a doctored fingerprint file: keep the
+	// payload but swap the embedded fingerprint's experiment, simulating a
+	// content-address collision.
+	fsys, err := fx.vfsOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := fx.ResultStore().Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Fatalf("%d store records, want 1", len(keys))
+	}
+	path := StoreDir + "/" + keys[0][:2] + "/" + keys[0]
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(data), `F|experiment|"resume_planted"`, `F|experiment|"someone_else"`, 1)
+	if doctored == string(data) {
+		t.Fatal("fingerprint line not found in stored record")
+	}
+	if err := fsys.WriteFile(path, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reps.Store(0)
+
+	warm := cfg
+	warm.Resume = true
+	runOn(t, fx, warm)
+	if reps.Load() == 0 {
+		t.Error("planted record with mismatched fingerprint was replayed")
+	}
+}
+
+// TestResumeCrossTier proves the store is tier-agnostic: cells measured
+// cold by the cluster tier replay in a warm serial run, and vice versa.
+func TestResumeCrossTier(t *testing.T) {
+	cfg := Config{
+		Experiment: "resume_crosstier",
+		BuildTypes: []string{"gcc_native", "clang_native"},
+		Benchmarks: []string{"fft", "lu"},
+		Reps:       2,
+		Input:      workload.SizeTest,
+	}
+	pairs := []struct {
+		name       string
+		cold, warm func(*Config)
+	}{
+		{"cluster_then_serial", func(c *Config) { c.Hosts = []string{"w1", "w2"} }, func(c *Config) {}},
+		{"serial_then_cluster", func(c *Config) {}, func(c *Config) { c.Hosts = []string{"w1", "w2"} }},
+		{"parallel_then_cluster", func(c *Config) { c.Jobs = 4 }, func(c *Config) { c.Hosts = []string{"w1", "w2"} }},
+	}
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			t.Parallel()
+			var builds, reps atomic.Int64
+			fx := newSchedFex(t)
+			registerSchedExperiment(t, fx, "resume_crosstier", countingHooks(&builds, &reps))
+			cold := cfg
+			pair.cold(&cold)
+			coldLog, _ := runOn(t, fx, cold)
+			reps.Store(0)
+
+			warm := cfg
+			pair.warm(&warm)
+			warm.Resume = true
+			warmLog, _ := runOn(t, fx, warm)
+			if reps.Load() != 0 {
+				t.Errorf("warm run re-measured %d repetitions across tiers", reps.Load())
+			}
+			if warmLog != coldLog {
+				t.Errorf("cross-tier warm log differs:\n--- cold ---\n%s\n--- warm ---\n%s", coldLog, warmLog)
+			}
+		})
+	}
+}
+
+// TestResumeAdaptiveRun proves -resume composes with -r auto: a warm
+// resumed adaptive run replays the stored (adaptively sized) batches
+// without executing a single pilot.
+func TestResumeAdaptiveRun(t *testing.T) {
+	var builds, reps atomic.Int64
+	fx := newSchedFex(t)
+	registerSchedExperiment(t, fx, "resume_adaptive", countingHooks(&builds, &reps))
+	cfg := Config{
+		Experiment:   "resume_adaptive",
+		BuildTypes:   []string{"gcc_native"},
+		Benchmarks:   []string{"fft", "lu"},
+		AdaptiveReps: true,
+		Input:        workload.SizeTest,
+	}
+	coldLog, _ := runOn(t, fx, cfg)
+	if got := reps.Load(); got != 2*AdaptivePilot {
+		t.Fatalf("cold adaptive run executed %d reps, want %d (deterministic hook metric stops at pilot)",
+			got, 2*AdaptivePilot)
+	}
+	reps.Store(0)
+
+	warm := cfg
+	warm.Resume = true
+	warmLog, _ := runOn(t, fx, warm)
+	if reps.Load() != 0 {
+		t.Errorf("warm adaptive run executed %d reps, want 0", reps.Load())
+	}
+	if warmLog != coldLog {
+		t.Error("warm adaptive log differs from cold")
+	}
+}
+
+// TestCleanStoreForcesColdRun asserts fex clean's contract: after
+// CleanStore a -resume run measures everything again.
+func TestCleanStoreForcesColdRun(t *testing.T) {
+	var builds, reps atomic.Int64
+	fx := newSchedFex(t)
+	registerSchedExperiment(t, fx, "resume_clean", countingHooks(&builds, &reps))
+	cfg := Config{
+		Experiment: "resume_clean",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft"},
+		Input:      workload.SizeTest,
+	}
+	runOn(t, fx, cfg)
+	st, err := fx.ResultStore().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records == 0 {
+		t.Fatal("cold run stored nothing")
+	}
+	if err := fx.CleanStore(); err != nil {
+		t.Fatal(err)
+	}
+	reps.Store(0)
+	warm := cfg
+	warm.Resume = true
+	runOn(t, fx, warm)
+	if reps.Load() == 0 {
+		t.Error("cleaned store still replayed")
+	}
+}

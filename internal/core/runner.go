@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"fex/internal/buildsys"
 	"fex/internal/env"
@@ -110,44 +111,30 @@ func SkipBenchmark() error { return errSkipBenchmark }
 // independent (build type, benchmark) cells of the loop run on a bounded
 // worker pool, and with Config.Hosts they are dispatched to cluster
 // workers (see schedule.go and cluster.go); the default executes the
-// paper-faithful serial order.
+// paper-faithful serial order. Every tier runs its cells through the
+// result store: completed cells persist, and -resume replays satisfied
+// cells instead of re-measuring them. Per-type actions keep their ordering
+// guarantee relative to their own cells; in the parallel tiers every
+// PerTypeAction runs (serially, in -t order) before any cell starts — the
+// one observable reordering versus the serial loop.
 func (r *BenchRunner) Run(rc *RunContext) error {
 	benches, err := rc.Fex.selectBenchmarks(r.Suite, rc.Config.Benchmarks)
 	if err != nil {
 		return err
 	}
-	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
-		return r.runParallel(rc, benches)
-	}
-	for _, buildType := range rc.Config.BuildTypes {
+	perType := func(buildType string) error {
 		if err := r.perType(rc, buildType); err != nil {
 			return fmt.Errorf("experiment %s, type %s: %w", rc.Config.Experiment, buildType, err)
 		}
-		for _, w := range benches {
-			if err := r.runCell(rc, buildType, w); err != nil {
-				return err
-			}
-		}
+		return nil
 	}
-	return nil
-}
-
-// runParallel executes the loop's cells on the worker pool. Per-type
-// actions keep their ordering guarantee relative to their own cells: every
-// PerTypeAction runs (serially, in -t order) before any cell starts. That
-// is the one observable reordering versus the serial loop, where a later
-// type's action runs after the earlier type's benchmarks.
-func (r *BenchRunner) runParallel(rc *RunContext, benches []workload.Workload) error {
-	return runParallel(rc, benches,
-		func(buildType string) error {
-			if err := r.perType(rc, buildType); err != nil {
-				return fmt.Errorf("experiment %s, type %s: %w", rc.Config.Experiment, buildType, err)
-			}
-			return nil
-		},
-		func(cellRC *RunContext, c cell) error {
-			return r.runCell(cellRC, c.buildType, c.workload)
-		})
+	cellFn := func(cellRC *RunContext, c cell) error {
+		return r.runCell(cellRC, c.buildType, c.workload)
+	}
+	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
+		return runParallel(rc, benches, "", perType, cellFn)
+	}
+	return runSerial(rc, benches, "", perType, cellFn)
 }
 
 // runCell executes one cell — per-benchmark action, then the serialized
@@ -168,7 +155,11 @@ func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workl
 			return fmt.Errorf("experiment %s, %s/%s [%s] m=%d: %w",
 				rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, err)
 		}
-		for rep := 0; rep < rc.Config.Reps; rep++ {
+		// Repetitions are driven by the controller: a fixed count under
+		// -r N, the pilot-then-RequiredRepetitions stop rule under -r auto.
+		ctl := newRepController(rc.Config)
+		var samples []float64
+		for rep := 0; ctl.more(rep, samples); rep++ {
 			values, err := r.perRun(rc, buildType, w, threads, rep)
 			if err != nil {
 				return fmt.Errorf("experiment %s, %s/%s [%s] m=%d rep=%d: %w",
@@ -182,6 +173,9 @@ func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workl
 				Rep:       rep,
 				Values:    values,
 			})
+			if v, ok := adaptiveMetric(values); ok {
+				samples = append(samples, v)
+			}
 		}
 	}
 	return nil
@@ -276,7 +270,9 @@ var _ Runner = (*VariableInputRunner)(nil)
 // Run implements Runner with the extended loop: build types × benchmarks ×
 // inputs × thread counts × repetitions. Like BenchRunner, Config.Jobs > 1
 // runs the (build type, benchmark) cells on the worker pool; the input
-// sweep stays inside the cell, serialized.
+// sweep stays inside the cell, serialized. The sweep is part of the cell's
+// store fingerprint (its dims), so resuming with a different input list
+// misses cleanly and re-measures.
 func (r *VariableInputRunner) Run(rc *RunContext) error {
 	inputs := r.Inputs
 	if len(inputs) == 0 {
@@ -286,31 +282,24 @@ func (r *VariableInputRunner) Run(rc *RunContext) error {
 	if err != nil {
 		return err
 	}
-	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
-		return runParallel(rc, benches,
-			func(buildType string) error {
-				if r.Hooks.PerTypeAction != nil {
-					return r.Hooks.PerTypeAction(rc, buildType)
-				}
-				return nil
-			},
-			func(cellRC *RunContext, c cell) error {
-				return r.runCell(cellRC, c.buildType, c.workload, inputs)
-			})
+	names := make([]string, len(inputs))
+	for i, in := range inputs {
+		names[i] = in.String()
 	}
-	for _, buildType := range rc.Config.BuildTypes {
+	dims := "inputs=" + strings.Join(names, ",")
+	perType := func(buildType string) error {
 		if r.Hooks.PerTypeAction != nil {
-			if err := r.Hooks.PerTypeAction(rc, buildType); err != nil {
-				return err
-			}
+			return r.Hooks.PerTypeAction(rc, buildType)
 		}
-		for _, w := range benches {
-			if err := r.runCell(rc, buildType, w, inputs); err != nil {
-				return err
-			}
-		}
+		return nil
 	}
-	return nil
+	cellFn := func(cellRC *RunContext, c cell) error {
+		return r.runCell(cellRC, c.buildType, c.workload, inputs)
+	}
+	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
+		return runParallel(rc, benches, dims, perType, cellFn)
+	}
+	return runSerial(rc, benches, dims, perType, cellFn)
 }
 
 // runCell executes one variable-input cell: build + dry run, then the
@@ -325,7 +314,9 @@ func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w worklo
 	}
 	for _, input := range inputs {
 		for _, threads := range rc.Config.Threads {
-			for rep := 0; rep < rc.Config.Reps; rep++ {
+			ctl := newRepController(rc.Config)
+			var samples []float64
+			for rep := 0; ctl.more(rep, samples); rep++ {
 				values, err := executeWithTool(rc, artifact, w.DefaultInput(input), threads)
 				if err != nil {
 					return fmt.Errorf("variable-input %s/%s [%s] input=%s: %w",
@@ -340,6 +331,9 @@ func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w worklo
 					Rep:       rep,
 					Values:    values,
 				})
+				if v, ok := adaptiveMetric(values); ok {
+					samples = append(samples, v)
+				}
 			}
 		}
 	}

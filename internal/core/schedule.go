@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"fex/internal/runlog"
+	"fex/internal/store"
 	"fex/internal/workload"
 )
 
@@ -26,43 +27,171 @@ import (
 
 // cell is one independent unit of the experiment loop: one
 // (build type, benchmark) pair. Thread counts and repetitions stay inside
-// the cell, serialized.
+// the cell, serialized. dims carries runner-specific extra dimensions
+// (the input sweep of a variable-input cell) into the cell's store
+// fingerprint.
 type cell struct {
 	buildType string
 	workload  workload.Workload
+	dims      string
 }
 
 // makeCells decomposes a run into cells in canonical loop order: build
 // types outermost, benchmarks innermost, exactly as the serial loop
 // visits them.
-func makeCells(buildTypes []string, benches []workload.Workload) []cell {
+func makeCells(buildTypes []string, benches []workload.Workload, dims string) []cell {
 	out := make([]cell, 0, len(buildTypes)*len(benches))
 	for _, bt := range buildTypes {
 		for _, w := range benches {
-			out = append(out, cell{buildType: bt, workload: w})
+			out = append(out, cell{buildType: bt, workload: w, dims: dims})
 		}
 	}
 	return out
 }
 
+// cellFingerprint is the content address of one cell's measurements: the
+// full configuration surface that determines its run-log records, plus the
+// framework's cost-model hash so recalibrating the model (or flipping
+// debug/modeled-time mode) invalidates stored cells wholesale.
+func cellFingerprint(fx *Fex, cfg Config, c cell) store.Fingerprint {
+	return store.Fingerprint{
+		Experiment: cfg.Experiment,
+		Suite:      c.workload.Suite(),
+		Benchmark:  c.workload.Name(),
+		BuildType:  c.buildType,
+		Threads:    cfg.Threads,
+		Reps:       repsSpec(cfg),
+		Input:      cfg.Input.String(),
+		Tool:       cfg.Tool,
+		Dims:       c.dims,
+		ConfigHash: fx.costModelHash(cfg),
+	}
+}
+
+// replayCell returns the cell's stored shard when -resume is set and the
+// store holds a valid record for its fingerprint; nil means "execute the
+// cell". Corrupt or mismatched records are reported to the -v stream and
+// treated as misses, so a damaged store self-heals by re-measuring.
+func replayCell(rc *RunContext, c cell) *runlog.Shard {
+	if !rc.Config.Resume || rc.Fex.store == nil {
+		return nil
+	}
+	payload, present, err := rc.Fex.store.Get(cellFingerprint(rc.Fex, rc.Config, c))
+	if err != nil {
+		rc.logf("  store: %s/%s [%s]: %v; re-measuring", c.workload.Suite(), c.workload.Name(), c.buildType, err)
+		return nil
+	}
+	if !present {
+		return nil
+	}
+	text := string(payload)
+	if err := runlog.ValidateText(text); err != nil {
+		rc.logf("  store: %s/%s [%s]: invalid stored records: %v; re-measuring",
+			c.workload.Suite(), c.workload.Name(), c.buildType, err)
+		return nil
+	}
+	rc.logf("  store: replaying %s/%s [%s]", c.workload.Suite(), c.workload.Name(), c.buildType)
+	return runlog.RestoreShard(text)
+}
+
+// persistCell stores a completed cell's shard under its fingerprint.
+// Persistence is unconditional (not gated on -resume): every run fills the
+// store, so the *next* -resume run benefits — including after a run that
+// failed partway, whose completed cells are already durable. Store errors
+// only cost the cache entry; they never fail the measurement that produced
+// it.
+func persistCell(rc *RunContext, c cell, shard *runlog.Shard) {
+	if rc.Fex.store == nil {
+		return
+	}
+	text, err := shard.Text()
+	if err != nil {
+		rc.logf("  store: persist %s/%s [%s]: %v", c.workload.Suite(), c.workload.Name(), c.buildType, err)
+		return
+	}
+	if err := rc.Fex.store.Put(cellFingerprint(rc.Fex, rc.Config, c), []byte(text)); err != nil {
+		rc.logf("  store: persist %s/%s [%s]: %v", c.workload.Suite(), c.workload.Name(), c.buildType, err)
+	}
+}
+
+// runSerial is the shared serial path of the runners: the paper-faithful
+// loop order — each build type's perType action immediately before its own
+// cells — with each cell buffered in a private shard, consulted against
+// the result store, and appended to the main log as it completes. Routing
+// the serial tier through the same shard/store path as the parallel tiers
+// keeps the log bytes identical while making every tier resumable.
+func runSerial(rc *RunContext, benches []workload.Workload, dims string, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
+	for _, buildType := range rc.Config.BuildTypes {
+		if err := perType(buildType); err != nil {
+			return err
+		}
+		for _, w := range benches {
+			c := cell{buildType: buildType, workload: w, dims: dims}
+			shard := replayCell(rc, c)
+			if shard == nil {
+				shard = runlog.NewShard()
+				cellRC := &RunContext{
+					Fex:     rc.Fex,
+					Config:  rc.Config,
+					Env:     rc.Env,
+					Log:     shard.Writer(),
+					Verbose: rc.Verbose,
+					build:   rc.build,
+				}
+				if err := cellFn(cellRC, c); err != nil {
+					// Keep the failed cell's partial records in the
+					// caller's log, like the pre-store serial loop (and
+					// like the parallel tier, which merges partial shards
+					// on failure); only completed cells persist.
+					_ = rc.Log.Append(shard)
+					return err
+				}
+				persistCell(rc, c, shard)
+			}
+			if err := rc.Log.Append(shard); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // runParallel is the shared parallel path of the runners: it executes
 // perType for every build type (serially, in -t order, before any cell
-// starts), fans the cells out — on the local worker pool, or onto the
-// cluster hosts when -hosts is set (see cluster.go) — and merges the
-// cell shards into rc.Log in canonical order.
-func runParallel(rc *RunContext, benches []workload.Workload, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
+// starts), resolves store hits on the coordinator (replayed cells are
+// never dispatched — cluster placement skips them entirely), fans the
+// remaining cells out — on the local worker pool, or onto the cluster
+// hosts when -hosts is set (see cluster.go) — and merges the cell shards
+// into rc.Log in canonical order.
+func runParallel(rc *RunContext, benches []workload.Workload, dims string, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
 	for _, buildType := range rc.Config.BuildTypes {
 		if err := perType(buildType); err != nil {
 			return err
 		}
 	}
-	cells := makeCells(rc.Config.BuildTypes, benches)
-	var shards []*runlog.Shard
+	cells := makeCells(rc.Config.BuildTypes, benches, dims)
+	shards := make([]*runlog.Shard, len(cells))
+	var pending []cell
+	var pendingIdx []int
+	for i, c := range cells {
+		if shard := replayCell(rc, c); shard != nil {
+			shards[i] = shard
+			continue
+		}
+		pending = append(pending, c)
+		pendingIdx = append(pendingIdx, i)
+	}
 	var err error
-	if len(rc.Config.Hosts) > 0 {
-		shards, err = runCellsCluster(rc, cells, cellFn)
-	} else {
-		shards, err = runCells(rc, cells, cellFn)
+	if len(pending) > 0 {
+		var got []*runlog.Shard
+		if len(rc.Config.Hosts) > 0 {
+			got, err = runCellsCluster(rc, pending, cellFn)
+		} else {
+			got, err = runCells(rc, pending, cellFn)
+		}
+		for j, s := range got {
+			shards[pendingIdx[j]] = s
+		}
 	}
 	if mergeErr := rc.Log.Append(shards...); mergeErr != nil && err == nil {
 		err = mergeErr
@@ -117,7 +246,9 @@ func runCells(rc *RunContext, cells []cell, fn func(*RunContext, cell) error) ([
 				if err := fn(cellRC, cells[i]); err != nil {
 					errs[i] = err
 					failed.Store(true)
+					continue
 				}
+				persistCell(cellRC, cells[i], shard)
 			}
 		}()
 	}

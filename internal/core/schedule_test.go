@@ -109,7 +109,7 @@ func TestMakeCells(t *testing.T) {
 			for _, n := range tt.benches {
 				benches = append(benches, ws[n])
 			}
-			got := makeCells(tt.types, benches)
+			got := makeCells(tt.types, benches, "")
 			if len(got) != len(tt.want) {
 				t.Fatalf("got %d cells, want %d", len(got), len(tt.want))
 			}

@@ -123,6 +123,19 @@ func (cv CostVector) Apply(s Scale) CostVector {
 	return out
 }
 
+// Canonical renders the vector as a canonical field=value string. Two
+// vectors are equal exactly when their canonical strings are equal, so the
+// string (or a digest of it) can key caches of measurements taken under
+// this cost model — the result store fingerprints cells with it, making
+// any recalibration of the model invalidate stored results automatically.
+func (cv CostVector) Canonical() string {
+	return fmt.Sprintf("int=%g|float=%g|trig=%g|sqrt=%g|memr=%g|memw=%g|stride=%g|branch=%g|sync=%g|"+
+		"allocop=%g|allocb=%g|l1=%g|llc=%g|sl1=%g|sllc=%g|bmiss=%g|l1pen=%g|llcpen=%g|bpen=%g|memf=%g",
+		cv.IntOp, cv.FloatOp, cv.TrigOp, cv.SqrtOp, cv.MemRead, cv.MemWrite, cv.StridedRead, cv.Branch, cv.SyncOp,
+		cv.AllocOp, cv.AllocByte, cv.L1MissRate, cv.LLCMissRate, cv.StridedL1Rate, cv.StridedLLCRate,
+		cv.BranchMissRate, cv.L1MissPenalty, cv.LLCMissPenalty, cv.BranchMissPenalty, cv.MemFactor)
+}
+
 // Sample is one benchmark run's measurements.
 type Sample struct {
 	// WallTime is the live measured execution time.

@@ -300,3 +300,45 @@ func TestModeledWallIsDeterministic(t *testing.T) {
 		t.Errorf("modeled wall = %g ns, want ~%g", got, wantNS)
 	}
 }
+
+func TestCostVectorCanonical(t *testing.T) {
+	base := Baseline()
+	if base.Canonical() != Baseline().Canonical() {
+		t.Error("canonical rendering not deterministic")
+	}
+	scaled := base.Apply(Scale{MemRead: 2})
+	if scaled.Canonical() == base.Canonical() {
+		t.Error("scaled vector renders identically to baseline")
+	}
+	// Every dimension must appear in the rendering: zero one out and the
+	// canonical string must change (a dropped field would alias vectors).
+	mutations := []func(*CostVector){
+		func(cv *CostVector) { cv.IntOp = 0 },
+		func(cv *CostVector) { cv.FloatOp = 0 },
+		func(cv *CostVector) { cv.TrigOp = 0 },
+		func(cv *CostVector) { cv.SqrtOp = 0 },
+		func(cv *CostVector) { cv.MemRead = 0 },
+		func(cv *CostVector) { cv.MemWrite = 0 },
+		func(cv *CostVector) { cv.StridedRead = 0 },
+		func(cv *CostVector) { cv.Branch = 0 },
+		func(cv *CostVector) { cv.SyncOp = 0 },
+		func(cv *CostVector) { cv.AllocOp = 0 },
+		func(cv *CostVector) { cv.AllocByte = 0 },
+		func(cv *CostVector) { cv.L1MissRate = 0 },
+		func(cv *CostVector) { cv.LLCMissRate = 0 },
+		func(cv *CostVector) { cv.StridedL1Rate = 0 },
+		func(cv *CostVector) { cv.StridedLLCRate = 0 },
+		func(cv *CostVector) { cv.BranchMissRate = 0 },
+		func(cv *CostVector) { cv.L1MissPenalty = 0 },
+		func(cv *CostVector) { cv.LLCMissPenalty = 0 },
+		func(cv *CostVector) { cv.BranchMissPenalty = 0 },
+		func(cv *CostVector) { cv.MemFactor = 0 },
+	}
+	for i, mutate := range mutations {
+		cv := Baseline()
+		mutate(&cv)
+		if cv.Canonical() == base.Canonical() {
+			t.Errorf("mutation %d not reflected in canonical rendering", i)
+		}
+	}
+}

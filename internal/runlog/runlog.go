@@ -219,6 +219,15 @@ func (lw *Writer) Append(shards ...*Shard) error {
 	return nil
 }
 
+// ValidateText checks that text parses as well-formed log records — the
+// guard the result store applies before replaying a persisted cell shard
+// into a live log, so a corrupted store entry is re-measured instead of
+// poisoning the resumed log.
+func ValidateText(text string) error {
+	_, err := Parse(strings.NewReader(text))
+	return err
+}
+
 // Log is a fully parsed experiment log.
 type Log struct {
 	Header       Header

@@ -316,3 +316,33 @@ func TestShardTextEmpty(t *testing.T) {
 		t.Errorf("empty shard produced %q", text)
 	}
 }
+
+func TestValidateText(t *testing.T) {
+	shard := NewShard()
+	shard.Writer().WriteMeasurement(Measurement{
+		Suite: "splash", Benchmark: "fft", BuildType: "gcc_native",
+		Threads: 1, Rep: 0, Values: map[string]float64{"cycles": 42},
+	})
+	shard.Writer().WriteNote("built splash/fft [gcc_native]")
+	text, err := shard.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateText(text); err != nil {
+		t.Errorf("valid shard text rejected: %v", err)
+	}
+	if err := ValidateText(""); err != nil {
+		t.Errorf("empty shard text rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"BOGUS|kind\n",
+		"RUN|suite=splash\n",           // measurement without bench/type
+		"RUN|bench=fft|type=t|rep=x\n", // bad rep
+		"HDR|experiment=\n",            // header without name
+		text + "RUN|nonsense",          // valid prefix, corrupt tail
+	} {
+		if err := ValidateText(bad); err == nil {
+			t.Errorf("ValidateText(%q) accepted corrupt text", bad)
+		}
+	}
+}

@@ -276,16 +276,29 @@ func RequiredRepetitions(pilot []float64, level, relWidth float64) (int, error) 
 		return 2, nil
 	}
 	target := math.Abs(relWidth * mean)
-	// Iterate since the t quantile depends on n.
-	n := 2
-	for ; n <= 1_000_000; n++ {
+	half := func(n int) float64 {
 		t := tQuantile(1-(1-level)/2, float64(n-1))
-		half := t * sd / math.Sqrt(float64(n))
-		if half <= target {
-			return n, nil
+		return t * sd / math.Sqrt(float64(n))
+	}
+	// The half-width is monotone decreasing in n (the t quantile shrinks
+	// with the degrees of freedom, 1/sqrt(n) shrinks with n), so the
+	// smallest satisfying n is found by binary search — this runs once per
+	// adaptive-repetition sweep, where a linear scan to 1e6 t-quantile
+	// evaluations is far too slow.
+	const maxN = 1_000_000
+	if half(maxN) > target {
+		return 0, errors.New("stats: required repetitions exceed 1e6; sample too noisy")
+	}
+	lo, hi := 2, maxN
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if half(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return 0, errors.New("stats: required repetitions exceed 1e6; sample too noisy")
+	return lo, nil
 }
 
 // Normalize divides each element of xs by base and returns the ratios —

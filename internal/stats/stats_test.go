@@ -338,3 +338,60 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRequiredRepetitionsMinimal pins the binary search's contract: the
+// returned n is the *smallest* repetition count whose Student-t interval
+// half-width meets the target — n satisfies it and n-1 does not.
+func TestRequiredRepetitionsMinimal(t *testing.T) {
+	halfWidth := func(pilot []float64, level float64, n int) float64 {
+		sd, _ := StdDev(pilot)
+		return tQuantile(1-(1-level)/2, float64(n-1)) * sd / math.Sqrt(float64(n))
+	}
+	pilots := [][]float64{
+		{100, 102, 98, 101, 99},
+		{100, 130, 75, 110, 92},
+		{1, 2},
+		{5, 5.01, 4.99, 5.02},
+	}
+	for _, pilot := range pilots {
+		for _, level := range []float64{0.90, 0.95, 0.99} {
+			for _, relWidth := range []float64{0.005, 0.05, 0.2} {
+				n, err := RequiredRepetitions(pilot, level, relWidth)
+				if err != nil {
+					t.Fatalf("pilot %v level %v width %v: %v", pilot, level, relWidth, err)
+				}
+				mean, _ := Mean(pilot)
+				target := relWidth * mean
+				if got := halfWidth(pilot, level, n); got > target {
+					t.Errorf("pilot %v level %v width %v: n=%d does not satisfy the target (%v > %v)",
+						pilot, level, relWidth, n, got, target)
+				}
+				if n > 2 {
+					if got := halfWidth(pilot, level, n-1); got <= target {
+						t.Errorf("pilot %v level %v width %v: n=%d is not minimal (n-1 already satisfies)",
+							pilot, level, relWidth, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRequiredRepetitionsTooNoisy(t *testing.T) {
+	// Enormous dispersion with a microscopic target exceeds the 1e6 cap.
+	if _, err := RequiredRepetitions([]float64{1, 10000}, 0.99, 1e-6); err == nil {
+		t.Error("expected error for unattainable target")
+	}
+}
+
+func TestRequiredRepetitionsErrors(t *testing.T) {
+	if _, err := RequiredRepetitions([]float64{1}, 0.95, 0.05); err == nil {
+		t.Error("expected error for single-observation pilot")
+	}
+	if _, err := RequiredRepetitions([]float64{1, 2}, 0.95, 0); err == nil {
+		t.Error("expected error for zero width")
+	}
+	if _, err := RequiredRepetitions([]float64{-1, 1}, 0.95, 0.05); err == nil {
+		t.Error("expected error for zero-mean pilot")
+	}
+}

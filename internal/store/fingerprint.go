@@ -1,0 +1,104 @@
+// Package store is FEX's persistent, content-addressed result store: the
+// subsystem that turns one-shot experiment invocations into incremental
+// evaluation. Every experiment cell — one (build type, benchmark) pair with
+// its thread/repetition sweep — is keyed by a canonical Fingerprint of
+// everything that determines its measurements; the cell's run-log shard is
+// persisted under that key through the vfs layer. A later -resume run asks
+// the store for each cell's fingerprint and replays stored shards instead
+// of re-measuring, while any change to the configuration, the cost model,
+// or the repetition policy changes the fingerprint and misses cleanly.
+//
+// The store is deliberately log-shaped rather than value-shaped: what it
+// persists is the exact bytes the cell would have appended to the run log,
+// so a resumed run's log — and therefore its collected CSV — is
+// byte-identical to a cold serial run's. Eviction is wholesale ("fex
+// clean"): entries are immutable and content-addressed, so stale results
+// are never replayed, only orphaned.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint identifies one experiment cell's full measurement context.
+// Two cells with equal fingerprints produce identical run-log records (up
+// to live wall-clock noise), so a stored shard under the fingerprint's key
+// can stand in for re-measuring the cell.
+type Fingerprint struct {
+	// Experiment is the experiment name (-n).
+	Experiment string
+	// Suite and Benchmark name the workload of the cell.
+	Suite     string
+	Benchmark string
+	// BuildType is the cell's build configuration (e.g. "gcc_native").
+	BuildType string
+	// Threads is the thread sweep executed inside the cell (-m).
+	Threads []int
+	// Reps is the repetition policy: a fixed count ("4") or the adaptive
+	// spec ("auto:<level>,<relwidth>:pilot=5:cap=64").
+	Reps string
+	// Input is the input size class (-i).
+	Input string
+	// Tool is the measurement tool name.
+	Tool string
+	// Dims carries runner-specific extra dimensions (e.g. the input sweep
+	// of a variable-input cell); empty for the standard runner.
+	Dims string
+	// ConfigHash digests the remaining measurement context: the cost-model
+	// calibration, debug mode, and modeled-time mode. Any change there
+	// invalidates stored cells wholesale.
+	ConfigHash string
+}
+
+// fields returns the fingerprint's (name, value) pairs in canonical order.
+func (fp Fingerprint) fields() [][2]string {
+	threads := make([]string, len(fp.Threads))
+	for i, t := range fp.Threads {
+		threads[i] = strconv.Itoa(t)
+	}
+	return [][2]string{
+		{"experiment", fp.Experiment},
+		{"suite", fp.Suite},
+		{"bench", fp.Benchmark},
+		{"type", fp.BuildType},
+		{"threads", strings.Join(threads, ",")},
+		{"reps", fp.Reps},
+		{"input", fp.Input},
+		{"tool", fp.Tool},
+		{"dims", fp.Dims},
+		{"confighash", fp.ConfigHash},
+	}
+}
+
+// Canonical renders the fingerprint as a canonical string: one
+// name=quoted-value pair per field, in fixed order. Quoting makes the
+// encoding injective — no two distinct fingerprints share a canonical
+// string, so keying on its digest cannot alias cells whose field values
+// merely concatenate alike.
+func (fp Fingerprint) Canonical() string {
+	var sb strings.Builder
+	for i, f := range fp.fields() {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(f[0])
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(f[1]))
+	}
+	return sb.String()
+}
+
+// Key returns the fingerprint's content address: the hex SHA-256 of its
+// canonical string.
+func (fp Fingerprint) Key() string {
+	sum := sha256.Sum256([]byte(fp.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Equal reports whether two fingerprints are identical.
+func (fp Fingerprint) Equal(other Fingerprint) bool {
+	return fp.Canonical() == other.Canonical()
+}

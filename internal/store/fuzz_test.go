@@ -1,0 +1,82 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFingerprintRoundTrip drives arbitrary field values through the
+// record codec: every fingerprint must encode and decode back to itself
+// (no field truncation, no aliasing across separators), and distinct
+// fingerprints must produce distinct content addresses. The seed corpus
+// covers the separator and quoting edge cases; CI replays it
+// deterministically like the runlog fuzzer's.
+func FuzzFingerprintRoundTrip(f *testing.F) {
+	f.Add("phoenix", "phoenix", "histogram", "gcc_native", "3", "test", "perf-stat", "", "hash", 1, 2, []byte("RUN|x=1\n"))
+	f.Add("a|b", "c\nd", "e=f", `g"h`, "auto:0.95,0.05:pilot=5:cap=64", "native", "time", "inputs=test,small", "", 4, 8, []byte{})
+	f.Add("", "", "", "", "", "", "", "", "", 0, 0, []byte("payload"))
+	f.Add("exp", "suite", "bench", "type", "2", "small", "perf-stat-mem", "F|dims|", "DATA|3", 16, 1, []byte("DATA|0\n"))
+	f.Fuzz(func(t *testing.T, experiment, suite, bench, buildType, reps, input, tool, dims, confighash string, t1, t2 int, payload []byte) {
+		fp := Fingerprint{
+			Experiment: experiment,
+			Suite:      suite,
+			Benchmark:  bench,
+			BuildType:  buildType,
+			Threads:    []int{t1, t2},
+			Reps:       reps,
+			Input:      input,
+			Tool:       tool,
+			Dims:       dims,
+			ConfigHash: confighash,
+		}
+		data := Encode(Record{Fingerprint: fp, Payload: payload})
+		rec, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%q", err, data)
+		}
+		if !rec.Fingerprint.Equal(fp) {
+			t.Fatalf("fingerprint round-trip changed:\n%s\nvs\n%s", rec.Fingerprint.Canonical(), fp.Canonical())
+		}
+		if !bytes.Equal(rec.Payload, payload) {
+			t.Fatalf("payload round-trip changed: %q vs %q", rec.Payload, payload)
+		}
+		if rec.Fingerprint.Key() != fp.Key() {
+			t.Fatal("key changed across round-trip")
+		}
+		// Mutating any single field must change the content address.
+		mutated := fp
+		mutated.Benchmark += "x"
+		if mutated.Key() == fp.Key() {
+			t.Fatal("benchmark mutation kept the same key")
+		}
+	})
+}
+
+// FuzzStoreCodec hardens Decode against arbitrary store-file bytes: it
+// must never panic, and anything it accepts must re-encode to the exact
+// input bytes (strict canonical format — a property Put/Get rely on for
+// tamper detection).
+func FuzzStoreCodec(f *testing.F) {
+	f.Add([]byte(recordMagic + "\n"))
+	f.Add(Encode(Record{Fingerprint: Fingerprint{Experiment: "e", Threads: []int{1}}, Payload: []byte("p")}))
+	f.Add(Encode(Record{Fingerprint: Fingerprint{Suite: "s|t", Benchmark: "b\nc"}, Payload: nil}))
+	f.Add([]byte("FEXSTORE|1\nF|experiment|\"x\"\nDATA|0\n"))
+	f.Add([]byte("FEXSTORE|1\nF|experiment|\"x\"\nF|suite|\"\"\nF|bench|\"\"\nF|type|\"\"\nF|threads|\nF|reps|\"\"\nF|input|\"\"\nF|tool|\"\"\nF|dims|\"\"\nF|confighash|\"\"\nDATA|0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(rec)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted record does not re-encode to its input bytes:\n in: %q\nout: %q", data, re)
+		}
+		rec2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted record no longer decodes: %v", err)
+		}
+		if !rec2.Fingerprint.Equal(rec.Fingerprint) || !bytes.Equal(rec2.Payload, rec.Payload) {
+			t.Fatal("decode/encode/decode is not idempotent")
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fex/internal/vfs"
+)
+
+// Storage layout: one file per cell under root, sharded by the first key
+// byte pair (root/ab/abcdef...) so directory listings stay shallow, plus a
+// tmp/ staging area for the write-then-rename idiom.
+const (
+	recordMagic = "FEXSTORE|1"
+	tmpDir      = "tmp"
+)
+
+// Common errors, matchable with errors.Is.
+var (
+	// ErrCorrupt reports a store file that does not decode as a record.
+	ErrCorrupt = errors.New("store: corrupt record")
+	// ErrMismatch reports a record whose embedded fingerprint differs from
+	// the one whose key addressed it — a content-address collision or a
+	// tampered file. The caller must not replay such a record.
+	ErrMismatch = errors.New("store: fingerprint mismatch")
+)
+
+// Record is one persisted cell: its full fingerprint (kept verbatim so
+// lookups verify the content address instead of trusting it) and the cell's
+// run-log shard bytes.
+type Record struct {
+	Fingerprint Fingerprint
+	Payload     []byte
+}
+
+// Encode renders the record in the store's on-disk format: a magic line,
+// one F|name|quoted-value line per fingerprint field, a DATA line carrying
+// the payload byte count, then the payload verbatim.
+func Encode(r Record) []byte {
+	var sb strings.Builder
+	sb.WriteString(recordMagic)
+	sb.WriteByte('\n')
+	for _, f := range r.Fingerprint.fields() {
+		sb.WriteString("F|")
+		sb.WriteString(f[0])
+		sb.WriteByte('|')
+		if f[0] == "threads" {
+			sb.WriteString(f[1]) // digits and commas only; no quoting needed
+		} else {
+			sb.WriteString(strconv.Quote(f[1]))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "DATA|%d\n", len(r.Payload))
+	sb.Write(r.Payload)
+	return []byte(sb.String())
+}
+
+// Decode parses a record previously produced by Encode. It is strict: the
+// magic, the field set, the field order, and the payload length must all
+// match exactly, so Decode∘Encode is the identity and any in-place
+// corruption surfaces as ErrCorrupt rather than a silently skewed replay.
+func Decode(data []byte) (Record, error) {
+	var r Record
+	rest := string(data)
+	line := func() (string, bool) {
+		i := strings.IndexByte(rest, '\n')
+		if i < 0 {
+			return "", false
+		}
+		l := rest[:i]
+		rest = rest[i+1:]
+		return l, true
+	}
+	if l, ok := line(); !ok || l != recordMagic {
+		return r, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	want := Fingerprint{}.fields()
+	values := make([]string, len(want))
+	for i, f := range want {
+		l, ok := line()
+		if !ok {
+			return r, fmt.Errorf("%w: truncated fingerprint", ErrCorrupt)
+		}
+		prefix := "F|" + f[0] + "|"
+		if !strings.HasPrefix(l, prefix) {
+			return r, fmt.Errorf("%w: expected field %q, got %q", ErrCorrupt, f[0], l)
+		}
+		raw := l[len(prefix):]
+		if f[0] == "threads" {
+			values[i] = raw
+			continue
+		}
+		v, err := strconv.Unquote(raw)
+		if err != nil {
+			return r, fmt.Errorf("%w: field %q: %v", ErrCorrupt, f[0], err)
+		}
+		// Reject non-canonical quotings ("\x41" for "A"): Encode emits
+		// exactly strconv.Quote, and Decode must accept nothing else for
+		// the decode/encode identity to hold.
+		if strconv.Quote(v) != raw {
+			return r, fmt.Errorf("%w: non-canonical quoting of field %q", ErrCorrupt, f[0])
+		}
+		values[i] = v
+	}
+	fp := Fingerprint{
+		Experiment: values[0],
+		Suite:      values[1],
+		Benchmark:  values[2],
+		BuildType:  values[3],
+		Reps:       values[5],
+		Input:      values[6],
+		Tool:       values[7],
+		Dims:       values[8],
+		ConfigHash: values[9],
+	}
+	if values[4] != "" {
+		for _, s := range strings.Split(values[4], ",") {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return r, fmt.Errorf("%w: bad thread count %q", ErrCorrupt, s)
+			}
+			fp.Threads = append(fp.Threads, n)
+		}
+	}
+	// Reject non-canonical thread renderings ("01", "+2") so a decoded
+	// record re-encodes to the exact input bytes.
+	if got := fp.fields()[4][1]; got != values[4] {
+		return r, fmt.Errorf("%w: non-canonical thread list %q", ErrCorrupt, values[4])
+	}
+	l, ok := line()
+	if !ok || !strings.HasPrefix(l, "DATA|") {
+		return r, fmt.Errorf("%w: missing DATA header", ErrCorrupt)
+	}
+	lenStr := l[len("DATA|"):]
+	n, err := strconv.Atoi(lenStr)
+	if err != nil || n < 0 || strconv.Itoa(n) != lenStr {
+		return r, fmt.Errorf("%w: bad DATA length %q", ErrCorrupt, l)
+	}
+	if len(rest) != n {
+		return r, fmt.Errorf("%w: payload is %d bytes, DATA header says %d", ErrCorrupt, len(rest), n)
+	}
+	r.Fingerprint = fp
+	r.Payload = []byte(rest)
+	return r, nil
+}
+
+// Store is a content-addressed result store over a vfs filesystem — the
+// same in-memory container filesystem that holds logs, CSVs, and plots, so
+// SaveState/LoadState persistence (the CLI's --state file) carries the
+// store across invocations for free.
+type Store struct {
+	fsys *vfs.FS
+	root string
+}
+
+// New returns a store rooted at root inside fsys.
+func New(fsys *vfs.FS, root string) *Store {
+	return &Store{fsys: fsys, root: root}
+}
+
+// path returns the record file for a key, sharded by its first byte pair.
+func (s *Store) path(key string) string {
+	return s.root + "/" + key[:2] + "/" + key
+}
+
+// Put persists one cell under its fingerprint's content address. The write
+// goes to a staging file first and is renamed into place, so concurrent
+// readers under the vfs lock observe either no record or a complete one.
+// Re-putting an existing fingerprint overwrites it (same key, same
+// context — the newer measurement batch wins).
+func (s *Store) Put(fp Fingerprint, payload []byte) error {
+	key := fp.Key()
+	data := Encode(Record{Fingerprint: fp, Payload: payload})
+	tmp := s.root + "/" + tmpDir + "/" + key
+	if err := s.fsys.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: stage %s: %w", key, err)
+	}
+	final := s.path(key)
+	if err := s.fsys.MkdirAll(final[:strings.LastIndexByte(final, '/')]); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.fsys.Rename(tmp, final); err != nil {
+		return fmt.Errorf("store: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get looks a fingerprint up and returns the stored cell payload. The
+// second return value reports whether the cell was present. A present
+// record whose embedded fingerprint does not match fp (a content-address
+// collision or tampering) returns ErrMismatch; a file that does not decode
+// returns ErrCorrupt. Callers treat both as "re-measure".
+func (s *Store) Get(fp Fingerprint) ([]byte, bool, error) {
+	data, err := s.fsys.ReadFile(s.path(fp.Key()))
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	rec, err := Decode(data)
+	if err != nil {
+		return nil, true, err
+	}
+	if !rec.Fingerprint.Equal(fp) {
+		return nil, true, fmt.Errorf("%w: key %s", ErrMismatch, fp.Key())
+	}
+	return rec.Payload, true, nil
+}
+
+// Delete removes one fingerprint's record; deleting an absent record is
+// not an error.
+func (s *Store) Delete(fp Fingerprint) error {
+	err := s.fsys.RemoveAll(s.path(fp.Key()))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Keys lists the stored content addresses, sorted.
+func (s *Store) Keys() ([]string, error) {
+	if !s.fsys.IsDir(s.root) {
+		return nil, nil
+	}
+	var keys []string
+	err := s.fsys.Walk(s.root, func(st vfs.Stat) error {
+		if st.IsDir || strings.Contains(st.Path, "/"+tmpDir+"/") {
+			return nil
+		}
+		keys = append(keys, st.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Stats summarizes the store's footprint.
+type Stats struct {
+	// Records is the number of stored cells.
+	Records int
+	// Bytes is the total stored byte count.
+	Bytes int64
+}
+
+// Stats returns the store's current footprint.
+func (s *Store) Stats() (Stats, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return Stats{}, err
+	}
+	var total int64
+	if s.fsys.IsDir(s.root) {
+		total, err = s.fsys.TotalSize(s.root)
+		if err != nil {
+			return Stats{}, fmt.Errorf("store: %w", err)
+		}
+	}
+	return Stats{Records: len(keys), Bytes: total}, nil
+}
+
+// Clean evicts the entire store — the "fex clean" story. Entries are
+// immutable and content-addressed, so there is no finer-grained eviction
+// to reason about: stale entries are never replayed (their keys are never
+// asked for again) and wholesale removal is always safe.
+func (s *Store) Clean() error {
+	if err := s.fsys.RemoveAll(s.root); err != nil {
+		return fmt.Errorf("store: clean: %w", err)
+	}
+	return nil
+}

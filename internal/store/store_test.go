@@ -1,0 +1,323 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"fex/internal/vfs"
+)
+
+func testFingerprint() Fingerprint {
+	return Fingerprint{
+		Experiment: "phoenix",
+		Suite:      "phoenix",
+		Benchmark:  "histogram",
+		BuildType:  "gcc_native",
+		Threads:    []int{1, 2, 4},
+		Reps:       "3",
+		Input:      "test",
+		Tool:       "perf-stat",
+		ConfigHash: "abc123",
+	}
+}
+
+func TestFingerprintKeyDistinguishesFields(t *testing.T) {
+	base := testFingerprint()
+	mutations := []func(*Fingerprint){
+		func(fp *Fingerprint) { fp.Experiment = "splash" },
+		func(fp *Fingerprint) { fp.Suite = "splash" },
+		func(fp *Fingerprint) { fp.Benchmark = "word_count" },
+		func(fp *Fingerprint) { fp.BuildType = "gcc_asan" },
+		func(fp *Fingerprint) { fp.Threads = []int{1, 2} },
+		func(fp *Fingerprint) { fp.Threads = []int{1, 24} },
+		func(fp *Fingerprint) { fp.Reps = "4" },
+		func(fp *Fingerprint) { fp.Reps = "auto:0.95,0.05:pilot=5:cap=64" },
+		func(fp *Fingerprint) { fp.Input = "native" },
+		func(fp *Fingerprint) { fp.Tool = "time" },
+		func(fp *Fingerprint) { fp.Dims = "inputs=test,small" },
+		func(fp *Fingerprint) { fp.ConfigHash = "abc124" },
+	}
+	seen := map[string]int{base.Key(): -1}
+	for i, mutate := range mutations {
+		fp := testFingerprint()
+		mutate(&fp)
+		key := fp.Key()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("mutation %d collides with %d: key %s", i, prev, key)
+		}
+		seen[key] = i
+	}
+	if got := testFingerprint().Key(); got != testFingerprint().Key() {
+		t.Error("Key is not deterministic")
+	}
+}
+
+// TestFingerprintCanonicalInjective pins the quoting property: field
+// values that would concatenate identically under naive joining must not
+// alias.
+func TestFingerprintCanonicalInjective(t *testing.T) {
+	a := Fingerprint{Experiment: "ab", Suite: "c"}
+	b := Fingerprint{Experiment: "a", Suite: "bc"}
+	if a.Canonical() == b.Canonical() {
+		t.Fatal("canonical strings alias across field boundaries")
+	}
+	c := Fingerprint{Experiment: "x\ny", Suite: "z"}
+	d := Fingerprint{Experiment: "x", Suite: "y\nz"}
+	if c.Canonical() == d.Canonical() {
+		t.Fatal("canonical strings alias across embedded newlines")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte("RUN|suite=phoenix|bench=histogram|type=gcc_native|threads=1|rep=0|cycles=42\n"),
+		[]byte("raw\x00bytes\nwith|separators\nDATA|7\n"),
+	}
+	for i, payload := range payloads {
+		rec := Record{Fingerprint: testFingerprint(), Payload: payload}
+		got, err := Decode(Encode(rec))
+		if err != nil {
+			t.Fatalf("payload %d: %v", i, err)
+		}
+		if !got.Fingerprint.Equal(rec.Fingerprint) {
+			t.Errorf("payload %d: fingerprint changed:\n%s\nvs\n%s", i, got.Fingerprint.Canonical(), rec.Fingerprint.Canonical())
+		}
+		if string(got.Payload) != string(payload) {
+			t.Errorf("payload %d: payload changed: %q vs %q", i, got.Payload, payload)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := Encode(Record{Fingerprint: testFingerprint(), Payload: []byte("hello\n")})
+	cases := map[string][]byte{
+		"empty":             nil,
+		"bad magic":         []byte("NOTASTORE|1\n"),
+		"truncated":         valid[:len(valid)/2],
+		"extra payload":     append(append([]byte{}, valid...), 'x'),
+		"field order":       []byte(strings.Replace(string(valid), "F|suite|", "F|zzite|", 1)),
+		"unquoted field":    []byte(strings.Replace(string(valid), `F|experiment|"phoenix"`, `F|experiment|phoenix`, 1)),
+		"bad threads":       []byte(strings.Replace(string(valid), "F|threads|1,2,4", "F|threads|1,x,4", 1)),
+		"noncanon threads":  []byte(strings.Replace(string(valid), "F|threads|1,2,4", "F|threads|01,2,4", 1)),
+		"bad data length":   []byte(strings.Replace(string(valid), "DATA|6", "DATA|7", 1)),
+		"negative length":   []byte(strings.Replace(string(valid), "DATA|6", "DATA|-1", 1)),
+		"missing data line": []byte(strings.Replace(string(valid), "DATA|6\nhello\n", "", 1)),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func newTestStore(t *testing.T) (*Store, *vfs.FS) {
+	t.Helper()
+	fsys := vfs.New()
+	return New(fsys, "/fex/store"), fsys
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, _ := newTestStore(t)
+	fp := testFingerprint()
+
+	if _, present, err := s.Get(fp); err != nil || present {
+		t.Fatalf("empty store: present=%t err=%v", present, err)
+	}
+	payload := []byte("RUN|bench=histogram|type=gcc_native|cycles=1\n")
+	if err := s.Put(fp, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, present, err := s.Get(fp)
+	if err != nil || !present {
+		t.Fatalf("present=%t err=%v", present, err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload %q, want %q", got, payload)
+	}
+
+	// Overwrite wins.
+	if err := s.Put(fp, []byte("newer\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Get(fp)
+	if string(got) != "newer\n" {
+		t.Errorf("overwrite lost: %q", got)
+	}
+
+	// A different fingerprint misses.
+	other := testFingerprint()
+	other.BuildType = "gcc_asan"
+	if _, present, _ := s.Get(other); present {
+		t.Error("distinct fingerprint hit the stored record")
+	}
+}
+
+func TestStoreDetectsTampering(t *testing.T) {
+	s, fsys := newTestStore(t)
+	fp := testFingerprint()
+	if err := s.Put(fp, []byte("payload\n")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(fp.Key())
+
+	// A record for a different fingerprint planted at fp's address must be
+	// rejected, not replayed.
+	other := testFingerprint()
+	other.ConfigHash = "different"
+	if err := fsys.WriteFile(path, Encode(Record{Fingerprint: other, Payload: []byte("wrong\n")}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, present, err := s.Get(fp); !present || !errors.Is(err, ErrMismatch) {
+		t.Errorf("planted record: present=%t err=%v, want ErrMismatch", present, err)
+	}
+
+	// Garbage at the address is corrupt, not a hit.
+	if err := fsys.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, present, err := s.Get(fp); !present || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage record: present=%t err=%v, want ErrCorrupt", present, err)
+	}
+}
+
+func TestStoreDeleteKeysStatsClean(t *testing.T) {
+	s, fsys := newTestStore(t)
+	var fps []Fingerprint
+	for i := 0; i < 5; i++ {
+		fp := testFingerprint()
+		fp.Benchmark = fmt.Sprintf("bench%d", i)
+		fps = append(fps, fp)
+		if err := s.Put(fp, []byte(strings.Repeat("x", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 {
+		t.Fatalf("%d keys, want 5", len(keys))
+	}
+	if !sortedStrings(keys) {
+		t.Error("Keys not sorted")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 5 || st.Bytes == 0 {
+		t.Errorf("stats %+v", st)
+	}
+
+	if err := s.Delete(fps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(fps[0]); err != nil {
+		t.Fatal("double delete errored")
+	}
+	if keys, _ = s.Keys(); len(keys) != 4 {
+		t.Fatalf("%d keys after delete, want 4", len(keys))
+	}
+
+	if err := s.Clean(); err != nil {
+		t.Fatal(err)
+	}
+	if keys, _ = s.Keys(); len(keys) != 0 {
+		t.Errorf("%d keys after clean", len(keys))
+	}
+	if st, _ := s.Stats(); st.Records != 0 || st.Bytes != 0 {
+		t.Errorf("stats after clean %+v", st)
+	}
+	if fsys.IsDir("/fex/store") {
+		t.Error("store root survived Clean")
+	}
+	// The store keeps working after Clean.
+	if err := s.Put(fps[1], []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreNoStagingLeftovers asserts Put's write-then-rename leaves no
+// tmp files behind, and that staged files never show up as keys.
+func TestStoreNoStagingLeftovers(t *testing.T) {
+	s, fsys := newTestStore(t)
+	if err := s.Put(testFingerprint(), []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fsys.ReadDir("/fex/store/" + tmpDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d staged leftovers", len(entries))
+	}
+	// Plant a stranded staging file (a crash between write and rename):
+	// it must not be listed as a record.
+	if err := fsys.WriteFile("/fex/store/"+tmpDir+"/stranded", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Errorf("keys %v include staging leftovers", keys)
+	}
+}
+
+func TestStoreConcurrentPuts(t *testing.T) {
+	s, _ := newTestStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fp := testFingerprint()
+			fp.Benchmark = fmt.Sprintf("bench%d", i)
+			if err := s.Put(fp, []byte(fp.Benchmark)); err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 16 {
+		t.Errorf("%d keys, want 16", len(keys))
+	}
+}
+
+func sortedStrings(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecodeRejectsNonCanonicalForms pins the strict decode/encode
+// identity: semantically equivalent but non-canonical renderings (padded
+// DATA lengths, alternative quotings) are corruption, not records.
+func TestDecodeRejectsNonCanonicalForms(t *testing.T) {
+	valid := string(Encode(Record{Fingerprint: testFingerprint(), Payload: []byte("hello\n")}))
+	cases := map[string]string{
+		"padded data length": strings.Replace(valid, "DATA|6", "DATA|06", 1),
+		"signed data length": strings.Replace(valid, "DATA|6", "DATA|+6", 1),
+		"hex-escaped quote":  strings.Replace(valid, `F|experiment|"phoenix"`, `F|experiment|"\x70hoenix"`, 1),
+	}
+	for name, data := range cases {
+		if data == valid {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		if _, err := Decode([]byte(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}

@@ -161,6 +161,31 @@ var debugScale = measure.Scale{
 	MemRead: 2.0, MemWrite: 2.0, Branch: 2.5,
 }
 
+// CalibrationCanonical renders the full cost-model calibration surface as
+// a canonical string: for every registered compiler, the derived native,
+// ASan, and debug cost vectors. The result store folds it into every cell
+// fingerprint, so recalibrating *any* scale — the baseline, a compiler's
+// codegen, the sanitizer or debug penalties — invalidates stored
+// measurements wholesale instead of replaying numbers taken under a
+// different model.
+func CalibrationCanonical() string {
+	compilers := Compilers()
+	names := make([]string, 0, len(compilers))
+	for n := range compilers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		c := compilers[n]
+		native := measure.Baseline().Apply(c.codegen)
+		fmt.Fprintf(&sb, "%s-%s native:%s\n", c.Name, c.Version, native.Canonical())
+		fmt.Fprintf(&sb, "%s-%s asan:%s\n", c.Name, c.Version, native.Apply(asanScale).Canonical())
+		fmt.Fprintf(&sb, "%s-%s debug:%s\n", c.Name, c.Version, native.Apply(debugScale).Canonical())
+	}
+	return sb.String()
+}
+
 // SourceUnit is what the build system hands a compiler: one benchmark's
 // sources plus the fully resolved build variables.
 type SourceUnit struct {

@@ -2,6 +2,7 @@ package toolchain
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"fex/internal/measure"
@@ -209,5 +210,37 @@ func TestCompilersRegistry(t *testing.T) {
 		if c.InstallArtifact == "" {
 			t.Errorf("%s has no install artifact", name)
 		}
+	}
+}
+
+// TestCalibrationCanonical pins the property the result store relies on:
+// the rendering is deterministic, and every calibration surface — each
+// compiler's codegen scale, the sanitizer scale, the debug scale — is
+// reflected in it, so recalibration cannot alias stored measurements.
+func TestCalibrationCanonical(t *testing.T) {
+	base := CalibrationCanonical()
+	if base != CalibrationCanonical() {
+		t.Fatal("calibration rendering not deterministic")
+	}
+	for _, want := range []string{"gcc-6.1 native:", "gcc-6.1 asan:", "gcc-6.1 debug:", "clang-3.8.0 native:"} {
+		if !strings.Contains(base, want) {
+			t.Errorf("calibration rendering missing %q", want)
+		}
+	}
+	// The three derived vectors of one compiler must all differ: asan and
+	// debug scales are part of the surface, not just native codegen.
+	lines := strings.Split(strings.TrimSpace(base), "\n")
+	seen := map[string]string{}
+	for _, l := range lines {
+		name, vec, ok := strings.Cut(l, ":")
+		if !ok {
+			t.Fatalf("malformed calibration line %q", l)
+		}
+		for prev, prevVec := range seen {
+			if prevVec == vec {
+				t.Errorf("calibration vectors alias: %s == %s", name, prev)
+			}
+		}
+		seen[name] = vec
 	}
 }

@@ -339,6 +339,52 @@ func (f *FS) Remove(p string) error {
 	return nil
 }
 
+// Rename moves the entry at oldp to newp, replacing any existing file at
+// newp (like os.Rename). The destination's parent directories must exist;
+// renaming onto an existing directory, a directory onto an existing file,
+// or a directory into its own subtree is an error (matching os.Rename,
+// which would otherwise orphan the subtree as an unreachable cycle).
+// Renaming a path onto itself is a no-op. Combined with WriteFile it
+// gives callers the write-temp-then-rename idiom: the entry at newp is
+// either the old content or the complete new content, never a partial
+// state observable under the FS lock.
+func (f *FS) Rename(oldp, newp string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldClean := path.Clean("/" + strings.TrimSpace(oldp))
+	newClean := path.Clean("/" + strings.TrimSpace(newp))
+	oldParent, oldName, err := f.walkParent(oldp)
+	if err != nil {
+		return &PathError{Op: "rename", Path: oldp, Err: err}
+	}
+	n, ok := oldParent.children[oldName]
+	if !ok {
+		return &PathError{Op: "rename", Path: oldp, Err: ErrNotExist}
+	}
+	if newClean == oldClean {
+		return nil
+	}
+	if n.isDir && strings.HasPrefix(newClean, oldClean+"/") {
+		return &PathError{Op: "rename", Path: newp, Err: fmt.Errorf("destination is inside source %q", oldClean)}
+	}
+	newParent, newName, err := f.walkParent(newp)
+	if err != nil {
+		return &PathError{Op: "rename", Path: newp, Err: err}
+	}
+	if existing, ok := newParent.children[newName]; ok {
+		if existing.isDir {
+			return &PathError{Op: "rename", Path: newp, Err: ErrIsDir}
+		}
+		if n.isDir {
+			return &PathError{Op: "rename", Path: newp, Err: ErrNotDir}
+		}
+	}
+	delete(oldParent.children, oldName)
+	n.name = newName
+	newParent.children[newName] = n
+	return nil
+}
+
 // RemoveAll removes the named path and any children it contains. Removing a
 // path that does not exist is not an error.
 func (f *FS) RemoveAll(p string) error {

@@ -1,0 +1,38 @@
+# Fex build/test/bench entry points.
+GO ?= go
+# pipefail so `go test | tee` recipes fail when the test run fails —
+# otherwise a failing bench would silently regenerate BENCH_4.json.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+# The ablation benchmarks committed as the BENCH_4.json trajectory: the
+# design-decision quantifications (rebuild vs --no-build, repetition
+# estimation, parallel scheduler scaling) plus the memoized execution
+# engine's -r 32 speedup.
+ABLATIONS := BenchmarkAblation_(RebuildVsNoBuild|RepetitionEstimate|ParallelScaling|MemoizedReps)|BenchmarkModeledRepetition
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# bench regenerates BENCH_4.json from a fresh run of the ablation
+# benchmarks. Commit the result so the perf trajectory travels with the
+# code that produced it.
+bench:
+	$(GO) test -run '^$$' -bench '$(ABLATIONS)' -benchtime 3x -count 1 . | tee .bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_4.json < .bench.out
+	@rm -f .bench.out
+	@echo "wrote BENCH_4.json"
+
+# bench-smoke runs every benchmark in the module exactly once — the CI
+# guard that keeps the bench suite compiling and passing its internal
+# shape assertions without paying for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -17,6 +17,7 @@ package fex_test
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"testing"
@@ -24,6 +25,8 @@ import (
 
 	"fex/internal/container"
 	"fex/internal/core"
+	"fex/internal/measure"
+	"fex/internal/runlog"
 	"fex/internal/security"
 	"fex/internal/stats"
 	"fex/internal/toolchain"
@@ -343,6 +346,9 @@ func BenchmarkAblation_DryRun(b *testing.B) {
 
 // BenchmarkAblation_ThreadScaling reports the modeled speedup of the fft
 // kernel across thread counts (the -m sweep behind the lineplot family).
+// The m=1 baseline is computed once before the subtests, so -bench
+// filters that select a single thread count still report a real speedup
+// instead of a bogus 0.
 func BenchmarkAblation_ThreadScaling(b *testing.B) {
 	gcc := toolchain.GCC()
 	w := mustLookup(b)
@@ -353,7 +359,11 @@ func BenchmarkAblation_ThreadScaling(b *testing.B) {
 		b.Fatal(err)
 	}
 	in := w.DefaultInput(workload.SizeSmall)
-	base := 0.0
+	baseSample, err := artifact.ExecuteUncached(in, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := baseSample.Cycles
 	for _, threads := range []int{1, 2, 4, 8} {
 		threads := threads
 		b.Run(fmt.Sprintf("m=%d", threads), func(b *testing.B) {
@@ -365,15 +375,61 @@ func BenchmarkAblation_ThreadScaling(b *testing.B) {
 				}
 				cycles = s.Cycles
 			}
-			if threads == 1 {
-				base = cycles
-			}
 			b.ReportMetric(cycles, "modeled-cycles")
-			if base > 0 {
-				b.ReportMetric(base/cycles, "speedup")
-			}
+			b.ReportMetric(base/cycles, "speedup")
 		})
 	}
+}
+
+// BenchmarkAblation_MemoizedReps quantifies the memoized execution
+// engine: a repetition-heavy splash cell (-r 32) with the memo on versus
+// -no-memo. With memoization, 31 of the 32 repetitions per thread count
+// are O(1) model evaluations instead of kernel executions, so the run
+// must finish at least 5x faster while collecting a byte-identical CSV
+// (modeled time makes wall-derived metrics machine-independent).
+func BenchmarkAblation_MemoizedReps(b *testing.B) {
+	fx := newFexB(b, "gcc-6.1", "splash_inputs")
+	cfg := core.Config{
+		Experiment: "splash",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft"},
+		Reps:       32,
+		Input:      workload.SizeSmall,
+		ModelTime:  true,
+	}
+	var speedup float64
+	var memoCSV, noMemoCSV string
+	for i := 0; i < b.N; i++ {
+		cfg.NoMemo = false
+		start := time.Now()
+		memoReport, err := fx.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		memoized := time.Since(start)
+
+		cfg.NoMemo = true
+		start = time.Now()
+		noMemoReport, err := fx.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uncached := time.Since(start)
+
+		speedup = uncached.Seconds() / memoized.Seconds()
+		memoCSV = memoReport.Table.CSVString()
+		noMemoCSV = noMemoReport.Table.CSVString()
+	}
+	if memoCSV != noMemoCSV {
+		b.Fatalf("collected CSV differs between memoized and -no-memo runs:\n--- memo ---\n%s\n--- no-memo ---\n%s",
+			memoCSV, noMemoCSV)
+	}
+	if speedup < 5 {
+		b.Fatalf("memoized -r 32 speedup %.2fx below the 5x floor", speedup)
+	}
+	printTable("Memoized execution engine (-r 32, splash/fft)",
+		fmt.Sprintf("no-memo=32 kernel runs  memo=1 kernel run + 31 model evals  speedup=%.1fx\n", speedup))
+	b.ReportMetric(speedup, "memo-speedup")
 }
 
 // BenchmarkAblation_ParallelScaling demonstrates the -jobs experiment
@@ -390,9 +446,9 @@ func BenchmarkAblation_ParallelScaling(b *testing.B) {
 		PerBenchmarkAction: func(rc *core.RunContext, buildType string, w workload.Workload) error {
 			return nil
 		},
-		PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+		PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 			time.Sleep(measurementPeriod)
-			return map[string]float64{"cycles": float64(len(w.Name())*1000 + threads)}, nil
+			return measure.FromMap(map[string]float64{"cycles": float64(len(w.Name())*1000 + threads)}), nil
 		},
 	}
 	if err := fx.RegisterExperiment(&core.Experiment{
@@ -445,6 +501,44 @@ func BenchmarkAblation_ParallelScaling(b *testing.B) {
 		fmt.Sprintf("serial=4x%v  parallel~1x%v  speedup=%.2fx\n",
 			measurementPeriod, measurementPeriod, speedup))
 	b.ReportMetric(speedup, "jobs4-speedup")
+}
+
+// BenchmarkModeledRepetition measures the steady-state measurement hot
+// path — memoized execution, pooled metric collection, log-record render
+// — and reports its allocation count, which the zero-allocation pipeline
+// pins at 0 allocs/op.
+func BenchmarkModeledRepetition(b *testing.B) {
+	gcc := toolchain.GCC()
+	w := mustLookup(b)
+	artifact, err := gcc.Compile(toolchain.SourceUnit{
+		Benchmark: w, CFLAGS: []string{"-O2"}, BuildType: "gcc_native",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.DefaultInput(workload.SizeTest)
+	lw := runlog.NewWriter(io.Discard)
+	tool := measure.PerfStat{}
+	oneRep := func(rep int) {
+		s, err := artifact.Execute(in, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mv := measure.AcquireMetricVector()
+		tool.Collect(s, mv)
+		mv.Set("wall_ns", float64(s.WallTime.Nanoseconds()))
+		lw.WriteMeasurement(runlog.Measurement{
+			Suite: w.Suite(), Benchmark: w.Name(), BuildType: "gcc_native",
+			Threads: 1, Rep: rep, Values: mv,
+		})
+		mv.Release()
+	}
+	oneRep(0) // warm the memo, the pool, and the writer's buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oneRep(i)
+	}
 }
 
 // BenchmarkAblation_RepetitionEstimate exercises the Kalibera–Jones-style

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output read from stdin
+// into a JSON benchmark trajectory — the format the repository commits as
+// BENCH_<n>.json so performance numbers travel with the code that
+// produced them.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkAblation' . | go run ./cmd/benchjson -out BENCH_4.json
+//
+// Each "BenchmarkX  N  <value> <unit> ..." line becomes one entry with
+// its iteration count and metric map; context lines (goos, goarch, cpu)
+// are captured as metadata. Input ordering is preserved.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Trajectory is the committed document.
+type Trajectory struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Package    string  `json:"pkg,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	traj, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test -bench output line by line.
+func parse(sc *bufio.Scanner) (*Trajectory, error) {
+	traj := &Trajectory{Benchmarks: []Entry{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			traj.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			traj.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			traj.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			traj.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, ok, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				traj.Benchmarks = append(traj.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(traj.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return traj, nil
+}
+
+// parseBenchLine splits one result line: name, iterations, then
+// alternating value/unit pairs. Lines like "BenchmarkX" without fields
+// (a benchmark that only printed output) are skipped.
+func parseBenchLine(line string) (Entry, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Entry{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false, nil // e.g. "BenchmarkX ... FAIL" summary noise
+	}
+	e := Entry{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Entry{}, false, fmt.Errorf("odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Entry{}, false, fmt.Errorf("bad metric value in %q: %w", line, err)
+		}
+		e.Metrics[rest[i+1]] = v
+	}
+	return e, true, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fex
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAblation_ThreadScaling/m=1         	       1	    354743 ns/op	    994826 modeled-cycles	         1.000 speedup
+BenchmarkAblation_MemoizedReps              	       1	  12329417 ns/op	        12.85 memo-speedup
+PASS
+ok  	fex	0.021s
+`
+
+func TestParseSample(t *testing.T) {
+	traj, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Goos != "linux" || traj.Goarch != "amd64" || traj.Package != "fex" {
+		t.Errorf("metadata %+v", traj)
+	}
+	if len(traj.Benchmarks) != 2 {
+		t.Fatalf("%d benchmarks, want 2", len(traj.Benchmarks))
+	}
+	m1 := traj.Benchmarks[0]
+	if m1.Name != "BenchmarkAblation_ThreadScaling/m=1" || m1.Iterations != 1 {
+		t.Errorf("entry %+v", m1)
+	}
+	if m1.Metrics["speedup"] != 1.0 || m1.Metrics["modeled-cycles"] != 994826 {
+		t.Errorf("metrics %+v", m1.Metrics)
+	}
+	memo := traj.Benchmarks[1]
+	if memo.Metrics["memo-speedup"] != 12.85 {
+		t.Errorf("memo metrics %+v", memo.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
+		t.Error("expected error for input without benchmark lines")
+	}
+}
+
+func TestParseSkipsMalformedIterations(t *testing.T) {
+	in := sample + "BenchmarkBroken abc\n"
+	traj, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Benchmarks) != 2 {
+		t.Errorf("malformed line not skipped: %d entries", len(traj.Benchmarks))
+	}
+}

@@ -23,7 +23,11 @@
 // with failover; logs stay byte-identical to a serial run),
 // --modeled-time record modeled instead of live wall time (makes logs
 // fully machine-independent), -resume replay already-satisfied cells from
-// the persistent result store instead of re-measuring them.
+// the persistent result store instead of re-measuring them, -no-memo
+// physically re-execute the kernel for every repetition instead of
+// serving repeated (input, threads) configurations from the per-artifact
+// execution memo, -cpuprofile/-memprofile write pprof profiles of the
+// invocation for performance work on real experiment runs.
 package main
 
 import (
@@ -31,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -62,10 +68,13 @@ type cliArgs struct {
 	debug       bool
 	verbose     bool
 	noBuild     bool
+	noMemo      bool
 	modelTime   bool
 	resume      bool
 	outDir      string
 	stateFile   string
+	cpuProfile  string
+	memProfile  string
 }
 
 func parseArgs(argv []string) (cliArgs, error) {
@@ -163,10 +172,24 @@ func parseArgs(argv []string) (cliArgs, error) {
 			args.verbose = true
 		case "--no-build":
 			args.noBuild = true
+		case "-no-memo", "--no-memo":
+			args.noMemo = true
 		case "--modeled-time":
 			args.modelTime = true
 		case "-resume":
 			args.resume = true
+		case "-cpuprofile":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-cpuprofile requires a file path")
+			}
+			args.cpuProfile = v
+		case "-memprofile":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-memprofile requires a file path")
+			}
+			args.memProfile = v
 		case "-o":
 			v, ok := next()
 			if !ok {
@@ -190,6 +213,34 @@ func run(argv []string) error {
 	args, err := parseArgs(argv)
 	if err != nil {
 		return err
+	}
+
+	// Profiling hooks for perf work on real experiment runs: -cpuprofile
+	// wraps the whole action, -memprofile snapshots the heap after it.
+	if args.cpuProfile != "" {
+		f, err := os.Create(args.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if args.memProfile != "" {
+		defer func() {
+			f, err := os.Create(args.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fex: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fex: write mem profile:", err)
+			}
+		}()
 	}
 
 	var verbose *os.File
@@ -358,6 +409,7 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		Debug:        args.debug,
 		Verbose:      args.verbose,
 		NoBuild:      args.noBuild,
+		NoMemo:       args.noMemo,
 		ModelTime:    args.modelTime,
 		Resume:       args.resume,
 	}

@@ -59,6 +59,8 @@ func TestParseArgsErrors(t *testing.T) {
 		{"run", "-jobs", "0"},    // -jobs below 1
 		{"run", "--bogus"},       // unknown flag
 		{"run", "-o"},            // -o without value
+		{"run", "-cpuprofile"},   // -cpuprofile without path
+		{"run", "-memprofile"},   // -memprofile without path
 	}
 	for _, argv := range cases {
 		if _, err := parseArgs(argv); err == nil {
@@ -100,6 +102,56 @@ func TestParseArgsResumeAndAdaptiveReps(t *testing.T) {
 	} {
 		if _, err := parseArgs(argv); err == nil {
 			t.Errorf("parseArgs(%v): expected error", argv)
+		}
+	}
+}
+
+func TestParseArgsMemoAndProfileFlags(t *testing.T) {
+	args, err := parseArgs([]string{
+		"run", "-n", "splash",
+		"-no-memo",
+		"-cpuprofile", "/tmp/cpu.pprof",
+		"-memprofile", "/tmp/mem.pprof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !args.noMemo {
+		t.Error("-no-memo not parsed")
+	}
+	if args.cpuProfile != "/tmp/cpu.pprof" || args.memProfile != "/tmp/mem.pprof" {
+		t.Errorf("profiles: %q %q", args.cpuProfile, args.memProfile)
+	}
+	// The GNU-style spelling is accepted too, matching --no-build.
+	args, err = parseArgs([]string{"run", "-n", "splash", "--no-memo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !args.noMemo {
+		t.Error("--no-memo not parsed")
+	}
+}
+
+// TestCLIProfileRun drives a real run with both profile flags and checks
+// the pprof files materialize on the host.
+func TestCLIProfileRun(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{
+		"run", "-n", "micro", "-t", "gcc_native", "-b", "array_read",
+		"-i", "test", "-r", "4",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"fex/internal/core"
+	"fex/internal/measure"
 	"fex/internal/workload"
 )
 
@@ -53,7 +54,7 @@ func run() error {
 		Kind:        core.KindPerformance,
 		NewRunner: func(fx *core.Fex) (core.Runner, error) {
 			return &core.BenchRunner{Suite: "micro", Hooks: core.Hooks{
-				PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+				PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 					executed.Add(1)
 					return core.DefaultPerRun(rc, buildType, w, threads)
 				},

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
+	"fex/internal/measure"
 	"fex/internal/stats"
 )
 
@@ -106,23 +106,21 @@ func adaptiveTarget(samples []float64, pilot, cap int, level, relWidth float64) 
 // adaptiveMetric extracts the value the stop rule watches from one
 // repetition's metrics: live wall time when present (the one genuinely
 // noisy metric), falling back to cycles, then to the first metric in
-// sorted name order for custom hooks that report neither.
-func adaptiveMetric(values map[string]float64) (float64, bool) {
-	if v, ok := values["wall_ns"]; ok {
+// sorted name order for custom hooks that report neither. The vector is
+// already name-sorted, so the fallback is its first entry — no per-rep
+// key sort.
+func adaptiveMetric(values *measure.MetricVector) (float64, bool) {
+	if v, ok := values.Get("wall_ns"); ok {
 		return v, true
 	}
-	if v, ok := values["cycles"]; ok {
+	if v, ok := values.Get("cycles"); ok {
 		return v, true
 	}
-	if len(values) == 0 {
+	if values.Len() == 0 {
 		return 0, false
 	}
-	keys := make([]string, 0, len(values))
-	for k := range values {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return values[keys[0]], true
+	_, v := values.At(0)
+	return v, true
 }
 
 // repsSpec renders cfg's repetition policy canonically for cell

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fex/internal/measure"
 	"fex/internal/stats"
 	"fex/internal/workload"
 )
@@ -145,10 +146,10 @@ func TestAdaptiveRunnerStopsPerRequiredRepetitions(t *testing.T) {
 	fx := newSchedFex(t)
 	hooks := deterministicHooks(0)
 	perSweep := map[string]int{}
-	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 		key := fmt.Sprintf("%s/%s/%d", buildType, w.Name(), threads)
 		perSweep[key]++
-		return map[string]float64{"wall_ns": stream[rep]}, nil
+		return measure.FromMap(map[string]float64{"wall_ns": stream[rep]}), nil
 	}
 	registerSchedExperiment(t, fx, "adaptive_stop", hooks)
 
@@ -183,9 +184,9 @@ func TestAdaptiveRunnerConstantStreamStopsAtPilot(t *testing.T) {
 	fx := newSchedFex(t)
 	hooks := deterministicHooks(0)
 	runs := 0
-	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 		runs++
-		return map[string]float64{"cycles": 42}, nil
+		return measure.FromMap(map[string]float64{"cycles": 42}), nil
 	}
 	registerSchedExperiment(t, fx, "adaptive_const", hooks)
 	_, err := fx.Run(Config{

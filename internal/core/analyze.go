@@ -107,10 +107,10 @@ func (fx *Fex) Analyze(experiment, metric, typeA, typeB string) (*AnalysisReport
 		if m.BuildType != typeA && m.BuildType != typeB {
 			continue
 		}
-		v, ok := m.Values[metric]
+		v, ok := m.Values.Get(metric)
 		if !ok {
 			return nil, fmt.Errorf("analyze %s: metric %q not in measurements (have %v)",
-				experiment, metric, metricNames(m))
+				experiment, metric, m.Values.Names())
 		}
 		byType, ok := samples[m.Benchmark]
 		if !ok {
@@ -170,12 +170,4 @@ func (fx *Fex) Analyze(experiment, metric, typeA, typeB string) (*AnalysisReport
 	}
 	report.MinReps = minReps
 	return report, nil
-}
-
-func metricNames(m runlog.Measurement) []string {
-	out := make([]string, 0, len(m.Values))
-	for k := range m.Values {
-		out = append(out, k)
-	}
-	return out
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"fex/internal/measure"
 	"fex/internal/remote"
 	"fex/internal/workload"
 )
@@ -301,7 +302,7 @@ func TestClusterFailoverMidRunOutage(t *testing.T) {
 	var once sync.Once
 	hooks := deterministicHooks(0)
 	base := hooks.PerRunAction
-	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 		// First measured repetition anywhere in the cluster takes w3 down.
 		once.Do(func() { w3.SetUnreachable(true) })
 		return base(rc, buildType, w, threads, rep)
@@ -374,13 +375,13 @@ func TestClusterCellErrorAttribution(t *testing.T) {
 	fx, _ := clusterFex(t, "w1", "w2")
 	hooks := deterministicHooks(0)
 	var attempts sync.Map
-	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 		if w.Name() == "lu" {
 			n, _ := attempts.LoadOrStore("lu", new(int))
 			*(n.(*int))++
 			return nil, fmt.Errorf("modeled cell failure")
 		}
-		return map[string]float64{"cycles": 1}, nil
+		return measure.FromMap(map[string]float64{"cycles": 1}), nil
 	}
 	registerSchedExperiment(t, fx, "cluster_cellerr", hooks)
 

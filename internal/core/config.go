@@ -67,6 +67,14 @@ type Config struct {
 	// container, build system, cell shards — per host, with failover onto
 	// the remaining healthy hosts when one becomes unreachable.
 	Hosts []string
+	// NoMemo disables the per-artifact execution memo (-no-memo): every
+	// repetition physically re-executes the kernel instead of re-deriving
+	// its sample from cached counters. Kernels are deterministic by
+	// contract, so memoized and unmemoized runs produce identical modeled
+	// measurements; the escape hatch exists for wall-clock studies (every
+	// wall_ns sample a real kernel execution) and for validating the
+	// determinism contract itself.
+	NoMemo bool
 	// ModelTime records modeled wall time (modeled cycles at the nominal
 	// modeled clock, see measure.ModeledClockGHz) instead of live wall time
 	// in the "wall_ns" metric (--modeled-time). Modeled time is a pure
@@ -86,7 +94,10 @@ type Config struct {
 	// feeds them to stats.RequiredRepetitions, and keeps measuring until
 	// the Student-t confidence interval of the adaptive metric is within
 	// RepRelWidth of its mean at RepLevel confidence, capped at
-	// AdaptiveCap. Reps is ignored when set.
+	// AdaptiveCap. Reps is ignored when set. Unless ModelTime is also
+	// set, adaptive runs execute every repetition physically (the memo is
+	// bypassed): the stop rule watches live wall-time variance, which a
+	// cached evaluation would not exhibit.
 	AdaptiveReps bool
 	// RepLevel is the adaptive confidence level (-r auto:level,relwidth);
 	// 0 defaults to DefaultRepLevel.
@@ -214,6 +225,9 @@ func (c Config) String() string {
 	}
 	if len(c.Hosts) > 0 {
 		sb.WriteString(" -hosts " + strings.Join(c.Hosts, ","))
+	}
+	if c.NoMemo {
+		sb.WriteString(" -no-memo")
 	}
 	if c.ModelTime {
 		sb.WriteString(" --modeled-time")

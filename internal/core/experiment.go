@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 
+	"fex/internal/measure"
 	"fex/internal/runlog"
 	"fex/internal/table"
 )
@@ -120,31 +121,30 @@ func (fx *Fex) ExperimentNames() []string {
 // GenericCollect is the stock collect stage: it averages each metric over
 // repetitions, grouped by (suite, benchmark, build type, threads), and
 // emits one row per group — the generic collect.py most experiments
-// re-use unchanged.
+// re-use unchanged. Aggregation runs on typed metric vectors: per-group
+// sums and counts are MetricVectors keyed like the measurements
+// themselves, so the union of metric names falls out of the vectors'
+// sorted order with no map or re-sort.
 func GenericCollect(lg *runlog.Log) (*table.Table, error) {
 	if len(lg.Measurements) == 0 {
 		return nil, errors.New("core: log contains no measurements")
 	}
-	// Collect the union of metric names.
-	metricSet := map[string]bool{}
+	// The union of metric names across the log, in sorted order.
+	union := measure.NewMetricVector()
 	for _, m := range lg.Measurements {
-		for k := range m.Values {
-			metricSet[k] = true
+		for i := 0; i < m.Values.Len(); i++ {
+			name, _ := m.Values.At(i)
+			union.Set(name, 0)
 		}
 	}
-	metrics := make([]string, 0, len(metricSet))
-	for k := range metricSet {
-		metrics = append(metrics, k)
-	}
-	sort.Strings(metrics)
+	metrics := union.Names()
 
 	type groupKey struct {
 		suite, bench, btype string
 		threads             int
 	}
 	type acc struct {
-		sums  map[string]float64
-		count map[string]int
+		sums, counts *measure.MetricVector
 	}
 	var order []groupKey
 	groups := map[groupKey]*acc{}
@@ -152,13 +152,14 @@ func GenericCollect(lg *runlog.Log) (*table.Table, error) {
 		k := groupKey{m.Suite, m.Benchmark, m.BuildType, m.Threads}
 		g, ok := groups[k]
 		if !ok {
-			g = &acc{sums: map[string]float64{}, count: map[string]int{}}
+			g = &acc{sums: measure.NewMetricVector(), counts: measure.NewMetricVector()}
 			groups[k] = g
 			order = append(order, k)
 		}
-		for name, v := range m.Values {
-			g.sums[name] += v
-			g.count[name]++
+		for i := 0; i < m.Values.Len(); i++ {
+			name, v := m.Values.At(i)
+			g.sums.Set(name, g.sums.Value(name)+v)
+			g.counts.Set(name, g.counts.Value(name)+1)
 		}
 	}
 
@@ -177,8 +178,8 @@ func GenericCollect(lg *runlog.Log) (*table.Table, error) {
 		g := groups[k]
 		row := []any{k.suite, k.bench, k.btype, float64(k.threads)}
 		for _, m := range metrics {
-			if c := g.count[m]; c > 0 {
-				row = append(row, g.sums[m]/float64(c))
+			if c := g.counts.Value(m); c > 0 {
+				row = append(row, g.sums.Value(m)/c)
 			} else {
 				row = append(row, 0.0)
 			}

@@ -16,6 +16,7 @@ import (
 	"fex/internal/container"
 	"fex/internal/env"
 	"fex/internal/installer"
+	"fex/internal/measure"
 	"fex/internal/remote"
 	"fex/internal/runlog"
 	"fex/internal/store"
@@ -242,7 +243,15 @@ func (fx *Fex) costModelHash(cfg Config) string {
 	})
 	h := sha256.New()
 	fmt.Fprintf(h, "calibration:%s\n", fx.calDigest)
-	fmt.Fprintf(h, "debug:%t\nmodeled-time:%t\n", cfg.Debug, cfg.ModelTime)
+	// The metrics schema version invalidates stored cells when the tools'
+	// metric sets change (e.g. the write_ratio fix) — replaying records
+	// taken under an older schema would silently resurrect its metrics.
+	fmt.Fprintf(h, "metrics-schema:%d\n", measure.MetricsSchemaVersion)
+	// -no-memo is part of the measurement identity: its wall_ns samples
+	// are real kernel timings, a memoized run's are cached-evaluation
+	// timings. A -no-memo -resume run must never replay memoized cells
+	// (or vice versa), so the two modes hash apart like debug/modeled-time.
+	fmt.Fprintf(h, "debug:%t\nmodeled-time:%t\nno-memo:%t\n", cfg.Debug, cfg.ModelTime, cfg.NoMemo)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

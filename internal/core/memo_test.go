@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"fex/internal/workload"
+)
+
+// memoFex builds a framework with fixed timestamps and real compilers, so
+// memoized and unmemoized runs of a real experiment can be compared byte
+// for byte.
+func memoFex(t *testing.T) *Fex {
+	t.Helper()
+	fx, err := New(Options{Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	installAll(t, fx, "gcc-6.1", "clang-3.8.0", "splash_inputs")
+	return fx
+}
+
+// TestMemoDeterminism is the tentpole's byte-identity proof: a memoized
+// run of a real repetition-heavy experiment produces exactly the log and
+// CSV bytes of a -no-memo run that physically re-executes every kernel.
+// Under --modeled-time every metric, wall time included, is a pure
+// function of the workload and build type, so any divergence the memo
+// introduced would show as a byte diff.
+func TestMemoDeterminism(t *testing.T) {
+	var logs, csvs []string
+	for _, noMemo := range []bool{false, true} {
+		fx := memoFex(t)
+		report, err := fx.Run(Config{
+			Experiment: "splash",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Benchmarks: []string{"fft", "lu", "radix"},
+			Threads:    []int{1, 2},
+			Reps:       4,
+			Input:      workload.SizeTest,
+			ModelTime:  true,
+			NoMemo:     noMemo,
+		})
+		if err != nil {
+			t.Fatalf("noMemo=%t: %v", noMemo, err)
+		}
+		if want := 2 * 3 * 2 * 4; report.Measurements != want {
+			t.Fatalf("noMemo=%t: %d measurements, want %d", noMemo, report.Measurements, want)
+		}
+		lg, err := fx.ReadResult(report.LogPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csv, err := fx.ReadResult(report.CSVPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, string(lg))
+		csvs = append(csvs, string(csv))
+	}
+	if logs[0] != logs[1] {
+		t.Errorf("memoized log differs from -no-memo:\n--- memo ---\n%s\n--- no-memo ---\n%s", logs[0], logs[1])
+	}
+	if csvs[0] != csvs[1] {
+		t.Errorf("memoized CSV differs from -no-memo:\n--- memo ---\n%s\n--- no-memo ---\n%s", csvs[0], csvs[1])
+	}
+}
+
+// TestMemoDeterminismAcrossTiers extends the scheduler determinism
+// contract to the memoized engine: serial, -jobs, and -no-memo serial
+// runs of the same real experiment agree byte for byte.
+func TestMemoDeterminismAcrossTiers(t *testing.T) {
+	base := Config{
+		Experiment: "splash",
+		BuildTypes: []string{"gcc_native", "clang_native"},
+		Benchmarks: []string{"fft", "lu"},
+		Threads:    []int{1, 2},
+		Reps:       3,
+		Input:      workload.SizeTest,
+		ModelTime:  true,
+	}
+	variants := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"serial-memo", func(*Config) {}},
+		{"jobs4-memo", func(c *Config) { c.Jobs = 4 }},
+		{"serial-no-memo", func(c *Config) { c.NoMemo = true }},
+		{"jobs4-no-memo", func(c *Config) { c.Jobs = 4; c.NoMemo = true }},
+	}
+	var logs []string
+	for _, v := range variants {
+		fx := memoFex(t)
+		cfg := base
+		v.mod(&cfg)
+		report, err := fx.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		lg, err := fx.ReadResult(report.LogPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, string(lg))
+	}
+	for i := 1; i < len(logs); i++ {
+		if logs[i] != logs[0] {
+			t.Errorf("%s log differs from %s:\n--- %s ---\n%s\n--- %s ---\n%s",
+				variants[i].name, variants[0].name, variants[0].name, logs[0], variants[i].name, logs[i])
+		}
+	}
+}
+
+// TestCostModelHashSeparatesNoMemo pins the store-identity rule: a
+// -no-memo run's wall_ns samples are real kernel timings while a
+// memoized run's are cached-evaluation timings, so the two modes must
+// hash to different fingerprints — a -no-memo -resume run may never
+// silently replay memoized cells.
+func TestCostModelHashSeparatesNoMemo(t *testing.T) {
+	fx := newFex(t)
+	memo := fx.costModelHash(Config{})
+	noMemo := fx.costModelHash(Config{NoMemo: true})
+	if memo == noMemo {
+		t.Error("memoized and -no-memo configs alias in the result store")
+	}
+}
+
+// TestAdaptiveLiveTimeBypassesMemo pins the -r auto interaction: when
+// the stop rule watches live wall time, repetitions execute physically
+// (the memo is neither consulted nor populated) so the controller
+// samples kernel noise, not cached-evaluation jitter. Under
+// --modeled-time the metric is deterministic and memoization stays on.
+func TestAdaptiveLiveTimeBypassesMemo(t *testing.T) {
+	fx := memoFex(t)
+	w, err := fx.Registry().Lookup("splash", "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := fx.Artifact(w, "gcc_native", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.DefaultInput(workload.SizeTest)
+
+	live := &RunContext{Fex: fx, Config: Config{AdaptiveReps: true}}
+	for i := 0; i < 3; i++ {
+		if _, err := live.execute(artifact, in, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if artifact.MemoLen() != 0 {
+		t.Errorf("adaptive live-time execution populated the memo (%d entries)", artifact.MemoLen())
+	}
+
+	modeled := &RunContext{Fex: fx, Config: Config{AdaptiveReps: true, ModelTime: true}}
+	if _, err := modeled.execute(artifact, in, 1); err != nil {
+		t.Fatal(err)
+	}
+	if artifact.MemoLen() != 1 {
+		t.Errorf("adaptive --modeled-time execution bypassed the memo (%d entries)", artifact.MemoLen())
+	}
+}
+
+// TestWriteRatioReported pins the perf-stat-mem write_ratio fix end to
+// end: a real experiment run under the memory tool reports a nonzero
+// write ratio derived from the kernel's read/write mix.
+func TestWriteRatioReported(t *testing.T) {
+	fx := memoFex(t)
+	report, err := fx.Run(Config{
+		Experiment: "splash",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"lu"},
+		Input:      workload.SizeTest,
+		Tool:       "perf-stat-mem",
+		ModelTime:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios, err := report.Table.Floats("write_ratio")
+	if err != nil {
+		t.Fatalf("write_ratio column missing: %v", err)
+	}
+	for _, r := range ratios {
+		if r <= 0 || r >= 1 {
+			t.Errorf("write_ratio %g outside (0,1) — the metric is dead again", r)
+		}
+	}
+}

@@ -31,9 +31,9 @@ func NetCollect(lg *runlog.Log) (*table.Table, error) {
 	for _, m := range lg.Measurements {
 		if err := b.Append(
 			m.Benchmark, m.BuildType,
-			m.Values["offered_rate"], m.Values["throughput"],
-			m.Values["latency_ms"], m.Values["p95_ms"], m.Values["p99_ms"],
-			m.Values["errors"],
+			m.Values.Value("offered_rate"), m.Values.Value("throughput"),
+			m.Values.Value("latency_ms"), m.Values.Value("p95_ms"), m.Values.Value("p99_ms"),
+			m.Values.Value("errors"),
 		); err != nil {
 			return nil, err
 		}

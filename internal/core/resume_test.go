@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"fex/internal/measure"
 	"fex/internal/workload"
 )
 
@@ -81,7 +82,7 @@ func countingHooks(builds, reps *atomic.Int64) Hooks {
 		return baseBench(rc, buildType, w)
 	}
 	baseRun := hooks.PerRunAction
-	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 		reps.Add(1)
 		return baseRun(rc, buildType, w, threads, rep)
 	}

@@ -61,6 +61,24 @@ func (rc *RunContext) finishSample(s measure.Sample) measure.Sample {
 	return s
 }
 
+// execute runs one repetition of the artifact, honouring the -no-memo
+// escape hatch: by default repeated (input, threads) configurations are
+// served from the artifact's execution memo (an O(1) model evaluation),
+// while NoMemo re-executes the kernel every time.
+//
+// Adaptive repetitions over live wall time also bypass the memo: the
+// -r auto stop rule watches wall_ns variance, and with the memo on every
+// repetition after the first would sample ~µs cached-evaluation jitter
+// instead of kernel execution noise — the controller would spend the cap
+// on meaningless samples. Under --modeled-time the adaptive metric is
+// deterministic, so memoization stays on.
+func (rc *RunContext) execute(artifact *toolchain.Artifact, in workload.Input, threads int) (measure.Sample, error) {
+	if rc.Config.NoMemo || (rc.Config.AdaptiveReps && !rc.Config.ModelTime) {
+		return artifact.ExecuteUncached(in, threads)
+	}
+	return artifact.Execute(in, threads)
+}
+
 // Runner executes one experiment. Implementations mirror the paper's
 // Runner subclasses (PhoenixPerformance, ParsecSecurity,
 // PhoenixVariableInputPerformance, …).
@@ -84,8 +102,11 @@ type Hooks struct {
 	PerThreadAction func(rc *RunContext, buildType string, w workload.Workload, threads int) error
 	// PerRunAction performs one measured repetition and returns its
 	// metrics; the default executes the built artifact under the
-	// configured measurement tool.
-	PerRunAction func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error)
+	// configured measurement tool. Ownership of the returned vector
+	// passes to the loop, which releases it to the metric pool after the
+	// record is logged — hooks build it with measure.AcquireMetricVector
+	// or measure.FromMap and must not retain it.
+	PerRunAction func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error)
 }
 
 // BenchRunner is the standard suite runner: the nested loop of Figure 4
@@ -140,6 +161,12 @@ func (r *BenchRunner) Run(rc *RunContext) error {
 // runCell executes one cell — per-benchmark action, then the serialized
 // threads × repetitions sweep — writing records to rc.Log. A
 // SkipBenchmark() from the per-benchmark action skips exactly this cell.
+//
+// The default per-run action is resolved once per cell with everything
+// loop-invariant hoisted — artifact, input, measurement tool — so the
+// repetition loop itself allocates nothing: executions come from the
+// artifact memo, metric vectors from the pool, and log records render
+// into reused buffers.
 func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workload) error {
 	err := r.perBenchmark(rc, buildType, w)
 	if errors.Is(err, errSkipBenchmark) {
@@ -149,6 +176,17 @@ func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workl
 	if err != nil {
 		return fmt.Errorf("experiment %s, %s/%s [%s]: %w",
 			rc.Config.Experiment, w.Suite(), w.Name(), buildType, err)
+	}
+	perRun := r.Hooks.PerRunAction
+	if perRun == nil {
+		artifact, tool, in, err := prepareDefaultRun(rc, buildType, w)
+		if err != nil {
+			return fmt.Errorf("experiment %s, %s/%s [%s]: %w",
+				rc.Config.Experiment, w.Suite(), w.Name(), buildType, err)
+		}
+		perRun = func(rc *RunContext, _ string, _ workload.Workload, threads, _ int) (*measure.MetricVector, error) {
+			return defaultRep(rc, artifact, tool, in, threads, true)
+		}
 	}
 	for _, threads := range rc.Config.Threads {
 		if err := r.perThread(rc, buildType, w, threads); err != nil {
@@ -160,7 +198,7 @@ func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workl
 		ctl := newRepController(rc.Config)
 		var samples []float64
 		for rep := 0; ctl.more(rep, samples); rep++ {
-			values, err := r.perRun(rc, buildType, w, threads, rep)
+			values, err := perRun(rc, buildType, w, threads, rep)
 			if err != nil {
 				return fmt.Errorf("experiment %s, %s/%s [%s] m=%d rep=%d: %w",
 					rc.Config.Experiment, w.Suite(), w.Name(), buildType, threads, rep, err)
@@ -176,6 +214,7 @@ func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workl
 			if v, ok := adaptiveMetric(values); ok {
 				samples = append(samples, v)
 			}
+			values.Release()
 		}
 	}
 	return nil
@@ -209,7 +248,7 @@ func DefaultPerBenchmark(rc *RunContext, buildType string, w workload.Workload) 
 	if workload.NeedsDryRun(w) {
 		rc.logf("  dry run %s/%s", w.Suite(), w.Name())
 		in := w.DefaultInput(workload.SizeTest)
-		if _, err := artifact.Execute(in, 1); err != nil {
+		if _, err := rc.execute(artifact, in, 1); err != nil {
 			return fmt.Errorf("dry run: %w", err)
 		}
 		rc.Log.WriteNote(fmt.Sprintf("dry run %s/%s [%s]", w.Suite(), w.Name(), buildType))
@@ -224,33 +263,54 @@ func (r *BenchRunner) perThread(rc *RunContext, buildType string, w workload.Wor
 	return nil
 }
 
-func (r *BenchRunner) perRun(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
-	if r.Hooks.PerRunAction != nil {
-		return r.Hooks.PerRunAction(rc, buildType, w, threads, rep)
-	}
-	return DefaultPerRun(rc, buildType, w, threads)
-}
-
-// DefaultPerRun executes the built artifact on the configured input size
-// and extracts metrics with the configured measurement tool.
-func DefaultPerRun(rc *RunContext, buildType string, w workload.Workload, threads int) (map[string]float64, error) {
+// prepareDefaultRun resolves the loop-invariant state of the default
+// per-run action: the built artifact, the measurement tool, and the
+// configured input. Hoisting these out of the repetition loop is what
+// makes the steady-state loop allocation-free (DefaultInput builds an
+// Extra map for several kernels; tool lookup boxes an interface).
+func prepareDefaultRun(rc *RunContext, buildType string, w workload.Workload) (*toolchain.Artifact, measure.Tool, workload.Input, error) {
 	artifact, err := rc.Artifact(w, buildType, rc.Config.Debug)
 	if err != nil {
-		return nil, err
+		return nil, nil, workload.Input{}, err
 	}
-	sample, err := artifact.Execute(w.DefaultInput(rc.Config.Input), threads)
+	tool, err := measure.ToolByName(rc.Config.Tool)
+	if err != nil {
+		return nil, nil, workload.Input{}, err
+	}
+	return artifact, tool, w.DefaultInput(rc.Config.Input), nil
+}
+
+// defaultRep performs one measured repetition on prepared state — the
+// hot path of the experiment loop. Steady state it allocates nothing:
+// the execution comes from the artifact memo (an O(1) model evaluation),
+// the metric vector from the pool, and the per-rep alloc-regression test
+// pins it at zero. The caller owns the returned vector and releases it
+// after logging.
+func defaultRep(rc *RunContext, artifact *toolchain.Artifact, tool measure.Tool, in workload.Input, threads int, withChecksum bool) (*measure.MetricVector, error) {
+	sample, err := rc.execute(artifact, in, threads)
 	if err != nil {
 		return nil, err
 	}
 	sample = rc.finishSample(sample)
-	tool, err := measure.ToolByName(rc.Config.Tool)
+	values := measure.AcquireMetricVector()
+	tool.Collect(sample, values)
+	if withChecksum {
+		values.Set("checksum", float64(sample.Checksum%(1<<52))) // store low bits for cross-type validation
+	}
+	values.Set("wall_ns", float64(sample.WallTime.Nanoseconds()))
+	return values, nil
+}
+
+// DefaultPerRun executes the built artifact on the configured input size
+// and extracts metrics with the configured measurement tool — the
+// stand-alone form of the default per-run action, for custom hooks that
+// wrap it. The runner's own loop uses the prepared fast path instead.
+func DefaultPerRun(rc *RunContext, buildType string, w workload.Workload, threads int) (*measure.MetricVector, error) {
+	artifact, tool, in, err := prepareDefaultRun(rc, buildType, w)
 	if err != nil {
 		return nil, err
 	}
-	values := tool.Collect(sample)
-	values["checksum"] = float64(sample.Checksum % (1 << 52)) // store low bits for cross-type validation
-	values["wall_ns"] = float64(sample.WallTime.Nanoseconds())
-	return values, nil
+	return defaultRep(rc, artifact, tool, in, threads, true)
 }
 
 // VariableInputRunner extends the experiment loop with an input-size
@@ -303,7 +363,9 @@ func (r *VariableInputRunner) Run(rc *RunContext) error {
 }
 
 // runCell executes one variable-input cell: build + dry run, then the
-// serialized inputs × threads × repetitions sweep.
+// serialized inputs × threads × repetitions sweep. Like the standard
+// runner, everything loop-invariant is hoisted so the repetition loop
+// allocates nothing steady-state.
 func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w workload.Workload, inputs []workload.SizeClass) error {
 	if err := DefaultPerBenchmark(rc, buildType, w); err != nil {
 		return fmt.Errorf("variable-input %s/%s [%s]: %w", w.Suite(), w.Name(), buildType, err)
@@ -312,20 +374,26 @@ func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w worklo
 	if err != nil {
 		return err
 	}
+	tool, err := measure.ToolByName(rc.Config.Tool)
+	if err != nil {
+		return err
+	}
 	for _, input := range inputs {
+		in := w.DefaultInput(input)
+		benchLabel := w.Name() + ":" + input.String()
 		for _, threads := range rc.Config.Threads {
 			ctl := newRepController(rc.Config)
 			var samples []float64
 			for rep := 0; ctl.more(rep, samples); rep++ {
-				values, err := executeWithTool(rc, artifact, w.DefaultInput(input), threads)
+				values, err := defaultRep(rc, artifact, tool, in, threads, false)
 				if err != nil {
 					return fmt.Errorf("variable-input %s/%s [%s] input=%s: %w",
 						w.Suite(), w.Name(), buildType, input, err)
 				}
-				values["input_class"] = float64(input)
+				values.Set("input_class", float64(input))
 				rc.Log.WriteMeasurement(runlog.Measurement{
 					Suite:     w.Suite(),
-					Benchmark: w.Name() + ":" + input.String(),
+					Benchmark: benchLabel,
 					BuildType: buildType,
 					Threads:   threads,
 					Rep:       rep,
@@ -334,23 +402,9 @@ func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w worklo
 				if v, ok := adaptiveMetric(values); ok {
 					samples = append(samples, v)
 				}
+				values.Release()
 			}
 		}
 	}
 	return nil
-}
-
-func executeWithTool(rc *RunContext, artifact *toolchain.Artifact, in workload.Input, threads int) (map[string]float64, error) {
-	sample, err := artifact.Execute(in, threads)
-	if err != nil {
-		return nil, err
-	}
-	sample = rc.finishSample(sample)
-	tool, err := measure.ToolByName(rc.Config.Tool)
-	if err != nil {
-		return nil, err
-	}
-	values := tool.Collect(sample)
-	values["wall_ns"] = float64(sample.WallTime.Nanoseconds())
-	return values, nil
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"fex/internal/measure"
 	"fex/internal/workload"
 )
 
@@ -34,13 +35,13 @@ func deterministicHooks(perRunDelay time.Duration) Hooks {
 			rc.Log.WriteNote(fmt.Sprintf("built %s/%s [%s]", w.Suite(), w.Name(), buildType))
 			return nil
 		},
-		PerRunAction: func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+		PerRunAction: func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 			if perRunDelay > 0 {
 				time.Sleep(perRunDelay)
 			}
-			return map[string]float64{
+			return measure.FromMap(map[string]float64{
 				"cycles": float64(len(w.Name())*1000 + len(buildType)*100 + threads*10 + rep),
-			}, nil
+			}), nil
 		},
 	}
 }
@@ -143,7 +144,7 @@ func TestSchedulerPoolBounds(t *testing.T) {
 	}()
 
 	hooks := deterministicHooks(0)
-	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 		n := inFlight.Add(1)
 		for {
 			cur := maxInFlight.Load()
@@ -158,7 +159,7 @@ func TestSchedulerPoolBounds(t *testing.T) {
 			return nil, fmt.Errorf("pool never reached %d concurrent cells", jobs)
 		}
 		inFlight.Add(-1)
-		return map[string]float64{"cycles": 1}, nil
+		return measure.FromMap(map[string]float64{"cycles": 1}), nil
 	}
 	registerSchedExperiment(t, fx, "sched_bounds", hooks)
 
@@ -272,11 +273,11 @@ func TestSchedulerSkipBenchmark(t *testing.T) {
 func TestSchedulerErrorStopsDispatch(t *testing.T) {
 	fx := newSchedFex(t)
 	hooks := deterministicHooks(0)
-	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (map[string]float64, error) {
+	hooks.PerRunAction = func(rc *RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
 		if w.Name() == "lu" {
 			return nil, fmt.Errorf("modeled failure")
 		}
-		return map[string]float64{"cycles": 1}, nil
+		return measure.FromMap(map[string]float64{"cycles": 1}), nil
 	}
 	registerSchedExperiment(t, fx, "sched_err", hooks)
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fex/internal/measure"
 	"fex/internal/runlog"
 	"fex/internal/security"
 	"fex/internal/table"
@@ -39,13 +40,12 @@ func (SecurityRunner) Run(rc *RunContext) error {
 		}
 		res := security.RunTestbed(buildType, artifact.Security)
 		rc.logf("== ripe [%s]: %d successful / %d failed", buildType, res.Successful, res.Failed)
-		values := map[string]float64{
-			"successful": float64(res.Successful),
-			"failed":     float64(res.Failed),
-			"total":      float64(res.Total()),
-		}
+		values := measure.NewMetricVector()
+		values.Set("successful", float64(res.Successful))
+		values.Set("failed", float64(res.Failed))
+		values.Set("total", float64(res.Total()))
 		for code, n := range res.ByCode {
-			values["success_"+code] = float64(n)
+			values.Set("success_"+code, float64(n))
 		}
 		rc.Log.WriteMeasurement(runlog.Measurement{
 			Suite:     securitySuite,
@@ -74,7 +74,7 @@ func ripeCollect(lg *runlog.Log) (*table.Table, error) {
 		return nil, err
 	}
 	for _, m := range lg.Measurements {
-		if err := b.Append(m.BuildType, m.Values["successful"], m.Values["failed"], m.Values["total"]); err != nil {
+		if err := b.Append(m.BuildType, m.Values.Value("successful"), m.Values.Value("failed"), m.Values.Value("total")); err != nil {
 			return nil, err
 		}
 	}

@@ -125,23 +125,23 @@ func (r *ServerBenchRunner) Run(rc *RunContext) error {
 			return fmt.Errorf("%s [%s]: %w", r.App, buildType, err)
 		}
 		for i, res := range results {
+			values := measure.NewMetricVector()
+			values.Set("offered_rate", res.OfferedRate)
+			values.Set("throughput", res.Throughput)
+			values.Set("latency_ms", float64(res.Mean.Microseconds())/1000)
+			values.Set("p50_ms", float64(res.P50.Microseconds())/1000)
+			values.Set("p95_ms", float64(res.P95.Microseconds())/1000)
+			values.Set("p99_ms", float64(res.P99.Microseconds())/1000)
+			values.Set("completed", float64(res.Completed))
+			values.Set("errors", float64(res.Errors))
+			values.Set("dropped", float64(res.Dropped))
 			rc.Log.WriteMeasurement(runlog.Measurement{
 				Suite:     suiteOf(r.App),
 				Benchmark: r.App,
 				BuildType: buildType,
 				Threads:   r.Workers,
 				Rep:       i,
-				Values: map[string]float64{
-					"offered_rate": res.OfferedRate,
-					"throughput":   res.Throughput,
-					"latency_ms":   float64(res.Mean.Microseconds()) / 1000,
-					"p50_ms":       float64(res.P50.Microseconds()) / 1000,
-					"p95_ms":       float64(res.P95.Microseconds()) / 1000,
-					"p99_ms":       float64(res.P99.Microseconds()) / 1000,
-					"completed":    float64(res.Completed),
-					"errors":       float64(res.Errors),
-					"dropped":      float64(res.Dropped),
-				},
+				Values:    values,
 			})
 		}
 		// Fetch the client logs, as run.py does after the experiment.

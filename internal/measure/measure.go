@@ -152,6 +152,11 @@ type Sample struct {
 	// active cost vector's miss penalties (the "mem_cycles" metric of the
 	// perf-stat-mem tool).
 	MemStallCycles float64
+	// MemReads and MemWrites carry the kernel's data-access mix (reads
+	// include strided accesses); the perf-stat-mem tool derives its
+	// write_ratio metric from them.
+	MemReads  float64
+	MemWrites float64
 	// Checksum is the kernel's result digest (for cross-build validation).
 	Checksum uint64
 	// Threads records the thread count of the run.
@@ -164,6 +169,17 @@ func (s Sample) IPC() float64 {
 		return 0
 	}
 	return s.Instructions / s.Cycles
+}
+
+// WriteRatio returns the fraction of data accesses that are writes — the
+// write_ratio metric of the perf-stat-mem tool. A sample with no data
+// accesses has ratio 0.
+func (s Sample) WriteRatio() float64 {
+	total := s.MemReads + s.MemWrites
+	if total == 0 {
+		return 0
+	}
+	return s.MemWrites / total
 }
 
 // Model converts a kernel's counters into modeled hardware counters under
@@ -216,6 +232,8 @@ func Model(c workload.Counters, cv CostVector, threads int) (Sample, error) {
 		BranchMisses:   branchMisses,
 		MaxRSSBytes:    float64(c.AllocBytes) * cv.MemFactor,
 		MemStallCycles: memStall,
+		MemReads:       float64(c.MemReads),
+		MemWrites:      float64(c.MemWrites),
 		Checksum:       c.Checksum,
 		Threads:        threads,
 	}, nil
@@ -246,8 +264,10 @@ func Timed(fn func() (workload.Counters, error)) (workload.Counters, time.Durati
 type Tool interface {
 	// Name identifies the tool ("perf-stat", "perf-stat-mem", "time").
 	Name() string
-	// Collect maps a sample to metric name → value.
-	Collect(s Sample) map[string]float64
+	// Collect writes the sample's metrics into out. Writing into a
+	// caller-provided (typically pooled) vector keeps the per-repetition
+	// hot path free of allocations.
+	Collect(s Sample, out *MetricVector)
 }
 
 // PerfStat is the generic perf-stat tool: cycles, instructions, IPC,
@@ -260,13 +280,11 @@ var _ Tool = PerfStat{}
 func (PerfStat) Name() string { return "perf-stat" }
 
 // Collect implements Tool.
-func (PerfStat) Collect(s Sample) map[string]float64 {
-	return map[string]float64{
-		"cycles":        s.Cycles,
-		"instructions":  s.Instructions,
-		"ipc":           s.IPC(),
-		"branch_misses": s.BranchMisses,
-	}
+func (PerfStat) Collect(s Sample, out *MetricVector) {
+	out.Set("cycles", s.Cycles)
+	out.Set("instructions", s.Instructions)
+	out.Set("ipc", s.IPC())
+	out.Set("branch_misses", s.BranchMisses)
 }
 
 // PerfStatMem is the memory-flavoured perf-stat tool: cache misses by level
@@ -279,17 +297,15 @@ var _ Tool = PerfStatMem{}
 func (PerfStatMem) Name() string { return "perf-stat-mem" }
 
 // Collect implements Tool.
-func (PerfStatMem) Collect(s Sample) map[string]float64 {
-	return map[string]float64{
-		"l1d_misses":  s.L1DMisses,
-		"llc_misses":  s.LLCMisses,
-		"max_rss":     s.MaxRSSBytes,
-		"cache_refs":  s.L1DMisses + s.LLCMisses,
-		"mem_cycles":  s.MemStallCycles,
-		"rss_mbytes":  s.MaxRSSBytes / (1 << 20),
-		"cycles":      s.Cycles,
-		"write_ratio": 0, // populated by callers that track write mixes
-	}
+func (PerfStatMem) Collect(s Sample, out *MetricVector) {
+	out.Set("l1d_misses", s.L1DMisses)
+	out.Set("llc_misses", s.LLCMisses)
+	out.Set("max_rss", s.MaxRSSBytes)
+	out.Set("cache_refs", s.L1DMisses+s.LLCMisses)
+	out.Set("mem_cycles", s.MemStallCycles)
+	out.Set("rss_mbytes", s.MaxRSSBytes/(1<<20))
+	out.Set("cycles", s.Cycles)
+	out.Set("write_ratio", s.WriteRatio())
 }
 
 // TimeTool is the /usr/bin/time equivalent: wall seconds and max RSS.
@@ -301,12 +317,10 @@ var _ Tool = TimeTool{}
 func (TimeTool) Name() string { return "time" }
 
 // Collect implements Tool.
-func (TimeTool) Collect(s Sample) map[string]float64 {
-	return map[string]float64{
-		"wall_seconds": s.WallTime.Seconds(),
-		"max_rss":      s.MaxRSSBytes,
-		"cycles":       s.Cycles,
-	}
+func (TimeTool) Collect(s Sample, out *MetricVector) {
+	out.Set("wall_seconds", s.WallTime.Seconds())
+	out.Set("max_rss", s.MaxRSSBytes)
+	out.Set("cycles", s.Cycles)
 }
 
 // ToolByName returns a tool by its registry name.
@@ -355,6 +369,8 @@ func Aggregate(samples []Sample) (Sample, error) {
 		out.BranchMisses += s.BranchMisses
 		out.MaxRSSBytes += s.MaxRSSBytes
 		out.MemStallCycles += s.MemStallCycles
+		out.MemReads += s.MemReads
+		out.MemWrites += s.MemWrites
 		out.WallTime += s.WallTime
 	}
 	n := float64(len(samples))
@@ -365,6 +381,8 @@ func Aggregate(samples []Sample) (Sample, error) {
 	out.BranchMisses /= n
 	out.MaxRSSBytes /= n
 	out.MemStallCycles /= n
+	out.MemReads /= n
+	out.MemWrites /= n
 	out.WallTime = time.Duration(float64(out.WallTime) / n)
 	return out, nil
 }

@@ -157,9 +157,10 @@ func TestToolsCollectExpectedMetrics(t *testing.T) {
 		{TimeTool{}, []string{"wall_seconds", "max_rss"}},
 	}
 	for _, c := range cases {
-		got := c.tool.Collect(s)
+		got := NewMetricVector()
+		c.tool.Collect(s, got)
 		for _, k := range c.keys {
-			if _, ok := got[k]; !ok {
+			if !got.Has(k) {
 				t.Errorf("%s missing metric %q", c.tool.Name(), k)
 			}
 		}
@@ -243,7 +244,9 @@ func TestMemCyclesDerivedFromCostVector(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := s.L1DMisses*base.L1MissPenalty + s.LLCMisses*base.LLCMissPenalty
-	got := PerfStatMem{}.Collect(s)["mem_cycles"]
+	mv := NewMetricVector()
+	PerfStatMem{}.Collect(s, mv)
+	got := mv.Value("mem_cycles")
 	if got != want {
 		t.Errorf("mem_cycles = %g, want %g", got, want)
 	}
@@ -258,7 +261,9 @@ func TestMemCyclesDerivedFromCostVector(t *testing.T) {
 		t.Fatal(err)
 	}
 	want2 := s2.L1DMisses*25 + s2.LLCMisses*400
-	got2 := PerfStatMem{}.Collect(s2)["mem_cycles"]
+	mv2 := NewMetricVector()
+	PerfStatMem{}.Collect(s2, mv2)
+	got2 := mv2.Value("mem_cycles")
 	if got2 != want2 {
 		t.Errorf("mem_cycles under modified vector = %g, want %g", got2, want2)
 	}

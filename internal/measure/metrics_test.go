@@ -1,0 +1,140 @@
+package measure
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricVectorSortedInsert(t *testing.T) {
+	v := NewMetricVector()
+	for _, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		v.Set(name, float64(len(name)))
+	}
+	want := []string{"alpha", "beta", "mid", "zeta"}
+	if got := v.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("names %v, want %v", got, want)
+	}
+	for i := 0; i < v.Len(); i++ {
+		name, val := v.At(i)
+		if val != float64(len(name)) {
+			t.Errorf("At(%d) = %s=%g, value misaligned after sorted insert", i, name, val)
+		}
+	}
+}
+
+func TestMetricVectorOverwrite(t *testing.T) {
+	v := NewMetricVector()
+	v.Set("cycles", 1)
+	v.Set("cycles", 2)
+	if v.Len() != 1 {
+		t.Fatalf("len %d after overwrite, want 1", v.Len())
+	}
+	if got := v.Value("cycles"); got != 2 {
+		t.Errorf("cycles = %g, want 2", got)
+	}
+}
+
+func TestMetricVectorGetMissing(t *testing.T) {
+	v := NewMetricVector()
+	v.Set("cycles", 1)
+	if _, ok := v.Get("wall_ns"); ok {
+		t.Error("Get reported a missing metric present")
+	}
+	if v.Value("wall_ns") != 0 {
+		t.Error("Value of missing metric not 0")
+	}
+	if v.Has("wall_ns") {
+		t.Error("Has reported a missing metric")
+	}
+}
+
+func TestMetricVectorNilSafety(t *testing.T) {
+	var v *MetricVector
+	if v.Len() != 0 || v.Has("x") || v.Value("x") != 0 || v.Names() != nil || v.Clone() != nil {
+		t.Error("nil vector not treated as empty")
+	}
+	v.Release() // must not panic
+}
+
+func TestFromMapMatchesSets(t *testing.T) {
+	prop := func(vals map[string]float64) bool {
+		a := FromMap(vals)
+		b := NewMetricVector()
+		for k, v := range vals {
+			b.Set(k, v)
+		}
+		if a.Len() != len(vals) || !sort.StringsAreSorted(a.Names()) {
+			return false
+		}
+		for k, v := range vals {
+			if got, ok := a.Get(k); !ok || (got != v && !(got != got && v != v)) {
+				return false
+			}
+		}
+		// NaN values break Equal by design; skip the cross-check for them.
+		for _, v := range vals {
+			if v != v {
+				return true
+			}
+		}
+		return a.Equal(b) && b.Equal(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricVectorCloneIndependent(t *testing.T) {
+	v := NewMetricVector()
+	v.Set("a", 1)
+	c := v.Clone()
+	c.Set("a", 99)
+	c.Set("b", 2)
+	if v.Value("a") != 1 || v.Len() != 1 {
+		t.Error("mutating a clone changed the original")
+	}
+}
+
+func TestAcquireReleaseReuse(t *testing.T) {
+	v := AcquireMetricVector()
+	v.Set("cycles", 1)
+	v.Release()
+	w := AcquireMetricVector()
+	defer w.Release()
+	if w.Len() != 0 {
+		t.Errorf("pooled vector not reset: %v", w.Names())
+	}
+}
+
+func TestMetricVectorEqual(t *testing.T) {
+	a := FromMap(map[string]float64{"x": 1, "y": 2})
+	b := FromMap(map[string]float64{"y": 2, "x": 1})
+	if !a.Equal(b) {
+		t.Error("identical vectors compare unequal")
+	}
+	b.Set("y", 3)
+	if a.Equal(b) {
+		t.Error("different values compare equal")
+	}
+	c := FromMap(map[string]float64{"x": 1})
+	if a.Equal(c) {
+		t.Error("different lengths compare equal")
+	}
+}
+
+func TestWriteRatioFromModel(t *testing.T) {
+	s := Sample{MemReads: 300, MemWrites: 100}
+	if got := s.WriteRatio(); got != 0.25 {
+		t.Errorf("write ratio %g, want 0.25", got)
+	}
+	if (Sample{}).WriteRatio() != 0 {
+		t.Error("zero-access sample write ratio not 0")
+	}
+	mv := NewMetricVector()
+	PerfStatMem{}.Collect(s, mv)
+	if got := mv.Value("write_ratio"); got != 0.25 {
+		t.Errorf("perf-stat-mem write_ratio %g, want 0.25 (the dead always-0 metric regression)", got)
+	}
+}

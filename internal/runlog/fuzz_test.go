@@ -63,8 +63,8 @@ func FuzzParseRoundTrip(f *testing.F) {
 		// fixed-point check below still covers them.
 		nan := false
 		for _, m := range lg.Measurements {
-			for _, v := range m.Values {
-				if v != v {
+			for i := 0; i < m.Values.Len(); i++ {
+				if _, v := m.Values.At(i); v != v {
 					nan = true
 				}
 			}

@@ -19,11 +19,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"fex/internal/measure"
 )
 
 // Record kinds.
@@ -61,8 +62,11 @@ type Measurement struct {
 	Threads int
 	// Rep is the repetition index (0-based).
 	Rep int
-	// Values carries the measured metrics (cycles, instructions, time_ns, …).
-	Values map[string]float64
+	// Values carries the measured metrics (cycles, instructions, wall_ns,
+	// …) as a typed vector, sorted by metric name — the order records
+	// render in. Writing does not retain the vector, so hot-path callers
+	// release pooled vectors right after WriteMeasurement.
+	Values *measure.MetricVector
 }
 
 // Note is free-form commentary (dry runs, warnings).
@@ -76,74 +80,127 @@ type Note struct {
 // Record *ordering* under concurrency is whatever the scheduler produces;
 // callers that need deterministic logs buffer records per cell in a Shard
 // and merge the shards in canonical order via Append.
+//
+// Records are rendered into a scratch buffer reused across writes
+// (strconv.Append* onto []byte, no fmt, no string joining), so the
+// measurement hot loop — one WriteMeasurement per repetition — allocates
+// nothing once the buffer has grown to record size.
 type Writer struct {
 	mu  sync.Mutex
 	w   *bufio.Writer
+	buf []byte // scratch record buffer, reused under mu
 	err error
 }
 
 // NewWriter returns a log writer on w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w)}
+	return &Writer{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)}
 }
 
-func (lw *Writer) writeLine(parts ...string) {
-	lw.mu.Lock()
-	defer lw.mu.Unlock()
+// flushLine writes the scratch buffer (one rendered record, built by the
+// caller under lw.mu) terminated with a newline.
+func (lw *Writer) flushLine(b []byte) {
+	b = append(b, '\n')
+	lw.buf = b[:0]
 	if lw.err != nil {
 		return
 	}
-	_, lw.err = lw.w.WriteString(strings.Join(parts, "|") + "\n")
+	_, lw.err = lw.w.Write(b)
 }
 
 // WriteHeader writes the experiment header record.
 func (lw *Writer) WriteHeader(h Header) {
-	threads := make([]string, len(h.Threads))
-	for i, t := range h.Threads {
-		threads[i] = strconv.Itoa(t)
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	b := lw.buf[:0]
+	b = append(b, kindHeader...)
+	b = append(b, "|experiment="...)
+	b = append(b, h.Experiment...)
+	b = append(b, "|types="...)
+	for i, t := range h.BuildTypes {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, t...)
 	}
-	lw.writeLine(kindHeader,
-		"experiment="+h.Experiment,
-		"types="+strings.Join(h.BuildTypes, ","),
-		"benchmarks="+strings.Join(h.Benchmarks, ","),
-		"threads="+strings.Join(threads, ","),
-		"reps="+strconv.Itoa(h.Reps),
-		"input="+h.Input,
-		"started="+h.StartedAt.UTC().Format(time.RFC3339),
-	)
+	b = append(b, "|benchmarks="...)
+	for i, bench := range h.Benchmarks {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, bench...)
+	}
+	b = append(b, "|threads="...)
+	for i, t := range h.Threads {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(t), 10)
+	}
+	b = append(b, "|reps="...)
+	b = strconv.AppendInt(b, int64(h.Reps), 10)
+	b = append(b, "|input="...)
+	b = append(b, h.Input...)
+	b = append(b, "|started="...)
+	b = h.StartedAt.UTC().AppendFormat(b, time.RFC3339)
+	lw.flushLine(b)
 }
 
 // WriteEnv records the resolved environment (for reproducibility).
 func (lw *Writer) WriteEnv(vars []string) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
 	for _, v := range vars {
-		lw.writeLine(kindEnv, v)
+		b := lw.buf[:0]
+		b = append(b, kindEnv...)
+		b = append(b, '|')
+		b = append(b, v...)
+		lw.flushLine(b)
 	}
 }
 
-// WriteMeasurement appends one measurement record.
+// WriteMeasurement appends one measurement record. Metrics render in
+// sorted name order — the vector's iteration order.
 func (lw *Writer) WriteMeasurement(m Measurement) {
-	keys := make([]string, 0, len(m.Values))
-	for k := range m.Values {
-		keys = append(keys, k)
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	b := lw.buf[:0]
+	b = append(b, kindMeasure...)
+	b = append(b, "|suite="...)
+	b = append(b, m.Suite...)
+	b = append(b, "|bench="...)
+	b = append(b, m.Benchmark...)
+	b = append(b, "|type="...)
+	b = append(b, m.BuildType...)
+	b = append(b, "|threads="...)
+	b = strconv.AppendInt(b, int64(m.Threads), 10)
+	b = append(b, "|rep="...)
+	b = strconv.AppendInt(b, int64(m.Rep), 10)
+	for i := 0; i < m.Values.Len(); i++ {
+		name, v := m.Values.At(i)
+		b = append(b, '|')
+		b = append(b, name...)
+		b = append(b, '=')
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
 	}
-	sort.Strings(keys)
-	parts := make([]string, 0, 5+len(keys))
-	parts = append(parts, kindMeasure,
-		"suite="+m.Suite,
-		"bench="+m.Benchmark,
-		"type="+m.BuildType,
-		"threads="+strconv.Itoa(m.Threads),
-		"rep="+strconv.Itoa(m.Rep),
-	)
-	for _, k := range keys {
-		parts = append(parts, k+"="+strconv.FormatFloat(m.Values[k], 'g', -1, 64))
-	}
-	lw.writeLine(parts...)
+	lw.flushLine(b)
 }
 
 // WriteNote appends a free-form note.
 func (lw *Writer) WriteNote(text string) {
-	lw.writeLine(kindNote, strings.ReplaceAll(text, "\n", " "))
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	b := lw.buf[:0]
+	b = append(b, kindNote...)
+	b = append(b, '|')
+	start := len(b)
+	b = append(b, text...)
+	for i := start; i < len(b); i++ {
+		if b[i] == '\n' {
+			b[i] = ' '
+		}
+	}
+	lw.flushLine(b)
 }
 
 // Flush flushes buffered records and returns the first error encountered.
@@ -339,7 +396,7 @@ func parseHeader(fields []string) (Header, error) {
 }
 
 func parseMeasurement(fields []string) (Measurement, error) {
-	m := Measurement{Values: make(map[string]float64)}
+	m := Measurement{Values: measure.NewMetricVector()}
 	for _, f := range fields {
 		k, v, err := kv(f)
 		if err != nil {
@@ -369,7 +426,7 @@ func parseMeasurement(fields []string) (Measurement, error) {
 			if err != nil {
 				return m, fmt.Errorf("%w: bad metric %s=%q", ErrBadRecord, k, v)
 			}
-			m.Values[k] = x
+			m.Values.Set(k, x)
 		}
 	}
 	if m.Benchmark == "" || m.BuildType == "" {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"fex/internal/measure"
 )
 
 func sampleHeader() Header {
@@ -28,7 +30,7 @@ func TestRoundtrip(t *testing.T) {
 	w.WriteMeasurement(Measurement{
 		Suite: "splash", Benchmark: "fft", BuildType: "gcc_native",
 		Threads: 2, Rep: 1,
-		Values: map[string]float64{"cycles": 12345.5, "ipc": 1.25},
+		Values: measure.FromMap(map[string]float64{"cycles": 12345.5, "ipc": 1.25}),
 	})
 	w.WriteNote("dry run fft")
 	if err := w.Flush(); err != nil {
@@ -56,8 +58,8 @@ func TestRoundtrip(t *testing.T) {
 	if m.Benchmark != "fft" || m.Threads != 2 || m.Rep != 1 {
 		t.Errorf("measurement %+v", m)
 	}
-	if m.Values["cycles"] != 12345.5 || m.Values["ipc"] != 1.25 {
-		t.Errorf("values %v", m.Values)
+	if m.Values.Value("cycles") != 12345.5 || m.Values.Value("ipc") != 1.25 {
+		t.Errorf("values %v", m.Values.Names())
 	}
 	if len(lg.Notes) != 1 || lg.Notes[0].Text != "dry run fft" {
 		t.Errorf("notes %v", lg.Notes)
@@ -155,7 +157,7 @@ func TestNoteNewlinesFlattened(t *testing.T) {
 func TestMeasurementValueOrderingStable(t *testing.T) {
 	m := Measurement{
 		Suite: "s", Benchmark: "b", BuildType: "t", Threads: 1,
-		Values: map[string]float64{"z": 1, "a": 2, "m": 3},
+		Values: measure.FromMap(map[string]float64{"z": 1, "a": 2, "m": 3}),
 	}
 	render := func() string {
 		var sb strings.Builder
@@ -197,7 +199,7 @@ func TestShardMerge(t *testing.T) {
 		return Measurement{
 			Suite: "splash", Benchmark: bench, BuildType: "gcc_native",
 			Threads: 1, Rep: rep,
-			Values: map[string]float64{"cycles": float64(rep * 100)},
+			Values: measure.FromMap(map[string]float64{"cycles": float64(rep * 100)}),
 		}
 	}
 
@@ -258,7 +260,7 @@ func TestWriterConcurrentUse(t *testing.T) {
 				lw.WriteMeasurement(Measurement{
 					Suite: "splash", Benchmark: "fft", BuildType: "gcc_native",
 					Threads: g + 1, Rep: i,
-					Values: map[string]float64{"cycles": float64(i)},
+					Values: measure.FromMap(map[string]float64{"cycles": float64(i)}),
 				})
 				lw.WriteNote("tick")
 			}
@@ -283,7 +285,7 @@ func TestShardTextRoundTrip(t *testing.T) {
 	s.Writer().WriteNote("built splash/fft [gcc_native]")
 	s.Writer().WriteMeasurement(Measurement{
 		Suite: "splash", Benchmark: "fft", BuildType: "gcc_native",
-		Threads: 2, Rep: 1, Values: map[string]float64{"cycles": 42},
+		Threads: 2, Rep: 1, Values: measure.FromMap(map[string]float64{"cycles": 42}),
 	})
 	text, err := s.Text()
 	if err != nil {
@@ -321,7 +323,7 @@ func TestValidateText(t *testing.T) {
 	shard := NewShard()
 	shard.Writer().WriteMeasurement(Measurement{
 		Suite: "splash", Benchmark: "fft", BuildType: "gcc_native",
-		Threads: 1, Rep: 0, Values: map[string]float64{"cycles": 42},
+		Threads: 1, Rep: 0, Values: measure.FromMap(map[string]float64{"cycles": 42}),
 	})
 	shard.Writer().WriteNote("built splash/fft [gcc_native]")
 	text, err := shard.Text()

@@ -1,0 +1,71 @@
+//go:build !race
+
+// Allocation-regression tests live behind !race: the race runtime adds
+// bookkeeping allocations that would make a zero pin flaky, and CI runs
+// the suite both ways.
+package table
+
+import (
+	"strconv"
+	"testing"
+)
+
+// allocTable builds a representative collect-stage table: string key
+// columns plus a metric-column block, several rows.
+func allocTable(t testing.TB) *Table {
+	t.Helper()
+	names := []string{"suite", "bench", "type", "threads", "cycles", "instructions", "ipc", "wall_ns"}
+	kinds := []Kind{String, String, String, Float, Float, Float, Float, Float}
+	b, err := NewBuilder(names, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := b.Append("splash", "bench"+strconv.Itoa(i), "gcc_native",
+			float64(1+i%4), 1234.5*float64(i+1), 987.0*float64(i+1), 1.25, 1e6+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestCSVRenderZeroAllocs pins the CSV hot path at zero steady-state
+// allocations: rendering into a buffer of sufficient capacity must not
+// touch the heap.
+func TestCSVRenderZeroAllocs(t *testing.T) {
+	tbl := allocTable(t)
+	buf := tbl.AppendCSV(nil) // size the buffer once
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = tbl.AppendCSV(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendCSV allocates %.1f times per render, want 0", allocs)
+	}
+}
+
+// TestTextRenderZeroAllocs pins the aligned-text renderer the same way.
+func TestTextRenderZeroAllocs(t *testing.T) {
+	tbl := allocTable(t)
+	buf := tbl.AppendText(nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = tbl.AppendText(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendText allocates %.1f times per render, want 0", allocs)
+	}
+}
+
+// TestCSVStringMatchesAppend guards the convenience wrappers.
+func TestCSVStringMatchesAppend(t *testing.T) {
+	tbl := allocTable(t)
+	if tbl.CSVString() != string(tbl.AppendCSV(nil)) {
+		t.Error("CSVString diverges from AppendCSV")
+	}
+	if tbl.String() != string(tbl.AppendText(nil)) {
+		t.Error("String diverges from AppendText")
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Kind is the type of a column.
@@ -80,6 +82,24 @@ func (c *Column) cell(i int) string {
 		return c.Strings[i]
 	}
 	return strconv.FormatFloat(c.Floats[i], 'g', -1, 64)
+}
+
+// appendCell renders the i-th cell onto b — the allocation-free form of
+// cell, used by the CSV and text renderers.
+func (c *Column) appendCell(b []byte, i int) []byte {
+	if c.Kind == String {
+		return append(b, c.Strings[i]...)
+	}
+	return strconv.AppendFloat(b, c.Floats[i], 'g', -1, 64)
+}
+
+// cellWidth returns the rendered width of the i-th cell without
+// materializing a string for string cells.
+func (c *Column) cellWidth(i int, scratch []byte) int {
+	if c.Kind == String {
+		return len(c.Strings[i])
+	}
+	return len(strconv.AppendFloat(scratch[:0], c.Floats[i], 'g', -1, 64))
 }
 
 func (c *Column) take(idx []int) Column {
@@ -688,30 +708,83 @@ func (t *Table) AppendTable(other *Table) (*Table, error) {
 	return New(cols...)
 }
 
+// csvFieldNeedsQuotes mirrors encoding/csv's quoting rule for the default
+// comma separator: a field is quoted when it contains the separator, a
+// quote, or a line break, or when it starts with a space (including the
+// `\.` special case). Keeping the rule identical keeps AppendCSV output
+// byte-identical to what the encoding/csv-based writer produced.
+func csvFieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
+	}
+	if field == `\.` {
+		return true
+	}
+	if strings.ContainsAny(field, ",\"\r\n") {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r)
+}
+
+// appendCSVField renders one CSV field onto b, quoting per
+// csvFieldNeedsQuotes with inner quotes doubled.
+func appendCSVField(b []byte, field string) []byte {
+	if !csvFieldNeedsQuotes(field) {
+		return append(b, field...)
+	}
+	b = append(b, '"')
+	for i := 0; i < len(field); i++ {
+		if field[i] == '"' {
+			b = append(b, '"', '"')
+			continue
+		}
+		b = append(b, field[i])
+	}
+	return append(b, '"')
+}
+
+// AppendCSV renders the table in CSV form (header row first) onto dst and
+// returns the extended buffer. Float cells render via strconv.AppendFloat
+// directly into the buffer; with a dst of sufficient capacity the render
+// allocates nothing — the form the allocation-regression tests pin.
+func (t *Table) AppendCSV(dst []byte) []byte {
+	for j := range t.cols {
+		if j > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendCSVField(dst, t.cols[j].Name)
+	}
+	dst = append(dst, '\n')
+	for i := 0; i < t.NumRows(); i++ {
+		for j := range t.cols {
+			if j > 0 {
+				dst = append(dst, ',')
+			}
+			c := &t.cols[j]
+			if c.Kind == String {
+				dst = appendCSVField(dst, c.Strings[i])
+			} else {
+				// Float renders never need quoting.
+				dst = strconv.AppendFloat(dst, c.Floats[i], 'g', -1, 64)
+			}
+		}
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
 // WriteCSV writes the table in CSV form with a header row.
 func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Names()); err != nil {
-		return fmt.Errorf("write csv header: %w", err)
+	if _, err := w.Write(t.AppendCSV(nil)); err != nil {
+		return fmt.Errorf("write csv: %w", err)
 	}
-	for i := 0; i < t.NumRows(); i++ {
-		rec := make([]string, len(t.cols))
-		for j := range t.cols {
-			rec[j] = t.cols[j].cell(i)
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("write csv row %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return nil
 }
 
 // CSVString renders the table as a CSV string.
 func (t *Table) CSVString() string {
-	var sb strings.Builder
-	_ = t.WriteCSV(&sb)
-	return sb.String()
+	return string(t.AppendCSV(nil))
 }
 
 // ReadCSV parses a CSV document with a header row. Column kinds are given
@@ -754,33 +827,59 @@ func ReadCSV(r io.Reader, kinds map[string]Kind) (*Table, error) {
 	return New(cols...)
 }
 
-// String renders the table as an aligned text grid (for logs and examples).
-func (t *Table) String() string {
-	widths := make([]int, len(t.cols))
-	for i, c := range t.cols {
+// appendPadded appends s onto b left-aligned in a field of the given
+// width (the %-*s of the old fmt-based renderer).
+func appendPadded(b []byte, s []byte, width int) []byte {
+	b = append(b, s...)
+	for n := width - len(s); n > 0; n-- {
+		b = append(b, ' ')
+	}
+	return b
+}
+
+// AppendText renders the table as an aligned text grid onto dst and
+// returns the extended buffer — the allocation-free form of String. Cell
+// widths are computed with a small scratch buffer; nothing is formatted
+// through fmt.
+func (t *Table) AppendText(dst []byte) []byte {
+	var scratch [32]byte  // widest float64 'g' render fits comfortably
+	var widthsArr [24]int // stack space for the typical column count
+	widths := widthsArr[:]
+	if len(t.cols) > len(widthsArr) {
+		widths = make([]int, len(t.cols))
+	} else {
+		widths = widths[:len(t.cols)]
+	}
+	for i := range t.cols {
+		c := &t.cols[i]
 		widths[i] = len(c.Name)
 		for r := 0; r < c.Len(); r++ {
-			if l := len(c.cell(r)); l > widths[i] {
+			if l := c.cellWidth(r, scratch[:]); l > widths[i] {
 				widths[i] = l
 			}
 		}
 	}
-	var sb strings.Builder
-	for i, c := range t.cols {
+	var cellBuf [48]byte
+	for i := range t.cols {
 		if i > 0 {
-			sb.WriteString("  ")
+			dst = append(dst, ' ', ' ')
 		}
-		fmt.Fprintf(&sb, "%-*s", widths[i], c.Name)
+		dst = appendPadded(dst, append(cellBuf[:0], t.cols[i].Name...), widths[i])
 	}
-	sb.WriteByte('\n')
+	dst = append(dst, '\n')
 	for r := 0; r < t.NumRows(); r++ {
-		for i, c := range t.cols {
+		for i := range t.cols {
 			if i > 0 {
-				sb.WriteString("  ")
+				dst = append(dst, ' ', ' ')
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c.cell(r))
+			dst = appendPadded(dst, t.cols[i].appendCell(cellBuf[:0], r), widths[i])
 		}
-		sb.WriteByte('\n')
+		dst = append(dst, '\n')
 	}
-	return sb.String()
+	return dst
+}
+
+// String renders the table as an aligned text grid (for logs and examples).
+func (t *Table) String() string {
+	return string(t.AppendText(nil))
 }

@@ -1,0 +1,197 @@
+package toolchain
+
+import (
+	"strings"
+	"testing"
+
+	"fex/internal/workload"
+	"fex/internal/workload/splash"
+)
+
+// countingWorkload wraps a kernel and counts physical executions, making
+// the memo's "kernel runs once per configuration" contract observable.
+type countingWorkload struct {
+	workload.Workload
+	runs *int
+}
+
+func (c countingWorkload) Run(in workload.Input, threads int) (workload.Counters, error) {
+	*c.runs++
+	return c.Workload.Run(in, threads)
+}
+
+func compileCounting(t *testing.T, runs *int) *Artifact {
+	t.Helper()
+	a, err := GCC().Compile(SourceUnit{
+		Benchmark: countingWorkload{Workload: splash.FFT{}, runs: runs},
+		CFLAGS:    []string{"-O2"},
+		BuildType: "gcc_native",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestExecuteMemoizesRepetitions(t *testing.T) {
+	runs := 0
+	a := compileCounting(t, &runs)
+	in := splash.FFT{}.DefaultInput(workload.SizeTest)
+
+	first, err := a.Execute(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 7; rep++ {
+		s, err := a.Execute(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Modeled measurements are byte-for-byte those of a real
+		// execution; only live wall time is stamped per repetition.
+		s.WallTime = first.WallTime
+		if s != first {
+			t.Fatalf("memoized rep %d diverged: %+v vs %+v", rep, s, first)
+		}
+	}
+	if runs != 1 {
+		t.Errorf("kernel executed %d times for 8 repetitions, want 1", runs)
+	}
+	if a.MemoLen() != 1 {
+		t.Errorf("memo holds %d entries, want 1", a.MemoLen())
+	}
+}
+
+func TestExecuteMemoKeyedByInputAndThreads(t *testing.T) {
+	runs := 0
+	a := compileCounting(t, &runs)
+	inTest := splash.FFT{}.DefaultInput(workload.SizeTest)
+	inSmall := splash.FFT{}.DefaultInput(workload.SizeSmall)
+
+	configs := []struct {
+		in      workload.Input
+		threads int
+	}{{inTest, 1}, {inTest, 2}, {inSmall, 1}}
+	for _, c := range configs {
+		if _, err := a.Execute(c.in, c.threads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != len(configs) {
+		t.Fatalf("cold sweep executed %d kernels, want %d", runs, len(configs))
+	}
+	// Thread-sweep revisits: every configuration again, zero new runs.
+	for _, c := range configs {
+		if _, err := a.Execute(c.in, c.threads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != len(configs) {
+		t.Errorf("revisits executed %d kernels, want %d", runs, len(configs))
+	}
+	if a.MemoLen() != len(configs) {
+		t.Errorf("memo holds %d entries, want %d", a.MemoLen(), len(configs))
+	}
+}
+
+func TestExecuteUncachedBypassesMemo(t *testing.T) {
+	runs := 0
+	a := compileCounting(t, &runs)
+	in := splash.FFT{}.DefaultInput(workload.SizeTest)
+
+	for rep := 0; rep < 3; rep++ {
+		if _, err := a.ExecuteUncached(in, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 3 {
+		t.Errorf("uncached executed %d kernels, want 3", runs)
+	}
+	if a.MemoLen() != 0 {
+		t.Errorf("uncached execution populated the memo: %d entries", a.MemoLen())
+	}
+	// And the memo path after an uncached warm-up still measures cold once.
+	if _, err := a.Execute(in, 1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 4 {
+		t.Errorf("memoized run after uncached executed %d kernels total, want 4", runs)
+	}
+}
+
+func TestExecuteMemoMatchesUncached(t *testing.T) {
+	a := compileFFT(t, GCC(), []string{"-O2"}, nil)
+	in := splash.FFT{}.DefaultInput(workload.SizeTest)
+	if _, err := a.Execute(in, 2); err != nil {
+		t.Fatal(err) // warm the memo
+	}
+	hit, err := a.Execute(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := a.ExecuteUncached(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit.WallTime, cold.WallTime = 0, 0
+	if hit != cold {
+		t.Errorf("memoized sample diverges from uncached:\n%+v\nvs\n%+v", hit, cold)
+	}
+}
+
+// TestMemoGuardsCostVector pins the third key component: mutating the
+// artifact's cost vector must miss the memo, never replay counters under
+// a stale identity (the counters themselves are cost-independent, but the
+// entry's key is not).
+func TestMemoGuardsCostVector(t *testing.T) {
+	runs := 0
+	a := compileCounting(t, &runs)
+	in := splash.FFT{}.DefaultInput(workload.SizeTest)
+	if _, err := a.Execute(in, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.Cost.MemRead *= 2
+	if _, err := a.Execute(in, 1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("mutated cost vector hit the old memo entry (runs=%d, want 2)", runs)
+	}
+	if a.MemoLen() != 2 {
+		t.Errorf("memo holds %d entries, want 2 distinct keys", a.MemoLen())
+	}
+}
+
+func TestMemoKeysCanonical(t *testing.T) {
+	a := compileFFT(t, GCC(), []string{"-O2"}, nil)
+	in := splash.FFT{}.DefaultInput(workload.SizeTest)
+	if _, err := a.Execute(in, 4); err != nil {
+		t.Fatal(err)
+	}
+	keys := a.MemoKeys()
+	if len(keys) != 1 {
+		t.Fatalf("memo keys %v, want 1", keys)
+	}
+	for _, want := range []string{in.Canonical(), "threads=4", a.Cost.Canonical()} {
+		if !strings.Contains(keys[0], want) {
+			t.Errorf("memo key %q missing component %q", keys[0], want)
+		}
+	}
+}
+
+func TestExecuteErrorNotMemoized(t *testing.T) {
+	runs := 0
+	a := compileCounting(t, &runs)
+	bad := workload.Input{N: 3} // FFT rejects non-power-of-two sizes
+	for i := 0; i < 2; i++ {
+		if _, err := a.Execute(bad, 1); err == nil {
+			t.Fatal("expected error for bad input")
+		}
+	}
+	if runs != 2 {
+		t.Errorf("failed executions ran %d times, want 2 (errors must not cache)", runs)
+	}
+	if a.MemoLen() != 0 {
+		t.Errorf("failed execution left %d memo entries", a.MemoLen())
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInputCanonicalDeterministic(t *testing.T) {
+	in := Input{N: 1 << 10, Seed: 7, Extra: map[string]int{"iters": 3, "k": 8, "grid": 4}}
+	first := in.Canonical()
+	for i := 0; i < 20; i++ {
+		if got := in.Canonical(); got != first {
+			t.Fatalf("canonical rendering varies: %q vs %q", got, first)
+		}
+	}
+	// Extra knobs render in sorted key order regardless of map iteration.
+	want := "n=1024|seed=7|grid=4|iters=3|k=8"
+	if first != want {
+		t.Errorf("canonical = %q, want %q", first, want)
+	}
+}
+
+func TestInputCanonicalNoExtra(t *testing.T) {
+	in := Input{N: 256, Seed: 1}
+	if got := in.Canonical(); got != "n=256|seed=1" {
+		t.Errorf("canonical = %q", got)
+	}
+	withEmpty := Input{N: 256, Seed: 1, Extra: map[string]int{}}
+	if withEmpty.Canonical() != in.Canonical() {
+		t.Error("empty Extra map changes the canonical form")
+	}
+}
+
+// TestInputEqualMatchesCanonical pins the equivalence the execution memo
+// relies on: structural equality (the allocation-free lookup comparison)
+// coincides with canonical-form equality (the documented key).
+func TestInputEqualMatchesCanonical(t *testing.T) {
+	mk := func(n int, seed uint64, k, v int, withExtra bool) Input {
+		in := Input{N: n, Seed: seed}
+		if withExtra {
+			in.Extra = map[string]int{string(rune('a' + k%4)): v}
+		}
+		return in
+	}
+	prop := func(n1, n2 uint8, s1, s2 uint8, k1, k2 uint8, v1, v2 uint8, e1, e2 bool) bool {
+		a := mk(int(n1), uint64(s1), int(k1), int(v1), e1)
+		b := mk(int(n2), uint64(s2), int(k2), int(v2), e2)
+		return a.Equal(b) == (a.Canonical() == b.Canonical()) &&
+			a.Equal(a) && b.Equal(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInputCanonicalEscapesSeparators pins the no-aliasing property for
+// hostile Extra keys: separator bytes in a key must not make two
+// structurally different inputs render identically.
+func TestInputCanonicalEscapesSeparators(t *testing.T) {
+	a := Input{Extra: map[string]int{"a": 1, "b": 2}}
+	b := Input{Extra: map[string]int{"a=1|b": 2}}
+	if a.Canonical() == b.Canonical() {
+		t.Errorf("distinct inputs alias: %q", a.Canonical())
+	}
+	if a.Equal(b) {
+		t.Error("distinct inputs compare equal")
+	}
+	c := Input{Extra: map[string]int{`k\|x`: 1}}
+	d := Input{Extra: map[string]int{`k\p x`: 1}}
+	if c.Canonical() == d.Canonical() && !c.Equal(d) {
+		t.Errorf("escape-character keys alias: %q", c.Canonical())
+	}
+}
+
+func TestInputEqualExtraMismatch(t *testing.T) {
+	a := Input{N: 1, Seed: 1, Extra: map[string]int{"x": 1, "y": 2}}
+	b := Input{N: 1, Seed: 1, Extra: map[string]int{"x": 1, "z": 2}}
+	if a.Equal(b) {
+		t.Error("inputs with different Extra keys compare equal")
+	}
+	c := Input{N: 1, Seed: 1, Extra: map[string]int{"x": 1, "y": 3}}
+	if a.Equal(c) {
+		t.Error("inputs with different Extra values compare equal")
+	}
+}

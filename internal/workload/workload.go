@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -79,6 +80,49 @@ func (in Input) Get(key string, def int) int {
 		return v
 	}
 	return def
+}
+
+// canonicalKeyEscaper makes Extra keys unambiguous inside the canonical
+// rendering: the field and key/value separators (and the escape
+// character itself) cannot collide with literal key bytes.
+var canonicalKeyEscaper = strings.NewReplacer(`\`, `\\`, "|", `\p`, "=", `\e`)
+
+// Canonical renders the input as a canonical string: N, Seed, and the
+// Extra knobs in sorted key order (keys escaped so separator bytes in a
+// key cannot alias two different inputs). Two inputs are equal (drive
+// identical kernel executions) exactly when their canonical strings are
+// equal, so the string can key caches of kernel results — the execution
+// memo in internal/toolchain is keyed by it.
+func (in Input) Canonical() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d|seed=%d", in.N, in.Seed)
+	if len(in.Extra) > 0 {
+		keys := make([]string, 0, len(in.Extra))
+		for k := range in.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "|%s=%d", canonicalKeyEscaper.Replace(k), in.Extra[k])
+		}
+	}
+	return sb.String()
+}
+
+// Equal reports whether two inputs have the same canonical form. It
+// compares structurally without rendering the canonical strings, so
+// cache lookups on the execution hot path allocate nothing.
+func (in Input) Equal(other Input) bool {
+	if in.N != other.N || in.Seed != other.Seed || len(in.Extra) != len(other.Extra) {
+		return false
+	}
+	for k, v := range in.Extra {
+		ov, ok := other.Extra[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Counters is the execution profile of one kernel run. The modeled PMU in

@@ -11,7 +11,7 @@ SHELL := /bin/bash
 # engine's -r 32 speedup.
 ABLATIONS := BenchmarkAblation_(RebuildVsNoBuild|RepetitionEstimate|ParallelScaling|MemoizedReps)|BenchmarkModeledRepetition
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race bench bench-smoke gate gate-baseline
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,29 @@ bench:
 # shape assertions without paying for statistically meaningful timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The quickstart configuration gated in CI: modeled time makes the
+# metrics machine-independent, so the committed baseline run set compares
+# byte-for-byte-equal on any host.
+GATE_ARGS := run -n phoenix -t gcc_native gcc_asan -b histogram word_count \
+	-i test -r 2 --modeled-time --state .gate.state
+
+# gate re-runs the quickstart configuration and fails on any significant
+# regression against the committed baseline (fex self-hosting in CI).
+# The state file is removed up front too: a stale store left by a failed
+# prior run would mix old-fingerprint cells into the fresh one and turn
+# the verdict into a confusing ambiguous-cell error.
+gate:
+	@rm -f .gate.state
+	$(GO) run ./cmd/fex $(GATE_ARGS)
+	$(GO) run ./cmd/fex gate -baseline testdata/quickstart_baseline --state .gate.state
+	@rm -f .gate.state
+
+# gate-baseline regenerates the committed baseline run set from a fresh
+# quickstart run. Commit the result after an intentional metrics change.
+gate-baseline:
+	@rm -f .gate.state
+	rm -rf testdata/quickstart_baseline
+	$(GO) run ./cmd/fex $(GATE_ARGS)
+	$(GO) run ./cmd/fex export -o testdata/quickstart_baseline --state .gate.state
+	@rm -f .gate.state

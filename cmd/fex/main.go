@@ -9,6 +9,9 @@
 //	run      -n <experiment> -t <types...> build, run, and collect an experiment
 //	collect  -n <experiment>               re-run the collect stage from the stored log
 //	plot     -n <experiment> -t <kind>     render a plot from collected results
+//	diff     <baseline> <candidate>        cross-run differential analysis of two stored run sets
+//	gate     -baseline <dir> [candidate]   CI gate: exit nonzero on a significant regression
+//	export   -o <dir>                      write the result store as a committable run-set directory
 //	clean                                  evict the persistent result store
 //	list                                   print the supported-experiments inventory (Table I)
 //
@@ -28,6 +31,15 @@
 // serving repeated (input, threads) configurations from the per-artifact
 // execution memo, -cpuprofile/-memprofile write pprof profiles of the
 // invocation for performance work on real experiment runs.
+//
+// Cross-run analysis flags: -baseline names the stored baseline run set
+// for gate, -metric picks the compared per-repetition metric (default
+// wall_ns), -alpha the significance level (default 0.05),
+// -max-regression the tolerated regression percentage before gate fails
+// (default 0: any significant regression fails), --higher-is-better flips
+// the regression direction for rate-like metrics. Run sets are
+// directories written by `fex export` (committable to a repository) or
+// --state files from previous invocations.
 package main
 
 import (
@@ -41,6 +53,7 @@ import (
 	"strings"
 
 	"fex/internal/core"
+	"fex/internal/diff"
 	"fex/internal/workload"
 )
 
@@ -54,6 +67,7 @@ func main() {
 // cliArgs holds parsed command-line arguments.
 type cliArgs struct {
 	action      string
+	positional  []string
 	name        string
 	types       []string
 	benches     []string
@@ -75,11 +89,16 @@ type cliArgs struct {
 	stateFile   string
 	cpuProfile  string
 	memProfile  string
+	baseline    string
+	metric      string
+	alpha       float64
+	maxRegress  float64
+	higherIsBet bool
 }
 
 func parseArgs(argv []string) (cliArgs, error) {
 	if len(argv) == 0 {
-		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|analyze|clean|list> -n <name> [args]")
+		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|analyze|diff|gate|export|clean|list> -n <name> [args]")
 	}
 	args := cliArgs{action: argv[0], reps: 1, jobs: 1}
 	i := 1
@@ -104,6 +123,12 @@ func parseArgs(argv []string) (cliArgs, error) {
 	for i < len(argv) {
 		flag := argv[i]
 		i++
+		// Bare tokens between flags are positional arguments — the run-set
+		// paths of "fex diff <baseline> <candidate>".
+		if !strings.HasPrefix(flag, "-") {
+			args.positional = append(args.positional, flag)
+			continue
+		}
 		switch flag {
 		case "-n":
 			v, ok := next()
@@ -190,6 +215,40 @@ func parseArgs(argv []string) (cliArgs, error) {
 				return args, errors.New("-memprofile requires a file path")
 			}
 			args.memProfile = v
+		case "-baseline":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-baseline requires a run-set path (directory or state file)")
+			}
+			args.baseline = v
+		case "-metric":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-metric requires a metric name")
+			}
+			args.metric = v
+		case "-alpha":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-alpha requires a value")
+			}
+			a, err := strconv.ParseFloat(v, 64)
+			if err != nil || a <= 0 || a >= 1 {
+				return args, fmt.Errorf("bad -alpha value %q (want a number in (0,1))", v)
+			}
+			args.alpha = a
+		case "-max-regression":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-max-regression requires a percentage")
+			}
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 {
+				return args, fmt.Errorf("bad -max-regression value %q (want a percentage >= 0)", v)
+			}
+			args.maxRegress = p
+		case "-higher-is-better", "--higher-is-better":
+			args.higherIsBet = true
 		case "-o":
 			v, ok := next()
 			if !ok {
@@ -213,6 +272,16 @@ func run(argv []string) error {
 	args, err := parseArgs(argv)
 	if err != nil {
 		return err
+	}
+	// Only diff and gate take positional arguments (run-set paths); a bare
+	// token anywhere else is a mistake (e.g. a build type without -t) and
+	// must not be silently ignored.
+	switch args.action {
+	case "diff", "gate":
+	default:
+		if len(args.positional) > 0 {
+			return fmt.Errorf("unexpected argument %q (did you forget a flag?)", args.positional[0])
+		}
 	}
 
 	// Profiling hooks for perf work on real experiment runs: -cpuprofile
@@ -372,6 +441,100 @@ func run(argv []string) error {
 		fmt.Print(report.String())
 		return nil
 
+	case "diff":
+		// fex diff <baseline> <candidate> [-metric m] [-alpha a] [-o dir]:
+		// cross-run differential analysis of two stored run sets (each a
+		// record directory from `fex export` or a --state file).
+		if len(args.positional) != 2 {
+			return errors.New("diff requires two run-set paths: fex diff <baselineDir> <candidateDir>")
+		}
+		report, err := compareRunSets(args.positional[0], args.positional[1], args)
+		if err != nil {
+			return err
+		}
+		text, err := report.AppendText(nil)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(text)
+		if args.outDir != "" {
+			if err := writeDiffArtifacts(report, args.outDir); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "gate":
+		// fex gate -baseline <dir> [candidate] [-max-regression pct]
+		// [-alpha a] [--state file]: fail (exit nonzero) when the candidate
+		// — a positional run-set path, or the current store from --state —
+		// has a significant regression above the threshold.
+		if args.baseline == "" {
+			return errors.New("gate requires -baseline <dir|state-file>")
+		}
+		if len(args.positional) > 1 {
+			return errors.New("gate takes at most one candidate run-set path")
+		}
+		candidate := ""
+		if len(args.positional) == 1 {
+			candidate = args.positional[0]
+		}
+		var report *diff.Report
+		if candidate != "" {
+			report, err = compareRunSets(args.baseline, candidate, args)
+		} else {
+			base, lerr := loadRunSet(args.baseline)
+			if lerr != nil {
+				return lerr
+			}
+			cand, lerr := diff.FromStore(fx.ResultStore(), orDefault(args.stateFile, "store"))
+			if lerr != nil {
+				return lerr
+			}
+			// An empty candidate store would "pass" vacuously (every
+			// baseline cell unmatched is only a warning) — a typo'd --state
+			// path must fail the gate, not green-light CI forever.
+			if lerr := requireCells(cand); lerr != nil {
+				return lerr
+			}
+			report, err = diff.Compare(base, cand, diffOptions(args))
+		}
+		if err != nil {
+			return err
+		}
+		result := report.Gate(args.maxRegress)
+		fmt.Println(result.String())
+		if args.outDir != "" {
+			if err := writeDiffArtifacts(report, args.outDir); err != nil {
+				return err
+			}
+		}
+		if !result.OK() {
+			return fmt.Errorf("gate failed: %d significant regressions above %g%%",
+				len(result.Regressions), args.maxRegress)
+		}
+		return nil
+
+	case "export":
+		// fex export -o <dir> [--state file]: write the persistent result
+		// store as a directory of record files — the committable baseline
+		// format `fex diff` and `fex gate -baseline` read back.
+		if args.outDir == "" {
+			return errors.New("export requires -o <dir>")
+		}
+		rs, err := diff.FromStore(fx.ResultStore(), orDefault(args.stateFile, "store"))
+		if err != nil {
+			return err
+		}
+		if err := requireCells(rs); err != nil {
+			return err
+		}
+		if err := diff.WriteDir(rs, args.outDir); err != nil {
+			return err
+		}
+		fmt.Printf("exported %d cells to %s\n", len(rs.Cells), args.outDir)
+		return nil
+
 	case "clean":
 		// fex clean [--state file]: evict the persistent result store so
 		// the next -resume run measures everything cold.
@@ -390,8 +553,108 @@ func run(argv []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, clean, list)", args.action)
+		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, diff, gate, export, clean, list)", args.action)
 	}
+}
+
+// diffOptions maps CLI flags onto the differential analyzer's options.
+func diffOptions(args cliArgs) diff.Options {
+	return diff.Options{
+		Metric:         args.metric,
+		Alpha:          args.alpha,
+		HigherIsBetter: args.higherIsBet,
+	}
+}
+
+// requireCells rejects an empty run set: every CLI comparison site wants
+// a loud failure over a vacuous verdict.
+func requireCells(rs *diff.RunSet) error {
+	if len(rs.Cells) == 0 {
+		return fmt.Errorf("run set %s holds no cells (was the experiment run with --state?)", rs.Source)
+	}
+	return nil
+}
+
+// loadRunSet loads a stored run set from a path: a directory of record
+// files (from `fex export`) or a --state file from a previous invocation,
+// whose embedded result store is read back through a fresh framework.
+func loadRunSet(path string) (*diff.RunSet, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("run set %s: %w", path, err)
+	}
+	if st.IsDir() {
+		return diff.LoadDir(path)
+	}
+	fx, err := core.New(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("run set %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := fx.LoadState(f); err != nil {
+		return nil, fmt.Errorf("run set %s: %w", path, err)
+	}
+	rs, err := diff.FromStore(fx.ResultStore(), path)
+	if err != nil {
+		return nil, err
+	}
+	if err := requireCells(rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// compareRunSets loads and compares two run-set paths.
+func compareRunSets(basePath, candPath string, args cliArgs) (*diff.Report, error) {
+	base, err := loadRunSet(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cand, err := loadRunSet(candPath)
+	if err != nil {
+		return nil, err
+	}
+	return diff.Compare(base, cand, diffOptions(args))
+}
+
+// writeDiffArtifacts writes the report's three renderings — CSV table,
+// canonical JSON, speedup chart — into outDir as fexdiff.{csv,json,svg}.
+func writeDiffArtifacts(report *diff.Report, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	csv, err := report.CSV()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "fexdiff.csv"), csv, 0o644); err != nil {
+		return err
+	}
+	js, err := diff.EncodeReport(report)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "fexdiff.json"), js, 0o644); err != nil {
+		return err
+	}
+	// A joinless comparison (disjoint run sets) has nothing to chart; the
+	// CSV and JSON still record the unmatched cells, and a chartless
+	// report must not turn a warning-only verdict into a failure.
+	if len(report.Deltas) == 0 {
+		return nil
+	}
+	svg, err := report.ChartSVG()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "fexdiff.svg"), []byte(svg), 0o644); err != nil {
+		return err
+	}
+	return nil
 }
 
 func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {

@@ -4,8 +4,11 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"fex/internal/diff"
 )
 
 func TestParseArgsRunFlags(t *testing.T) {
@@ -378,6 +381,317 @@ func TestParseArgsClusterFlags(t *testing.T) {
 		if _, err := parseArgs(argv); err == nil {
 			t.Errorf("parseArgs(%v): expected error", argv)
 		}
+	}
+}
+
+func TestParseArgsDiffGateFlags(t *testing.T) {
+	args, err := parseArgs([]string{
+		"diff", "/tmp/base", "/tmp/cand",
+		"-metric", "cycles",
+		"-alpha", "0.01",
+		"-o", "/tmp/out",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args.positional) != 2 || args.positional[0] != "/tmp/base" || args.positional[1] != "/tmp/cand" {
+		t.Errorf("positional %v", args.positional)
+	}
+	if args.metric != "cycles" || args.alpha != 0.01 {
+		t.Errorf("metric %q alpha %v", args.metric, args.alpha)
+	}
+
+	args, err = parseArgs([]string{
+		"gate", "-baseline", "/tmp/base", "-max-regression", "5", "--higher-is-better",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args.baseline != "/tmp/base" || args.maxRegress != 5 || !args.higherIsBet {
+		t.Errorf("baseline %q maxRegress %v higher %v", args.baseline, args.maxRegress, args.higherIsBet)
+	}
+
+	for _, argv := range [][]string{
+		{"diff", "-alpha"},                       // missing value
+		{"diff", "-alpha", "2"},                  // out of range
+		{"diff", "-alpha", "x"},                  // not a number
+		{"gate", "-max-regression"},              // missing value
+		{"gate", "-max-regression", "-3"},        // negative
+		{"gate", "-baseline"},                    // missing value
+		{"diff", "-metric"},                      // missing value
+		{"diff", "only_one_path"},                // wrong arity (checked in run, parse ok) — see below
+		{"gate"},                                 // no -baseline (checked in run) — see below
+		{"export"},                               // no -o (checked in run) — see below
+		{"diff", "/nonexistent", "/nonexistent"}, /* bad paths */
+	} {
+		argErr := func() error {
+			a, err := parseArgs(argv)
+			if err != nil {
+				return err
+			}
+			_ = a
+			return run(argv)
+		}()
+		if argErr == nil {
+			t.Errorf("%v: expected error", argv)
+		}
+	}
+}
+
+// TestCLIDiffGateEndToEnd is the end-to-end proof of the cross-run
+// analyzer: two runs of the same configuration — one serial, one through
+// the -jobs tier — diff to zero significant deltas with byte-identical
+// rendered output, `fex gate` passes against the exported baseline, and a
+// planted regression makes it exit nonzero (and pass again once the
+// threshold tolerates it).
+func TestCLIDiffGateEndToEnd(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	dir := t.TempDir()
+	serialState := filepath.Join(dir, "serial.state")
+	jobsState := filepath.Join(dir, "jobs.state")
+	base := []string{
+		"run", "-n", "micro",
+		"-t", "gcc_native", "gcc_asan",
+		"-b", "array_read", "branch_heavy",
+		"-i", "test", "-r", "2",
+		"--modeled-time",
+	}
+	if err := run(append(append([]string{}, base...), "--state", serialState)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-jobs", "4", "--state", jobsState)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Export both run sets; modeled time makes the records — and therefore
+	// the run-set digests — identical across the serial and -jobs tiers.
+	baseDir := filepath.Join(dir, "baseline")
+	if err := run([]string{"export", "-o", baseDir, "--state", serialState}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Diff the baseline against each tier's state file into identically
+	// named output dirs: every artifact must be byte-identical, and the
+	// JSON must report no significant deltas.
+	outputs := make(map[string][][]byte)
+	for tier, state := range map[string]string{"serial": serialState, "jobs": jobsState} {
+		out := filepath.Join(dir, "out_"+tier)
+		// Same candidate label for both tiers so the provenance lines match.
+		cand := filepath.Join(dir, "cand_"+tier, "cand.state")
+		if err := os.MkdirAll(filepath.Dir(cand), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cand, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chdir(filepath.Dir(cand)); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"diff", baseDir, "cand.state", "-o", out}); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"fexdiff.csv", "fexdiff.json", "fexdiff.svg"} {
+			b, err := os.ReadFile(filepath.Join(out, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			outputs[name] = append(outputs[name], b)
+		}
+	}
+	for name, pair := range outputs {
+		if string(pair[0]) != string(pair[1]) {
+			t.Errorf("%s differs between the serial and -jobs tiers:\n--- serial ---\n%s\n--- jobs ---\n%s", name, pair[0], pair[1])
+		}
+	}
+	report, err := diff.DecodeReport(outputs["fexdiff.json"][0])
+	if err != nil {
+		t.Fatalf("exported report does not decode: %v", err)
+	}
+	if len(report.Deltas) != 4 {
+		t.Errorf("deltas %d, want 4 (2 types x 2 benches)", len(report.Deltas))
+	}
+	if n := len(report.Significant()); n != 0 {
+		t.Errorf("same-config diff reported %d significant deltas", n)
+	}
+	if len(report.BaselineOnly)+len(report.CandidateOnly) != 0 {
+		t.Error("same-config diff reported unmatched cells")
+	}
+
+	// Gate against the committed-style baseline: passes.
+	if err := run([]string{"gate", "-baseline", baseDir, "--state", serialState}); err != nil {
+		t.Fatalf("gate on identical runs failed: %v", err)
+	}
+
+	// Plant a regression: double every wall_ns sample in a copy of the
+	// candidate run set, then gate must exit nonzero...
+	slowDir := filepath.Join(dir, "slow")
+	plantRegression(t, baseDir, slowDir, 2.0)
+	err = run([]string{"gate", "-baseline", baseDir, slowDir})
+	if err == nil || !strings.Contains(err.Error(), "gate failed") {
+		t.Fatalf("gate on planted regression: %v", err)
+	}
+	// ...unless the threshold tolerates a 2x slowdown.
+	if err := run([]string{"gate", "-baseline", baseDir, slowDir, "-max-regression", "150"}); err != nil {
+		t.Errorf("tolerant gate failed: %v", err)
+	}
+	// The planted slowdown is an IMPROVEMENT when the baseline and
+	// candidate swap sides — direction matters.
+	if err := run([]string{"gate", "-baseline", slowDir, baseDir}); err != nil {
+		t.Errorf("gate treated an improvement as a regression: %v", err)
+	}
+}
+
+// TestCLIRejectsStrayPositionalArgs pins that bare tokens are only valid
+// for diff/gate (run-set paths): a forgotten flag ("run -n micro
+// gcc_native" without -t) must error, not silently measure the default
+// configuration.
+func TestCLIRejectsStrayPositionalArgs(t *testing.T) {
+	for _, argv := range [][]string{
+		{"run", "-n", "micro", "gcc_native"},
+		{"install", "-n", "ripe", "stray"},
+		{"export", "stray", "-o", t.TempDir()},
+		{"clean", "stray"},
+	} {
+		err := run(argv)
+		if err == nil || !strings.Contains(err.Error(), "unexpected argument") {
+			t.Errorf("%v: %v, want unexpected-argument error", argv, err)
+		}
+	}
+}
+
+// TestCLIGateRejectsEmptyCandidate pins that a gate whose --state file is
+// missing or holds no cells fails loudly instead of passing vacuously
+// (every baseline cell unmatched is only a warning, so a typo'd state
+// path would otherwise green-light CI forever). An empty export is
+// rejected for the same reason.
+func TestCLIGateRejectsEmptyCandidate(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "fex.state")
+	baseDir := filepath.Join(dir, "baseline")
+	if err := run([]string{
+		"run", "-n", "micro", "-t", "gcc_native", "-b", "array_read",
+		"-i", "test", "-r", "2", "--modeled-time", "--state", state,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"export", "-o", baseDir, "--state", state}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing state file: the candidate store is empty.
+	err := run([]string{"gate", "-baseline", baseDir, "--state", filepath.Join(dir, "nope.state")})
+	if err == nil || !strings.Contains(err.Error(), "no cells") {
+		t.Errorf("gate with missing state: %v, want no-cells error", err)
+	}
+	// No --state at all: same.
+	if err := run([]string{"gate", "-baseline", baseDir}); err == nil {
+		t.Error("gate with no candidate store passed vacuously")
+	}
+	// diff against an empty state file fails the same way.
+	empty := filepath.Join(dir, "empty.state")
+	if err := run([]string{"install", "-n", "ripe", "--state", empty}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"diff", baseDir, empty}); err == nil || !strings.Contains(err.Error(), "no cells") {
+		t.Errorf("diff with empty candidate store: %v", err)
+	}
+	// Exporting an empty store is always a mistake.
+	if err := run([]string{"export", "-o", filepath.Join(dir, "out2")}); err == nil {
+		t.Error("export of an empty store accepted")
+	}
+	// Re-exporting over an existing baseline is refused (stale records
+	// would alias join keys and poison later diffs).
+	err = run([]string{"export", "-o", baseDir, "--state", state})
+	if err == nil || !strings.Contains(err.Error(), "not empty") {
+		t.Errorf("re-export over existing baseline: %v, want not-empty error", err)
+	}
+}
+
+// TestCLIDiffDisjointRunSetsWithOutput pins the joinless edge: two valid
+// run sets sharing no join keys (gating the wrong experiment) produce a
+// warning-only verdict, and -o must still succeed — CSV and JSON record
+// the unmatched cells, the chart is simply skipped — rather than turning
+// the coverage warning into a bogus failure after printing "OK".
+func TestCLIDiffDisjointRunSetsWithOutput(t *testing.T) {
+	dir := t.TempDir()
+	aState := filepath.Join(dir, "a.state")
+	bState := filepath.Join(dir, "b.state")
+	if err := run([]string{
+		"run", "-n", "micro", "-t", "gcc_native", "-b", "array_read",
+		"-i", "test", "-r", "2", "--modeled-time", "--state", aState,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"run", "-n", "micro", "-t", "gcc_asan", "-b", "branch_heavy",
+		"-i", "test", "-r", "2", "--modeled-time", "--state", bState,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out")
+	if err := run([]string{"diff", aState, bState, "-o", out}); err != nil {
+		t.Fatalf("joinless diff with -o failed: %v", err)
+	}
+	baseDir := filepath.Join(dir, "base")
+	if err := run([]string{"export", "-o", baseDir, "--state", aState}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"gate", "-baseline", baseDir, "--state", bState, "-o", filepath.Join(dir, "gateout")}); err != nil {
+		t.Fatalf("joinless gate with -o failed: %v", err)
+	}
+	for _, name := range []string{"fexdiff.csv", "fexdiff.json"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(out, "fexdiff.svg")); err == nil {
+		t.Error("chart written for a report with zero deltas")
+	}
+	data, err := os.ReadFile(filepath.Join(out, "fexdiff.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := diff.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Deltas) != 0 || len(report.BaselineOnly) != 1 || len(report.CandidateOnly) != 1 {
+		t.Errorf("joinless report: %d deltas, %d base-only, %d cand-only",
+			len(report.Deltas), len(report.BaselineOnly), len(report.CandidateOnly))
+	}
+}
+
+// plantRegression copies a run-set directory, scaling every wall_ns
+// sample by factor.
+func plantRegression(t *testing.T, srcDir, dstDir string, factor float64) {
+	t.Helper()
+	rs, err := diff.LoadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallRe := regexp.MustCompile(`wall_ns=([0-9.e+\-]+)`)
+	for i := range rs.Cells {
+		rs.Cells[i].Payload = wallRe.ReplaceAllFunc(rs.Cells[i].Payload, func(m []byte) []byte {
+			v, err := strconv.ParseFloat(string(m[len("wall_ns="):]), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return []byte("wall_ns=" + strconv.FormatFloat(v*factor, 'g', -1, 64))
+		})
+	}
+	if err := diff.WriteDir(rs, dstDir); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(false); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster_scaling:", err)
 		os.Exit(1)
 	}
@@ -78,7 +78,12 @@ func runSplash(cluster *remote.Cluster, jobs int, hosts []string) (string, strin
 	return string(lg), string(csv), elapsed, nil
 }
 
-func run() error {
+// run executes the walkthrough. The compared runs are already fully
+// deterministic (fixed clock, modeled time) — that is the point of the
+// example — so the deterministic flag only matches the golden harness's
+// calling convention.
+func run(deterministic bool) error {
+	_ = deterministic
 	fmt.Println("== serial run (-jobs 1, the paper's loop)")
 	serialLog, serialCSV, serialT, err := runSplash(nil, 1, nil)
 	if err != nil {
@@ -107,6 +112,13 @@ func run() error {
 		return fmt.Errorf("determinism contract violated: CSVs differ across modes")
 	}
 	fmt.Println("   logs and CSVs byte-identical across serial, parallel, and cluster")
+	// Export the (shared) artifacts for inspection and the golden harness.
+	if err := os.WriteFile("splash.log", []byte(serialLog), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile("splash.csv", []byte(serialCSV), 0o644); err != nil {
+		return err
+	}
 
 	// Failover: take one host down before the run; its cells move to the
 	// surviving hosts and the stored result does not change by one byte.

@@ -1,30 +1,20 @@
 package main
 
 import (
-	"os"
 	"testing"
+
+	"fex/internal/testutil/golden"
 )
 
-// TestExamplesRun executes the example end to end — the same run() main
-// calls — inside a scratch directory. Skipped under -short: it performs
-// real installs, builds, and four full experiment runs.
-func TestExamplesRun(t *testing.T) {
+// TestExampleGolden executes the cluster walkthrough end to end and
+// compares the exported splash log and CSV — already proven
+// byte-identical across the serial, parallel, and cluster tiers inside
+// the example — against the committed golden files. Regenerate with
+// -update. Skipped under -short: it performs real installs, builds, and
+// four full experiment runs.
+func TestExampleGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end example run skipped in -short mode")
 	}
-	wd, err := os.Getwd()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.Chdir(t.TempDir()); err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		if err := os.Chdir(wd); err != nil {
-			t.Fatal(err)
-		}
-	}()
-	if err := run(); err != nil {
-		t.Fatalf("example failed: %v", err)
-	}
+	golden.Run(t, func() error { return run(true) }, golden.Options{})
 }

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"fex/internal/testutil/golden"
+)
+
+// TestExampleGolden executes the diff/gate walkthrough end to end and
+// compares every artifact — the exported baseline run-set directory, the
+// rendered diff text, and the CSV/JSON/SVG report renderings — byte for
+// byte against the committed golden files. Regenerate with -update.
+// Skipped under -short: it performs real installs, builds, and two full
+// experiment runs.
+func TestExampleGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end example run skipped in -short mode")
+	}
+	golden.Run(t, func() error { return run(true) }, golden.Options{})
+}

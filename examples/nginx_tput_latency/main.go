@@ -17,17 +17,27 @@ import (
 	"fex/internal/core"
 	"fex/internal/runlog"
 	"fex/internal/table"
+	"fex/internal/testutil"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(false); err != nil {
 		fmt.Fprintln(os.Stderr, "nginx_tput_latency:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fx, err := core.New(core.Options{})
+// run executes the Figure 7 case study. The sweep drives a live load
+// generator, so the measured values are genuinely nondeterministic;
+// deterministic mode only pins the log-header clock, and the golden
+// end-to-end test normalizes the volatile metric values before
+// comparing (the sweep STRUCTURE — rates, rows, columns — is stable).
+func run(deterministic bool) error {
+	opts := core.Options{}
+	if deterministic {
+		opts.Now = testutil.Clock()
+	}
+	fx, err := core.New(opts)
 	if err != nil {
 		return err
 	}
@@ -75,6 +85,9 @@ func run() error {
 	}
 	fmt.Println("Figure 7 — throughput vs latency sweep")
 	fmt.Println(report.Table.String())
+	if err := testutil.ExportReport(fx, report, "nginx_fig7"); err != nil {
+		return err
+	}
 
 	svg, err := fx.Plot("nginx_fig7", "tput-latency")
 	if err != nil {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"fex/internal/buildsys"
@@ -20,18 +21,27 @@ import (
 	"fex/internal/plot"
 	"fex/internal/runlog"
 	"fex/internal/table"
+	"fex/internal/testutil"
 	"fex/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(false); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fx, err := core.New(core.Options{Verbose: os.Stdout})
+// run executes the walkthrough. In deterministic mode — how the golden
+// end-to-end test runs it — the clock is pinned and wall time is modeled,
+// so every exported artifact is byte-stable.
+func run(deterministic bool) error {
+	opts := core.Options{Verbose: os.Stdout}
+	if deterministic {
+		opts.Verbose = io.Discard
+		opts.Now = testutil.Clock()
+	}
+	fx, err := core.New(opts)
 	if err != nil {
 		return err
 	}
@@ -53,12 +63,16 @@ func run() error {
 		Benchmarks: []string{"histogram", "word_count"},
 		Input:      workload.SizeTest,
 		Reps:       2,
+		ModelTime:  deterministic,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("collected %d measurements into %s\n\n", report.Measurements, report.CSVPath)
 	fmt.Println(report.Table.String())
+	if err := testutil.ExportReport(fx, report, "phoenix"); err != nil {
+		return err
+	}
 
 	// --- plot stage ------------------------------------------------------
 	svg, err := fx.Plot("phoenix", "perf")
@@ -125,11 +139,15 @@ CFLAGS += -D_FORTIFY_SOURCE=2
 		BuildTypes: []string{"gcc_native", "gcc_hardened"},
 		Benchmarks: []string{"array_read", "branch_heavy"},
 		Input:      workload.SizeTest,
+		ModelTime:  deterministic,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Println(report2.Table.String())
+	if err := testutil.ExportReport(fx, report2, "micro_hardened"); err != nil {
+		return err
+	}
 	fmt.Println("quickstart complete")
 	return nil
 }

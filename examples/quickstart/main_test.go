@@ -1,31 +1,20 @@
 package main
 
 import (
-	"os"
 	"testing"
+
+	"fex/internal/testutil/golden"
 )
 
-// TestExamplesRun executes the example end to end — the same run()
-// main calls — inside a scratch directory (the examples write SVGs to
-// the working directory). Skipped under -short: it performs real
-// installs, builds, and experiment runs.
-func TestExamplesRun(t *testing.T) {
+// TestExampleGolden executes the example end to end in deterministic mode
+// (fixed clock, modeled time) inside a scratch directory and compares
+// every artifact it writes — phoenix/micro_hardened logs and CSVs plus
+// the rendered SVG — byte for byte against the committed golden files.
+// Regenerate with -update after an intentional output change. Skipped
+// under -short: it performs real installs, builds, and experiment runs.
+func TestExampleGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end example run skipped in -short mode")
 	}
-	wd, err := os.Getwd()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.Chdir(t.TempDir()); err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		if err := os.Chdir(wd); err != nil {
-			t.Fatal(err)
-		}
-	}()
-	if err := run(); err != nil {
-		t.Fatalf("example failed: %v", err)
-	}
+	golden.Run(t, func() error { return run(true) }, golden.Options{})
 }

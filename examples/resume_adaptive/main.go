@@ -25,18 +25,27 @@ import (
 
 	"fex/internal/core"
 	"fex/internal/measure"
+	"fex/internal/testutil"
 	"fex/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(false); err != nil {
 		fmt.Fprintln(os.Stderr, "resume_adaptive:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fx, err := core.New(core.Options{})
+// run executes the walkthrough. The metrics are already modeled
+// (deterministic); deterministic mode — the golden end-to-end test —
+// additionally pins the log-header clock so the exported artifacts are
+// byte-stable.
+func run(deterministic bool) error {
+	opts := core.Options{}
+	if deterministic {
+		opts.Now = testutil.Clock()
+	}
+	fx, err := core.New(opts)
 	if err != nil {
 		return err
 	}
@@ -86,6 +95,9 @@ func run() error {
 	}
 	fmt.Printf("   %d measurements from %d executed repetitions\n", report.Measurements, executed.Load())
 	fmt.Printf("   (deterministic modeled metrics -> every sweep stopped at the %d-rep pilot)\n", core.AdaptivePilot)
+	if err := testutil.ExportReport(fx, report, "cold"); err != nil {
+		return err
+	}
 
 	// --- 2. warm -resume run --------------------------------------------
 	fmt.Println("== warm rerun with -resume")
@@ -108,6 +120,9 @@ func run() error {
 		return fmt.Errorf("resumed log differs from cold run")
 	}
 	fmt.Println("   zero repetitions executed; log byte-identical to the cold run")
+	if err := testutil.ExportReport(fx, report, "warm"); err != nil {
+		return err
+	}
 
 	// --- 3. incremental extension ---------------------------------------
 	fmt.Println("== extend the experiment under -resume (add alloc_churn)")
@@ -122,6 +137,9 @@ func run() error {
 		report.Measurements, executed.Load())
 	if executed.Load() == 0 {
 		return fmt.Errorf("extension measured nothing; expected the new cells to run")
+	}
+	if err := testutil.ExportReport(fx, report, "extended"); err != nil {
+		return err
 	}
 
 	// --- 4. fex clean -----------------------------------------------------

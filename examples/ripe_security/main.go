@@ -14,17 +14,26 @@ import (
 	"os"
 
 	"fex/internal/core"
+	"fex/internal/testutil"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(false); err != nil {
 		fmt.Fprintln(os.Stderr, "ripe_security:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fx, err := core.New(core.Options{})
+// run executes the Table II case study. The RIPE results themselves are
+// fully deterministic; deterministic mode (the golden end-to-end test)
+// only pins the log-header clock so the exported artifacts are
+// byte-stable.
+func run(deterministic bool) error {
+	opts := core.Options{}
+	if deterministic {
+		opts.Now = testutil.Clock()
+	}
+	fx, err := core.New(opts)
 	if err != nil {
 		return err
 	}
@@ -44,6 +53,9 @@ func run() error {
 	}
 	fmt.Println("Table II — RIPE security benchmark results")
 	fmt.Println(report.Table.String())
+	if err := testutil.ExportReport(fx, report, "ripe_native"); err != nil {
+		return err
+	}
 
 	// Bonus beyond the paper's table: the instrumented build types stop
 	// essentially all attack forms.
@@ -56,5 +68,5 @@ func run() error {
 	}
 	fmt.Println("With AddressSanitizer:")
 	fmt.Println(asan.Table.String())
-	return nil
+	return testutil.ExportReport(fx, asan, "ripe_asan")
 }

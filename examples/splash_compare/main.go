@@ -13,18 +13,26 @@ import (
 
 	"fex/internal/core"
 	"fex/internal/stats"
+	"fex/internal/testutil"
 	"fex/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(false); err != nil {
 		fmt.Fprintln(os.Stderr, "splash_compare:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fx, err := core.New(core.Options{})
+// run executes the case study; deterministic mode (the golden end-to-end
+// test) pins the clock and records modeled wall time so the exported
+// artifacts are byte-stable.
+func run(deterministic bool) error {
+	opts := core.Options{}
+	if deterministic {
+		opts.Now = testutil.Clock()
+	}
+	fx, err := core.New(opts)
 	if err != nil {
 		return err
 	}
@@ -41,8 +49,12 @@ func run() error {
 		BuildTypes: []string{"gcc_native", "clang_native"},
 		Input:      workload.SizeSmall,
 		Reps:       2,
+		ModelTime:  deterministic,
 	})
 	if err != nil {
+		return err
+	}
+	if err := testutil.ExportReport(fx, report, "splash"); err != nil {
 		return err
 	}
 

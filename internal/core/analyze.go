@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"fex/internal/runlog"
@@ -19,19 +20,97 @@ import (
 // Comparison is the statistical verdict for one benchmark between two
 // build types.
 type Comparison struct {
-	Benchmark string
+	Benchmark string `json:"benchmark"`
 	// A and B summarize the per-repetition samples of each build type.
-	A, B stats.Summary
+	A stats.Summary `json:"a"`
+	B stats.Summary `json:"b"`
 	// Ratio is mean(B)/mean(A).
-	Ratio float64
+	Ratio float64 `json:"ratio"`
+	// ACI and BCI are the per-side confidence intervals for the mean
+	// (Student-t, at the level the analysis ran at); nil when a side has
+	// fewer than two repetitions.
+	ACI *stats.Interval `json:"a_ci,omitempty"`
+	BCI *stats.Interval `json:"b_ci,omitempty"`
 	// Test is Welch's two-sample t-test over the repetition samples; it
 	// is nil when either side has fewer than two repetitions.
-	Test *stats.TTestResult
+	Test *stats.TTestResult `json:"test,omitempty"`
 }
 
 // Significant reports whether the difference is significant at alpha.
+// Two rules must agree, making the verdict conservative:
+//
+//  1. Welch's t-test rejects at alpha (p < alpha, strictly — p == alpha
+//     is NOT significant);
+//  2. when both per-side confidence intervals are available, they are
+//     disjoint. The boundary is explicit: intervals that exactly touch
+//     ([1,2] vs [2,3], or the degenerate zero-variance [5,5] vs [5,5])
+//     OVERLAP and therefore do NOT count as significant — the shared
+//     endpoint is a mean value both sides deem plausible, so touching
+//     intervals are evidence compatible with equality.
+//
+// Without a t-test (fewer than two repetitions on a side) nothing is
+// significant.
 func (c Comparison) Significant(alpha float64) bool {
-	return c.Test != nil && c.Test.Significant(alpha)
+	if c.Test == nil || !c.Test.Significant(alpha) {
+		return false
+	}
+	if c.ACI != nil && c.BCI != nil && c.ACI.Overlaps(*c.BCI) {
+		return false
+	}
+	return true
+}
+
+// NewComparison builds the statistical comparison of two per-repetition
+// sample sets: summaries, mean ratio (0 when the baseline mean is zero),
+// and — when both sides have at least two observations — Welch's t-test
+// plus per-side Student-t confidence intervals at the given level. The t
+// statistic of a zero-variance exact difference is ±Inf; it is clamped to
+// ±MaxFloat64 so comparisons stay JSON-encodable (JSON has no Inf).
+// Analyze and the cross-run differential analyzer both build their
+// comparisons here, so the two can never drift apart statistically.
+func NewComparison(a, b []float64, level float64) (Comparison, error) {
+	var c Comparison
+	sa, err := stats.Summarize(a)
+	if err != nil {
+		return c, err
+	}
+	sb, err := stats.Summarize(b)
+	if err != nil {
+		return c, err
+	}
+	c.A, c.B = sa, sb
+	if sa.Mean != 0 {
+		c.Ratio = sb.Mean / sa.Mean
+	}
+	if len(a) >= 2 && len(b) >= 2 {
+		res, err := stats.WelchTTest(a, b)
+		if err != nil {
+			return c, err
+		}
+		res.T = clampFinite(res.T)
+		c.Test = &res
+		aci, err := stats.ConfidenceInterval(a, level)
+		if err != nil {
+			return c, err
+		}
+		bci, err := stats.ConfidenceInterval(b, level)
+		if err != nil {
+			return c, err
+		}
+		c.ACI, c.BCI = &aci, &bci
+	}
+	return c, nil
+}
+
+// clampFinite maps ±Inf onto the largest finite float (see NewComparison).
+func clampFinite(x float64) float64 {
+	if math.IsInf(x, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(x, -1) {
+		return -math.MaxFloat64
+	}
+	return x
 }
 
 // AnalysisReport is the outcome of comparing two build types across an
@@ -53,7 +132,7 @@ func (r AnalysisReport) String() string {
 	for _, c := range r.Comparisons {
 		verdict := "n/a (need -r >= 2)"
 		if c.Test != nil {
-			if c.Test.Significant(0.05) {
+			if c.Significant(0.05) {
 				verdict = fmt.Sprintf("significant (p=%.4g)", c.Test.P)
 			} else {
 				verdict = fmt.Sprintf("not significant (p=%.4g)", c.Test.P)
@@ -143,25 +222,12 @@ func (fx *Fex) Analyze(experiment, metric, typeA, typeB string) (*AnalysisReport
 		if len(bvals) < minReps {
 			minReps = len(bvals)
 		}
-		sa, err := stats.Summarize(a)
+		// The analysis runs at the conventional 95% interval level.
+		cmp, err := NewComparison(a, bvals, 0.95)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("analyze %s/%s: %w", experiment, bench, err)
 		}
-		sb, err := stats.Summarize(bvals)
-		if err != nil {
-			return nil, err
-		}
-		cmp := Comparison{Benchmark: bench, A: sa, B: sb}
-		if sa.Mean != 0 {
-			cmp.Ratio = sb.Mean / sa.Mean
-		}
-		if len(a) >= 2 && len(bvals) >= 2 {
-			res, err := stats.WelchTTest(a, bvals)
-			if err != nil {
-				return nil, fmt.Errorf("analyze %s/%s: %w", experiment, bench, err)
-			}
-			cmp.Test = &res
-		}
+		cmp.Benchmark = bench
 		report.Comparisons = append(report.Comparisons, cmp)
 	}
 	if len(report.Comparisons) == 0 {

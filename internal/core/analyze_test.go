@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"fex/internal/stats"
 	"fex/internal/workload"
 )
 
@@ -79,6 +80,56 @@ func TestAnalyzeSingleRepHasNoTest(t *testing.T) {
 	}
 	if report.Comparisons[0].Significant(0.05) {
 		t.Error("single-rep comparison reported significant")
+	}
+}
+
+// TestComparisonSignificantBoundary pins the two-rule significance
+// verdict's boundary behavior, table-driven: exactly-touching confidence
+// intervals OVERLAP (the shared endpoint is a mean both sides deem
+// plausible) and are therefore NOT significant, no matter how small the
+// p-value; p == alpha is not significant either (strict inequality); and
+// a missing t-test or missing intervals degrade conservatively.
+func TestComparisonSignificantBoundary(t *testing.T) {
+	iv := func(lo, hi float64) *stats.Interval {
+		return &stats.Interval{Lo: lo, Hi: hi, Level: 0.95}
+	}
+	test := func(p float64) *stats.TTestResult { return &stats.TTestResult{P: p} }
+	cases := []struct {
+		name string
+		c    Comparison
+		want bool
+	}{
+		{"no test at all", Comparison{}, false},
+		{"tiny p, disjoint CIs", Comparison{Test: test(1e-9), ACI: iv(1, 2), BCI: iv(3, 4)}, true},
+		{"tiny p, overlapping CIs", Comparison{Test: test(1e-9), ACI: iv(1, 3), BCI: iv(2, 4)}, false},
+		{"tiny p, exactly touching CIs", Comparison{Test: test(1e-9), ACI: iv(1, 2), BCI: iv(2, 3)}, false},
+		{"tiny p, touching the other way", Comparison{Test: test(1e-9), ACI: iv(2, 3), BCI: iv(1, 2)}, false},
+		{"tiny p, identical degenerate CIs", Comparison{Test: test(1e-9), ACI: iv(5, 5), BCI: iv(5, 5)}, false},
+		{"tiny p, disjoint degenerate CIs", Comparison{Test: test(1e-9), ACI: iv(5, 5), BCI: iv(7, 7)}, true},
+		{"tiny p, degenerate CI on the boundary", Comparison{Test: test(1e-9), ACI: iv(5, 5), BCI: iv(5, 7)}, false},
+		{"p exactly alpha", Comparison{Test: test(0.05), ACI: iv(1, 2), BCI: iv(3, 4)}, false},
+		{"p just under alpha", Comparison{Test: test(0.049), ACI: iv(1, 2), BCI: iv(3, 4)}, true},
+		{"p over alpha, disjoint CIs", Comparison{Test: test(0.5), ACI: iv(1, 2), BCI: iv(3, 4)}, false},
+		{"tiny p, no CIs available", Comparison{Test: test(1e-9)}, true},
+		{"tiny p, one CI missing", Comparison{Test: test(1e-9), ACI: iv(1, 2)}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Significant(0.05); got != tc.want {
+			t.Errorf("%s: Significant(0.05) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// The interval primitive itself: touching intervals overlap in both
+	// argument orders, so Disjoint is symmetric too.
+	a, b := stats.Interval{Lo: 1, Hi: 2}, stats.Interval{Lo: 2, Hi: 3}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("touching intervals must overlap (inclusive boundary)")
+	}
+	if a.Disjoint(b) || b.Disjoint(a) {
+		t.Error("touching intervals must not be disjoint")
+	}
+	c := stats.Interval{Lo: 2.0000001, Hi: 3}
+	if a.Overlaps(c) || !a.Disjoint(c) {
+		t.Error("separated intervals must be disjoint")
 	}
 }
 

@@ -1,0 +1,58 @@
+package diff
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrBadReport reports a byte stream that is not a valid canonical report.
+var ErrBadReport = errors.New("diff: bad report")
+
+// EncodeReport renders the report in its canonical machine-readable form:
+// indented JSON with a fixed field order (struct order) and a trailing
+// newline. Encoding is deterministic — the same report always produces the
+// same bytes — so reports can be committed, diffed, and content-addressed.
+func EncodeReport(r *Report) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("diff: encode report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeReport parses a canonical report. It is strict: unknown fields,
+// trailing data, a missing or mismatched schema version, and out-of-range
+// parameters are all rejected, so a report written by a different schema
+// (or a truncated/corrupted file) fails loudly instead of decoding into a
+// silently skewed comparison.
+func DecodeReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	// Reject trailing JSON values or garbage after the document.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after report", ErrBadReport)
+	}
+	if r.Schema != ReportSchemaVersion {
+		return nil, fmt.Errorf("%w: schema %d, want %d", ErrBadReport, r.Schema, ReportSchemaVersion)
+	}
+	if r.Metric == "" {
+		return nil, fmt.Errorf("%w: missing metric", ErrBadReport)
+	}
+	if !(r.Alpha > 0 && r.Alpha < 1) {
+		return nil, fmt.Errorf("%w: alpha %v out of range (0,1)", ErrBadReport, r.Alpha)
+	}
+	for i, d := range r.Deltas {
+		switch d.Verdict {
+		case VerdictRegression, VerdictImprovement, VerdictNoChange, VerdictIndeterminate:
+		default:
+			return nil, fmt.Errorf("%w: delta %d has unknown verdict %q", ErrBadReport, i, d.Verdict)
+		}
+	}
+	return &r, nil
+}

@@ -1,0 +1,90 @@
+package diff
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleReport builds a small but fully populated report through the real
+// comparison path, so codec tests cover every field the analyzer emits.
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	base := runSetOf(t, "base",
+		cellOf("micro", "micro", "a", "gcc_native", []int{1, 2}, "test",
+			map[int][]float64{1: {100, 101}, 2: {50, 51}}),
+		cellOf("micro", "micro", "only_base", "gcc_native", []int{1}, "test",
+			map[int][]float64{1: {7, 7}}),
+	)
+	cand := runSetOf(t, "cand",
+		cellOf("micro", "micro", "a", "gcc_native", []int{1, 2}, "test",
+			map[int][]float64{1: {200, 201}, 2: {50, 51}}),
+		cellOf("micro", "micro", "only_cand", "gcc_native", []int{1}, "test",
+			map[int][]float64{1: {9, 9}}),
+	)
+	report, err := Compare(base, cand, Options{Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+func TestReportCodecRoundTrip(t *testing.T) {
+	report := sampleReport(t)
+	data, err := EncodeReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatalf("decode of own encoding failed: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(report, back) {
+		t.Errorf("round trip changed the report:\n%+v\nvs\n%+v", report, back)
+	}
+	// Canonical form: encoding is deterministic, so re-encoding the decoded
+	// report reproduces the exact bytes.
+	again, err := EncodeReport(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("encoding is not canonical")
+	}
+	// The provenance digests of both run sets are embedded.
+	if !strings.Contains(string(data), report.Baseline.Digest) ||
+		!strings.Contains(string(data), report.Candidate.Digest) {
+		t.Error("report JSON lacks run-set digests")
+	}
+}
+
+func TestDecodeReportStrictness(t *testing.T) {
+	report := sampleReport(t)
+	good, err := EncodeReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"unknown field":    []byte(strings.Replace(string(good), "\"metric\"", "\"bogus_extra\": 1,\n  \"metric\"", 1)),
+		"trailing data":    append(append([]byte{}, good...), []byte("{}")...),
+		"wrong schema":     []byte(strings.Replace(string(good), "\"schema\": 1", "\"schema\": 99", 1)),
+		"missing metric":   []byte(strings.Replace(string(good), "\"metric\": \"wall_ns\"", "\"metric\": \"\"", 1)),
+		"alpha range":      []byte(strings.Replace(string(good), "\"alpha\": 0.01", "\"alpha\": 7", 1)),
+		"unknown verdict":  []byte(strings.Replace(string(good), "\"verdict\": \"regression\"", "\"verdict\": \"maybe\"", 1)),
+		"not json":         []byte("FEXSTORE|1\n"),
+		"empty":            nil,
+		"wrong json shape": []byte(`[1,2,3]`),
+	}
+	for name, data := range cases {
+		if bytes.Equal(data, good) {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		if _, err := DecodeReport(data); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, data)
+		} else if !errors.Is(err, ErrBadReport) {
+			t.Errorf("%s: error %v is not ErrBadReport", name, err)
+		}
+	}
+}

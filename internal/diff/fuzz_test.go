@@ -1,0 +1,113 @@
+package diff
+
+import (
+	"reflect"
+	"testing"
+
+	"fex/internal/store"
+)
+
+// FuzzDiffReportRoundTrip hardens the report codec against arbitrary
+// bytes: DecodeReport must never panic, and anything it accepts must
+// re-encode canonically — Encode∘Decode∘Encode is a fixed point and the
+// decoded forms are equal. CI replays the seed corpus deterministically,
+// like the runlog and store fuzzers.
+func FuzzDiffReportRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"schema":1,"metric":"wall_ns","alpha":0.05,"baseline":{"source":"a","digest":"d","cells":1},"candidate":{"source":"b","digest":"d","cells":1},"deltas":null}`))
+	f.Add([]byte(`{"schema":1,"metric":"cycles","alpha":0.01,"baseline":{},"candidate":{},"deltas":[{"experiment":"e","suite":"s","benchmark":"b","build_type":"t","threads":"1","input":"i","at_threads":1,"stats":{"benchmark":"","a":{"n":2,"mean":1,"stddev":0,"min":1,"median":1,"max":1},"b":{"n":2,"mean":2,"stddev":0,"min":2,"median":2,"max":2},"ratio":2},"speedup":0.5,"verdict":"regression"}]}`))
+	f.Add([]byte(`{"schema":99}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"schema":1,"metric":"m","alpha":0.5,"baseline":{},"candidate":{},"deltas":[],"baseline_only":[{"experiment":"e","suite":"s","benchmark":"b","build_type":"t","threads":"","input":"","fingerprint":"k"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeReport(r)
+		if err != nil {
+			t.Fatalf("accepted report does not encode: %v", err)
+		}
+		back, err := DecodeReport(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding of accepted report does not decode: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Fatalf("decode/encode/decode changed the report:\n%+v\nvs\n%+v", r, back)
+		}
+		enc2, err := EncodeReport(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzCellJoin drives the join over arbitrary fingerprint pairs: it must
+// never panic, and when it succeeds every input cell is accounted for
+// exactly once — matched into a pair or reported as unmatched, never
+// silently dropped.
+func FuzzCellJoin(f *testing.F) {
+	f.Add("e", "s", "b", "t", "i", "", 1, 2, "e", "s", "b", "t", "i", "", 1, 2, true)
+	f.Add("e", "s", "b", "t", "i", "", 1, 2, "e2", "s2", "b2", "t2", "i2", "dims", 3, 4, false)
+	f.Add("", "", "", "", "", "", 0, 0, "", "", "", "", "", "", 0, 0, true)
+	f.Add("a|b", "c\nd", "e=f", `g"h`, "i,j", "k", -1, 7, "a|b", "c\nd", "e=f", `g"h`, "i,j", "k", -1, 7, false)
+	f.Fuzz(func(t *testing.T,
+		exp1, suite1, bench1, type1, input1, dims1 string, t1a, t1b int,
+		exp2, suite2, bench2, type2, input2, dims2 string, t2a, t2b int,
+		shareCell bool) {
+		fp1 := store.Fingerprint{
+			Experiment: exp1, Suite: suite1, Benchmark: bench1, BuildType: type1,
+			Threads: []int{t1a, t1b}, Reps: "1", Input: input1, Dims: dims1,
+		}
+		fp2 := store.Fingerprint{
+			Experiment: exp2, Suite: suite2, Benchmark: bench2, BuildType: type2,
+			Threads: []int{t2a, t2b}, Reps: "2", Input: input2, Dims: dims2,
+		}
+		baseRecords := []store.Record{{Fingerprint: fp1, Payload: []byte("x")}}
+		candRecords := []store.Record{{Fingerprint: fp2, Payload: []byte("y")}}
+		if shareCell {
+			candRecords = append(candRecords, store.Record{Fingerprint: fp1, Payload: []byte("z")})
+		}
+		base, err := NewRunSet(baseRecords, "base")
+		if err != nil {
+			return // duplicate records in the synthesized set — rejection is fine
+		}
+		cand, err := NewRunSet(candRecords, "cand")
+		if err != nil {
+			return
+		}
+		j, err := JoinCells(base, cand)
+		if err != nil {
+			// Ambiguous join keys are rejected, never mis-joined — but only
+			// when the two fingerprints genuinely share a join key.
+			if KeyOf(fp1) != KeyOf(fp2) || fp1.Key() == fp2.Key() {
+				t.Fatalf("join rejected unambiguous sets: %v", err)
+			}
+			return
+		}
+		got := len(j.Pairs)*2 + len(j.BaselineOnly) + len(j.CandidateOnly)
+		want := len(base.Cells) + len(cand.Cells)
+		if got != want {
+			t.Fatalf("join accounted for %d cells, want %d (pairs=%d baseOnly=%d candOnly=%d)",
+				got, want, len(j.Pairs), len(j.BaselineOnly), len(j.CandidateOnly))
+		}
+		// A cell never appears on both sides of the report.
+		seen := map[string]bool{}
+		for _, p := range j.Pairs {
+			seen[p.Baseline.Fingerprint.Key()+"/b"] = true
+			seen[p.Candidate.Fingerprint.Key()+"/c"] = true
+		}
+		for _, c := range j.BaselineOnly {
+			if seen[c.Fingerprint.Key()+"/b"] {
+				t.Fatal("cell both paired and baseline-only")
+			}
+		}
+		for _, c := range j.CandidateOnly {
+			if seen[c.Fingerprint.Key()+"/c"] {
+				t.Fatal("cell both paired and candidate-only")
+			}
+		}
+	})
+}

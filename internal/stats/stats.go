@@ -177,9 +177,10 @@ func (s Summary) String() string {
 
 // Interval is a two-sided confidence interval.
 type Interval struct {
-	Lo, Hi float64
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
 	// Level is the confidence level, e.g. 0.95.
-	Level float64
+	Level float64 `json:"level"`
 }
 
 // Width returns Hi - Lo.
@@ -187,6 +188,23 @@ func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
 
 // Contains reports whether x lies within the interval.
 func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Overlaps reports whether the two intervals share at least one point.
+// The boundary is inclusive: intervals that exactly touch ([1,2] and
+// [2,3]) DO overlap — the shared endpoint is a value both intervals deem
+// plausible, so an overlap-based significance rule must treat touching
+// intervals as compatible with equality ("not significant"). Degenerate
+// zero-width intervals (Lo == Hi, the zero-variance case) follow the same
+// rule: [5,5] overlaps [5,5] but not [7,7].
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Disjoint reports whether the intervals share no point — the
+// "separated confidence intervals" significance rule. It is the exact
+// negation of Overlaps, so exactly-touching intervals are NOT disjoint
+// and therefore never count as significant under the CI rule.
+func (iv Interval) Disjoint(other Interval) bool { return !iv.Overlaps(other) }
 
 // ConfidenceInterval returns the Student-t confidence interval for the mean
 // of xs at the given level (e.g. 0.95). The sample must contain at least two
@@ -208,13 +226,13 @@ func ConfidenceInterval(xs []float64, level float64) (Interval, error) {
 // TTestResult describes the outcome of Welch's two-sample t-test.
 type TTestResult struct {
 	// T is the test statistic.
-	T float64
+	T float64 `json:"t"`
 	// DF is the Welch–Satterthwaite degrees of freedom.
-	DF float64
+	DF float64 `json:"df"`
 	// P is the two-sided p-value.
-	P float64
+	P float64 `json:"p"`
 	// MeanDiff is mean(a) - mean(b).
-	MeanDiff float64
+	MeanDiff float64 `json:"mean_diff"`
 }
 
 // Significant reports whether the difference is significant at level alpha.

@@ -395,3 +395,34 @@ func TestRequiredRepetitionsErrors(t *testing.T) {
 		t.Error("expected error for zero-mean pilot")
 	}
 }
+
+// TestIntervalOverlapBoundary pins the inclusive overlap boundary the
+// significance rule builds on: exactly-touching intervals OVERLAP (the
+// shared endpoint is plausible for both means), and Disjoint is its
+// exact negation — in both argument orders.
+func TestIntervalOverlapBoundary(t *testing.T) {
+	cases := []struct {
+		name     string
+		a, b     Interval
+		overlaps bool
+	}{
+		{"separated", Interval{Lo: 1, Hi: 2}, Interval{Lo: 3, Hi: 4}, false},
+		{"touching", Interval{Lo: 1, Hi: 2}, Interval{Lo: 2, Hi: 3}, true},
+		{"overlapping", Interval{Lo: 1, Hi: 3}, Interval{Lo: 2, Hi: 4}, true},
+		{"nested", Interval{Lo: 1, Hi: 10}, Interval{Lo: 4, Hi: 5}, true},
+		{"identical", Interval{Lo: 1, Hi: 2}, Interval{Lo: 1, Hi: 2}, true},
+		{"degenerate equal", Interval{Lo: 5, Hi: 5}, Interval{Lo: 5, Hi: 5}, true},
+		{"degenerate apart", Interval{Lo: 5, Hi: 5}, Interval{Lo: 7, Hi: 7}, false},
+		{"degenerate on edge", Interval{Lo: 5, Hi: 5}, Interval{Lo: 5, Hi: 9}, true},
+	}
+	for _, tc := range cases {
+		for _, order := range []struct{ x, y Interval }{{tc.a, tc.b}, {tc.b, tc.a}} {
+			if got := order.x.Overlaps(order.y); got != tc.overlaps {
+				t.Errorf("%s: Overlaps(%v, %v) = %v, want %v", tc.name, order.x, order.y, got, tc.overlaps)
+			}
+			if got := order.x.Disjoint(order.y); got != !tc.overlaps {
+				t.Errorf("%s: Disjoint(%v, %v) = %v, want %v", tc.name, order.x, order.y, got, !tc.overlaps)
+			}
+		}
+	}
+}

@@ -242,6 +242,34 @@ func (s *Store) Keys() ([]string, error) {
 	return keys, nil
 }
 
+// Records decodes every stored cell, in sorted key order. Each record's
+// embedded fingerprint is verified against the content address it was
+// filed under, so a tampered or corrupt entry surfaces as an error (with
+// ErrCorrupt / ErrMismatch in its chain) rather than leaking into a
+// cross-run analysis.
+func (s *Store) Records() ([]Record, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, len(keys))
+	for _, key := range keys {
+		data, err := s.fsys.ReadFile(s.path(key))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		rec, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("store: record %s: %w", key, err)
+		}
+		if rec.Fingerprint.Key() != key {
+			return nil, fmt.Errorf("%w: record filed under %s has key %s", ErrMismatch, key, rec.Fingerprint.Key())
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
 // Stats summarizes the store's footprint.
 type Stats struct {
 	// Records is the number of stored cells.

@@ -321,3 +321,62 @@ func TestDecodeRejectsNonCanonicalForms(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreRecords pins the bulk read behind cross-run analysis: Records
+// returns every stored cell in sorted key order, verified against its
+// content address, and surfaces corruption or misfiled records as errors
+// rather than leaking them into a comparison.
+func TestStoreRecords(t *testing.T) {
+	s, fsys := newTestStore(t)
+	if recs, err := s.Records(); err != nil || len(recs) != 0 {
+		t.Fatalf("empty store: %d records, err=%v", len(recs), err)
+	}
+	fps := make([]Fingerprint, 3)
+	for i := range fps {
+		fps[i] = testFingerprint()
+		fps[i].Benchmark = fmt.Sprintf("bench%d", i)
+		if err := s.Put(fps[i], []byte(fmt.Sprintf("payload%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records %d, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Fingerprint.Key() >= recs[i].Fingerprint.Key() {
+			t.Error("records not sorted by content address")
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		seen[r.Fingerprint.Benchmark+"/"+string(r.Payload)] = true
+	}
+	for i := range fps {
+		if !seen[fmt.Sprintf("bench%d/payload%d", i, i)] {
+			t.Errorf("record %d missing or mangled", i)
+		}
+	}
+
+	// In-place corruption surfaces as ErrCorrupt.
+	key := fps[0].Key()
+	path := "/fex/store/" + key[:2] + "/" + key
+	if err := fsys.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Records(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt record: %v", err)
+	}
+
+	// A record filed under the wrong key surfaces as ErrMismatch.
+	other := Encode(Record{Fingerprint: fps[1], Payload: []byte("payload1")})
+	if err := fsys.WriteFile(path, other, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Records(); !errors.Is(err, ErrMismatch) {
+		t.Errorf("misfiled record: %v", err)
+	}
+}

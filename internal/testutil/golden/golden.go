@@ -1,0 +1,170 @@
+// Package golden is the shared end-to-end test harness of the examples:
+// a golden-file runner that executes an example in a scratch directory and
+// compares every artifact it writes — run logs, collected CSVs, rendered
+// SVGs — byte for byte against files committed under the example's
+// testdata/golden directory. Regenerate the goldens with
+//
+//	go test ./examples/... -run Golden -update
+//
+// after an intentional output change; any unintentional drift in the
+// experiment pipeline then fails the example suites with a byte-level
+// diff. Examples run in deterministic mode (fixed clock, modeled time) so
+// the goldens are machine-independent; the one genuinely nondeterministic
+// example (nginx: a live load-generation sweep) normalizes its volatile
+// fields through a Scrub hook before comparing.
+package golden
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// update rewrites golden files instead of comparing against them.
+var update = flag.Bool("update", false, "rewrite the examples' golden files instead of comparing")
+
+// Golden configures one golden run.
+type Options struct {
+	// Scrub normalizes one produced artifact before comparison (and
+	// before -update writes it): it receives the file's slash-separated
+	// path relative to the scratch directory and its bytes, and returns
+	// the normalized bytes — or nil to exclude the file from the golden
+	// set entirely. A nil Scrub compares every artifact byte for byte.
+	Scrub func(name string, data []byte) []byte
+}
+
+// Run executes run inside a scratch directory and compares every
+// file it leaves behind against the calling package's testdata/golden
+// directory: the file sets must match exactly, and each file must match
+// byte for byte (after Scrub, when set). With -update the golden
+// directory is rewritten from this run instead.
+func Run(t *testing.T, run func() error, g Options) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenDir := filepath.Join(wd, "testdata", "golden")
+	scratch := t.TempDir()
+	if err := os.Chdir(scratch); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := run(); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+
+	produced, err := collectFiles(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scrub != nil {
+		scrubbed := map[string][]byte{}
+		for name, data := range produced {
+			if out := g.Scrub(name, data); out != nil {
+				scrubbed[name] = out
+			}
+		}
+		produced = scrubbed
+	}
+	if len(produced) == 0 {
+		t.Fatal("example produced no artifacts to golden-test")
+	}
+
+	if *update {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range produced {
+			path := filepath.Join(goldenDir, filepath.FromSlash(name))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("updated %d golden files in %s", len(produced), goldenDir)
+		return
+	}
+
+	golden, err := collectFiles(goldenDir)
+	if err != nil {
+		t.Fatalf("no golden files (regenerate with -update): %v", err)
+	}
+	for _, name := range sortedNames(golden) {
+		got, ok := produced[name]
+		if !ok {
+			t.Errorf("missing artifact %s (golden exists; run with -update if intentional)", name)
+			continue
+		}
+		if !bytes.Equal(got, golden[name]) {
+			t.Errorf("artifact %s differs from golden:\n%s", name, diffSummary(golden[name], got))
+		}
+	}
+	for _, name := range sortedNames(produced) {
+		if _, ok := golden[name]; !ok {
+			t.Errorf("unexpected artifact %s (no golden; run with -update if intentional)", name)
+		}
+	}
+}
+
+// collectFiles reads every regular file under dir, keyed by
+// slash-separated relative path.
+func collectFiles(dir string) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[filepath.ToSlash(rel)] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func sortedNames(m map[string][]byte) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// diffSummary points at the first differing line of two byte streams
+// without dumping megabytes of SVG into the test log.
+func diffSummary(want, got []byte) string {
+	wantLines := bytes.Split(want, []byte("\n"))
+	gotLines := bytes.Split(got, []byte("\n"))
+	n := len(wantLines)
+	if len(gotLines) < n {
+		n = len(gotLines)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wantLines[i], gotLines[i]) {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %.200q\n  got:    %.200q", i+1, wantLines[i], gotLines[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d lines, got %d lines", len(wantLines), len(gotLines))
+}

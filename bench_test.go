@@ -29,7 +29,9 @@ import (
 	"fex/internal/runlog"
 	"fex/internal/security"
 	"fex/internal/stats"
+	"fex/internal/store"
 	"fex/internal/toolchain"
+	"fex/internal/vfs"
 	"fex/internal/workload"
 )
 
@@ -430,6 +432,68 @@ func BenchmarkAblation_MemoizedReps(b *testing.B) {
 	printTable("Memoized execution engine (-r 32, splash/fft)",
 		fmt.Sprintf("no-memo=32 kernel runs  memo=1 kernel run + 31 model evals  speedup=%.1fx\n", speedup))
 	b.ReportMetric(speedup, "memo-speedup")
+}
+
+// BenchmarkAblation_StoreBulkResolve quantifies the plan-ahead store path
+// behind -resume: resolving a 1000-cell warm resume through one BulkGet
+// versus 1000 per-cell Get probes, measured in vfs operations — the unit
+// a real filesystem bills for. The store is compacted first, as a
+// long-lived store would be, so the bulk path syncs the index once and
+// reads one pack file per shard instead of probing per cell; batching
+// must use strictly fewer operations.
+func BenchmarkAblation_StoreBulkResolve(b *testing.B) {
+	const cells = 1000
+	fsys := vfs.New()
+	s := store.New(fsys, "/fex/store")
+	fps := make([]store.Fingerprint, cells)
+	for i := range fps {
+		fps[i] = store.Fingerprint{
+			Experiment: "ablation",
+			Suite:      "splash",
+			Benchmark:  fmt.Sprintf("bench%04d", i),
+			BuildType:  "gcc_native",
+			Threads:    []int{1},
+			Reps:       "2",
+		}
+		if err := s.Put(fps[i], []byte(fmt.Sprintf("RUN|cell=%d\n", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.Compact(nil); err != nil {
+		b.Fatal(err)
+	}
+	var perCellOps, bulkOps float64
+	for i := 0; i < b.N; i++ {
+		cold := store.New(fsys, "/fex/store")
+		before := fsys.Ops()
+		for _, fp := range fps {
+			if _, present, err := cold.Get(fp); err != nil || !present {
+				b.Fatalf("per-cell probe for %s: present=%t err=%v", fp.Benchmark, present, err)
+			}
+		}
+		perCellOps = float64(fsys.Ops() - before)
+
+		cold = store.New(fsys, "/fex/store")
+		before = fsys.Ops()
+		results, err := cold.BulkGet(fps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bulkOps = float64(fsys.Ops() - before)
+		for j, r := range results {
+			if !r.Present || r.Err != nil {
+				b.Fatalf("bulk result %d: present=%t err=%v", j, r.Present, r.Err)
+			}
+		}
+	}
+	if bulkOps >= perCellOps {
+		b.Fatalf("bulk resolve used %.0f vfs ops, per-cell probing %.0f — batching must win", bulkOps, perCellOps)
+	}
+	printTable("Result-store plan-ahead (1000-cell warm resume)",
+		fmt.Sprintf("per-cell=%.0f vfs ops  bulk=%.0f vfs ops  ratio=%.1fx\n", perCellOps, bulkOps, perCellOps/bulkOps))
+	b.ReportMetric(perCellOps, "percell-vfsops")
+	b.ReportMetric(bulkOps, "bulk-vfsops")
+	b.ReportMetric(perCellOps/bulkOps, "vfsop-ratio")
 }
 
 // BenchmarkAblation_ParallelScaling demonstrates the -jobs experiment

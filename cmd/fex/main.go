@@ -13,6 +13,7 @@
 //	gate     -baseline <dir> [candidate]   CI gate: exit nonzero on a significant regression
 //	export   -o <dir>                      write the result store as a committable run-set directory
 //	clean                                  evict the persistent result store
+//	compact                                garbage-collect and repack the result store
 //	list                                   print the supported-experiments inventory (Table I)
 //
 // Flags (matching §III-B): -t build types / plot kind, -b benchmark
@@ -98,7 +99,7 @@ type cliArgs struct {
 
 func parseArgs(argv []string) (cliArgs, error) {
 	if len(argv) == 0 {
-		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|analyze|diff|gate|export|clean|list> -n <name> [args]")
+		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|analyze|diff|gate|export|clean|compact|list> -n <name> [args]")
 	}
 	args := cliArgs{action: argv[0], reps: 1, jobs: 1}
 	i := 1
@@ -548,12 +549,26 @@ func run(argv []string) error {
 		fmt.Printf("store cleaned: evicted %d cells (%d bytes)\n", before.Records, before.Bytes)
 		return saveState()
 
+	case "compact":
+		// fex compact [--state file]: drop stored cells no current run could
+		// replay (their ConfigHash matches no mode combination under the
+		// current cost-model calibration and metrics schema) and repack the
+		// survivors into per-shard pack files, which is also what makes
+		// -resume's batched plan-ahead lookup cheap.
+		stats, err := fx.CompactStore()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("store compacted: kept %d cells, dropped %d stale, %d packs, %d bytes reclaimed\n",
+			stats.Kept, stats.Dropped, stats.Packs, stats.Bytes)
+		return saveState()
+
 	case "list":
 		fmt.Print(fx.BuildInventory().String())
 		return nil
 
 	default:
-		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, diff, gate, export, clean, list)", args.action)
+		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, diff, gate, export, clean, compact, list)", args.action)
 	}
 }
 

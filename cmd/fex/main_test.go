@@ -212,6 +212,53 @@ func TestCLIResumeRoundtripWithState(t *testing.T) {
 	}
 }
 
+// TestCLICompactRoundtripWithState drives `fex compact` through the CLI:
+// a compacted store (records repacked into per-shard pack files, written
+// back into the --state file) must replay exactly like the loose store —
+// a -resume run after compaction exports byte-identical results.
+func TestCLICompactRoundtripWithState(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "fex.state")
+	coldDir, warmDir := filepath.Join(dir, "cold"), filepath.Join(dir, "warm")
+	base := []string{
+		"run", "-n", "micro",
+		"-t", "gcc_native", "gcc_asan",
+		"-b", "array_read", "branch_heavy",
+		"-i", "test", "-r", "2",
+		"--modeled-time",
+		"--state", state,
+	}
+	if err := run(append(append([]string{}, base...), "-o", coldDir)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compact", "--state", state}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := run(append(append([]string{}, base...), "-resume", "-o", warmDir)); err != nil {
+		t.Fatalf("resume after compact: %v", err)
+	}
+	maskStarted := regexp.MustCompile(`started=[^|\n]*`)
+	for _, name := range []string{"micro.csv", "micro.log"} {
+		cold, err := os.ReadFile(filepath.Join(coldDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := os.ReadFile(filepath.Join(warmDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := maskStarted.ReplaceAllString(string(cold), "started=T")
+		w := maskStarted.ReplaceAllString(string(warm), "started=T")
+		if c != w {
+			t.Errorf("%s differs between cold run and -resume after compact:\n--- cold ---\n%s\n--- warm ---\n%s", name, cold, warm)
+		}
+	}
+	// Compacting an already-compacted (or empty) store is harmless.
+	if err := run([]string{"compact", "--state", state}); err != nil {
+		t.Fatalf("second compact: %v", err)
+	}
+}
+
 // TestCLIFailedRunStillSavesState pins the partial-run durability
 // contract at the CLI layer: even when a run fails, the container state —
 // and with it every result-store cell that completed before the failure —

@@ -16,7 +16,10 @@ package core
 // onto idle workers, fetches each cell's shard log from the Host.Run
 // output, and merges the shards into the main log in canonical loop
 // order — so a cluster run's stored log and CSV are byte-identical to a
-// serial local run's.
+// serial local run's. Store replays are resolved on the coordinator
+// before placement, in one batched plan-ahead pass (planReplays in
+// schedule.go): replayed cells are never dispatched, and the hosts never
+// touch the result store.
 //
 // Failover: a cell whose host returns remote.ErrUnreachable is retried
 // on the next healthy host; the dead host leaves the placement pool for

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"fex/internal/env"
+)
+
+// overlapProvider is a Provider whose Variables set a single shared
+// variable — two of these registered under different keys that both match
+// one build type force environmentFor to pick a winner.
+type overlapProvider struct{ name, value string }
+
+func (p overlapProvider) Name() string { return p.name }
+
+func (p overlapProvider) Variables() *env.Environment {
+	e := env.New()
+	_ = e.Set(env.Updated, "CFLAGS", p.value)
+	return e
+}
+
+// TestEnvironmentForProviderOrderDeterministic is the regression test for
+// the map-iteration-order bug: when two providers match the same build
+// type and set the same variable, the merge must resolve identically on
+// every call — sorted key order, later key wins — not whichever way the
+// providers map happened to iterate. Before the fix this flaked roughly
+// every other process run; 64 iterations across fresh Fex instances make
+// a regression overwhelmingly likely to trip.
+func TestEnvironmentForProviderOrderDeterministic(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		fx, err := New(Options{Now: fixedNow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both keys are substrings of the build type "aa_zz_custom", so both
+		// providers merge; "zz" sorts after "aa" and must win.
+		if err := fx.RegisterEnvProvider("aa", overlapProvider{name: "aa", value: "-flags-from-aa"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := fx.RegisterEnvProvider("zz", overlapProvider{name: "zz", value: "-flags-from-zz"}); err != nil {
+			t.Fatal(err)
+		}
+		e := fx.environmentFor([]string{"aa_zz_custom"})
+		got, ok := e.Get(env.Updated, "CFLAGS")
+		if !ok {
+			t.Fatalf("iteration %d: CFLAGS not set by either provider", i)
+		}
+		if got != "-flags-from-zz" {
+			t.Fatalf("iteration %d: CFLAGS = %q, want provider under the later sorted key to win", i, got)
+		}
+	}
+}

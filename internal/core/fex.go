@@ -227,6 +227,31 @@ func (fx *Fex) CleanStore() error {
 	return fx.store.Clean()
 }
 
+// CompactStore garbage-collects and repacks the result store — the "fex
+// compact" action. Records whose ConfigHash no current run could produce
+// are dropped: a cell's hash must match one of the mode combinations
+// (debug × modeled-time × no-memo) under the *current* calibration and
+// metrics schema, so cells stranded by a calibration or schema change —
+// unreachable by any -resume lookup — stop occupying the store. The
+// survivors are packed one file per shard, which is also what makes the
+// plan-ahead BulkGet cheap (one read per pack instead of one per cell).
+func (fx *Fex) CompactStore() (store.CompactStats, error) {
+	if fx.store == nil {
+		return store.CompactStats{}, nil
+	}
+	valid := make(map[string]bool, 8)
+	for _, debug := range []bool{false, true} {
+		for _, modelTime := range []bool{false, true} {
+			for _, noMemo := range []bool{false, true} {
+				valid[fx.costModelHash(Config{Debug: debug, ModelTime: modelTime, NoMemo: noMemo})] = true
+			}
+		}
+	}
+	return fx.store.Compact(func(fp store.Fingerprint) bool {
+		return valid[fp.ConfigHash]
+	})
+}
+
 // costModelHash digests the measurement context that cell fingerprints
 // cannot express structurally: the full cost-model calibration (baseline,
 // per-compiler codegen, sanitizer and debug scales — every derived vector
@@ -335,17 +360,26 @@ func (fx *Fex) selectBenchmarks(suite string, filter []string) ([]workload.Workl
 }
 
 // environmentFor assembles the experiment environment: framework defaults
-// overlaid with each requested build type's provider (§II-B).
+// overlaid with each requested build type's provider (§II-B). Providers
+// matching the same build type merge in sorted key order — map iteration
+// order must never decide which provider's value for an overlapping
+// variable wins, or two runs of the same configuration could measure
+// different environments.
 func (fx *Fex) environmentFor(buildTypes []string) *env.Environment {
 	e := env.New()
 	_ = e.Set(env.Default, "FEX_ROOT", "/fex")
 	_ = e.Set(env.Default, "LC_ALL", "C")
 	_ = e.Set(env.Default, "BIN_PATH", "/usr/bin")
 	_ = e.Set(env.Debug, "FEX_DEBUG", "1")
+	keys := make([]string, 0, len(fx.providers))
+	for key := range fx.providers {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	for _, bt := range buildTypes {
-		for key, p := range fx.providers {
+		for _, key := range keys {
 			if strings.Contains(bt, key) && key != "native" {
-				e.Merge(p.Variables())
+				e.Merge(fx.providers[key].Variables())
 			}
 		}
 	}

@@ -68,30 +68,47 @@ func cellFingerprint(fx *Fex, cfg Config, c cell) store.Fingerprint {
 	}
 }
 
-// replayCell returns the cell's stored shard when -resume is set and the
-// store holds a valid record for its fingerprint; nil means "execute the
-// cell". Corrupt or mismatched records are reported to the -v stream and
-// treated as misses, so a damaged store self-heals by re-measuring.
-func replayCell(rc *RunContext, c cell) *runlog.Shard {
+// planReplays resolves every cell's store lookup in one batched pass
+// before the run starts executing: one BulkGet over all cell fingerprints
+// syncs the index once and reads each backing file once, instead of a
+// per-cell store probe. The returned slice is positionally aligned with
+// cells; a nil shard means "execute the cell". Corrupt or mismatched
+// records are reported to the -v stream and treated as misses, so a
+// damaged store self-heals by re-measuring.
+func planReplays(rc *RunContext, cells []cell) []*runlog.Shard {
+	shards := make([]*runlog.Shard, len(cells))
 	if !rc.Config.Resume || rc.Fex.store == nil {
-		return nil
+		return shards
 	}
-	payload, present, err := rc.Fex.store.Get(cellFingerprint(rc.Fex, rc.Config, c))
+	fps := make([]store.Fingerprint, len(cells))
+	for i, c := range cells {
+		fps[i] = cellFingerprint(rc.Fex, rc.Config, c)
+	}
+	results, err := rc.Fex.store.BulkGet(fps)
 	if err != nil {
-		rc.logf("  store: %s/%s [%s]: %v; re-measuring", c.workload.Suite(), c.workload.Name(), c.buildType, err)
-		return nil
+		// A failed plan never fails the run: every cell just measures cold.
+		rc.logf("  store: plan lookup failed: %v; re-measuring", err)
+		return shards
 	}
-	if !present {
-		return nil
+	for i, r := range results {
+		c := cells[i]
+		if r.Err != nil {
+			rc.logf("  store: %s/%s [%s]: %v; re-measuring", c.workload.Suite(), c.workload.Name(), c.buildType, r.Err)
+			continue
+		}
+		if !r.Present {
+			continue
+		}
+		text := string(r.Payload)
+		if err := runlog.ValidateText(text); err != nil {
+			rc.logf("  store: %s/%s [%s]: invalid stored records: %v; re-measuring",
+				c.workload.Suite(), c.workload.Name(), c.buildType, err)
+			continue
+		}
+		rc.logf("  store: replaying %s/%s [%s]", c.workload.Suite(), c.workload.Name(), c.buildType)
+		shards[i] = runlog.RestoreShard(text)
 	}
-	text := string(payload)
-	if err := runlog.ValidateText(text); err != nil {
-		rc.logf("  store: %s/%s [%s]: invalid stored records: %v; re-measuring",
-			c.workload.Suite(), c.workload.Name(), c.buildType, err)
-		return nil
-	}
-	rc.logf("  store: replaying %s/%s [%s]", c.workload.Suite(), c.workload.Name(), c.buildType)
-	return runlog.RestoreShard(text)
+	return shards
 }
 
 // persistCell stores a completed cell's shard under its fingerprint.
@@ -119,15 +136,21 @@ func persistCell(rc *RunContext, c cell, shard *runlog.Shard) {
 // cells — with each cell buffered in a private shard, consulted against
 // the result store, and appended to the main log as it completes. Routing
 // the serial tier through the same shard/store path as the parallel tiers
-// keeps the log bytes identical while making every tier resumable.
+// keeps the log bytes identical while making every tier resumable. Store
+// lookups are planned ahead in one batched pass (fingerprints depend only
+// on the config and the cell, never on perType side effects, so resolving
+// them before the loop is equivalent).
 func runSerial(rc *RunContext, benches []workload.Workload, dims string, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
-	for _, buildType := range rc.Config.BuildTypes {
+	cells := makeCells(rc.Config.BuildTypes, benches, dims)
+	replays := planReplays(rc, cells)
+	for bt, buildType := range rc.Config.BuildTypes {
 		if err := perType(buildType); err != nil {
 			return err
 		}
-		for _, w := range benches {
-			c := cell{buildType: buildType, workload: w, dims: dims}
-			shard := replayCell(rc, c)
+		for wi := range benches {
+			i := bt*len(benches) + wi
+			c := cells[i]
+			shard := replays[i]
 			if shard == nil {
 				shard = runlog.NewShard()
 				cellRC := &RunContext{
@@ -170,12 +193,11 @@ func runParallel(rc *RunContext, benches []workload.Workload, dims string, perTy
 		}
 	}
 	cells := makeCells(rc.Config.BuildTypes, benches, dims)
-	shards := make([]*runlog.Shard, len(cells))
+	shards := planReplays(rc, cells)
 	var pending []cell
 	var pendingIdx []int
 	for i, c := range cells {
-		if shard := replayCell(rc, c); shard != nil {
-			shards[i] = shard
+		if shards[i] != nil {
 			continue
 		}
 		pending = append(pending, c)

@@ -426,3 +426,63 @@ func TestIntervalOverlapBoundary(t *testing.T) {
 		}
 	}
 }
+
+// TestWelchTTestZeroVarianceDifferentMeans covers the degenerate branch
+// where both samples are constant but unequal: the difference is certain,
+// so the statistic is signed infinity with p = 0, in both directions.
+func TestWelchTTestZeroVarianceDifferentMeans(t *testing.T) {
+	r, err := WelchTTest([]float64{2, 2, 2}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.T, 1) || r.P != 0 || r.MeanDiff != 1 {
+		t.Fatalf("a>b constant samples: %+v, want T=+Inf P=0 MeanDiff=1", r)
+	}
+	r, err = WelchTTest([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.T, -1) || r.P != 0 || r.MeanDiff != -1 {
+		t.Fatalf("a<b constant samples: %+v, want T=-Inf P=0 MeanDiff=-1", r)
+	}
+}
+
+// TestEmptyInputErrors sweeps the descriptive statistics over an empty
+// sample: every one must report ErrEmpty rather than a silent zero.
+func TestEmptyInputErrors(t *testing.T) {
+	if _, err := StdDev(nil); err == nil {
+		t.Error("StdDev(nil) succeeded")
+	}
+	if _, err := CoV(nil); err == nil {
+		t.Error("CoV(nil) succeeded")
+	}
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) succeeded")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) succeeded")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean(nil) succeeded")
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) succeeded")
+	}
+}
+
+// TestCoVZeroMean covers CoV's division guard.
+func TestCoVZeroMean(t *testing.T) {
+	if _, err := CoV([]float64{-1, 1}); err == nil {
+		t.Error("CoV with zero mean succeeded")
+	}
+}
+
+// TestTQuantileBounds covers the quantile's domain guards and midpoint.
+func TestTQuantileBounds(t *testing.T) {
+	if !math.IsNaN(tQuantile(0, 5)) || !math.IsNaN(tQuantile(1, 5)) {
+		t.Error("tQuantile outside (0,1) must be NaN")
+	}
+	if q := tQuantile(0.5, 5); q != 0 {
+		t.Errorf("tQuantile(0.5) = %v, want 0", q)
+	}
+}

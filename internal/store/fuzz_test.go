@@ -3,6 +3,8 @@ package store
 import (
 	"bytes"
 	"testing"
+
+	"fex/internal/vfs"
 )
 
 // FuzzFingerprintRoundTrip drives arbitrary field values through the
@@ -77,6 +79,66 @@ func FuzzStoreCodec(f *testing.F) {
 		}
 		if !rec2.Fingerprint.Equal(rec.Fingerprint) || !bytes.Equal(rec2.Payload, rec.Payload) {
 			t.Fatal("decode/encode/decode is not idempotent")
+		}
+	})
+}
+
+// FuzzIndexCodec hardens the index snapshot codec and, transitively, the
+// replay path behind it: decodeIndex must never panic, anything it accepts
+// must re-encode to the exact input bytes (the same strict-identity
+// property the record codec holds), and — the load-bearing guarantee — a
+// store whose index file holds arbitrary fuzzer bytes must either serve
+// the correct payloads (after a self-heal rescan) or miss, never replay a
+// wrong record.
+func FuzzIndexCodec(f *testing.F) {
+	seedEntries := map[string]indexEntry{}
+	for _, fp := range []Fingerprint{
+		{Experiment: "e", Threads: []int{1}},
+		{Experiment: "e2", Suite: "s", Benchmark: "b", Threads: []int{1, 2}},
+	} {
+		key := fp.Key()
+		data := Encode(Record{Fingerprint: fp, Payload: []byte("p")})
+		seedEntries[key] = looseEntry(key, data)
+	}
+	f.Add(encodeIndex(0, nil))
+	f.Add(encodeIndex(3, seedEntries))
+	f.Add([]byte("FEXINDEX|1|gen=0|n=0\n"))
+	f.Add([]byte("FEXINDEX|1|gen=0|n=0\nSUM|0000000000000000000000000000000000000000000000000000000000000000\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen, entries, err := decodeIndex(data)
+		if err == nil {
+			re := encodeIndex(gen, entries)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted index does not re-encode to its input bytes:\n in: %q\nout: %q", data, re)
+			}
+		}
+
+		// Integration: plant the fuzzed bytes as a live store's index file.
+		// Whatever they decode to, lookups must return the true payloads or
+		// miss — never a wrong replay.
+		fsys := vfs.New()
+		s := New(fsys, "/fex/store")
+		fpA, fpB := testFingerprint(), testFingerprint()
+		fpB.Benchmark = "other"
+		if err := s.Put(fpA, []byte("payload-a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(fpB, []byte("payload-b")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.WriteFile("/fex/store/"+indexFile, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cold := New(fsys, "/fex/store")
+		results, err := cold.BulkGet([]Fingerprint{fpA, fpB})
+		if err != nil {
+			t.Fatalf("bulkget over fuzzed index: %v", err)
+		}
+		for i, want := range []string{"payload-a", "payload-b"} {
+			r := results[i]
+			if r.Present && r.Err == nil && string(r.Payload) != want {
+				t.Fatalf("fuzzed index caused wrong replay: record %d returned %q, want %q", i, r.Payload, want)
+			}
 		}
 	})
 }

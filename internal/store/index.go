@@ -1,0 +1,498 @@
+package store
+
+// Index layer: the store keeps a persistent index mapping each fingerprint
+// key to the exact byte range holding its record, so planning a resumed
+// run reads a handful of files instead of probing one path per cell.
+//
+// On-disk state under the store root:
+//
+//	<ab>/<key>      loose record files, written by Put (stage-then-rename)
+//	pack/<ab>.pack  packed shards: records concatenated in key order,
+//	                written only by Compact
+//	index           index snapshot: header, sorted entry lines, integrity
+//	                trailer
+//	journal         entry lines appended since the snapshot (one per
+//	                Put/Delete; vfs.Append keeps each line atomic)
+//	tmp/            staging area for stage-then-rename writes
+//	lock            maintenance lockfile (exclusive-create) held while
+//	                compacting or persisting a rescan
+//
+// Writers stay lock-free: Put commits a complete record file by rename and
+// then appends one line to the journal, so any number of processes can
+// write concurrently; the index snapshot is only rewritten by maintenance
+// operations (Compact, self-heal rescans), which serialize on the
+// lockfile. Readers treat the index as a cache over the record files: a
+// missing or corrupt snapshot, an unparseable journal, or an entry whose
+// bytes fail verification all fall back to the files themselves and
+// trigger a rescan — a damaged index can cost time, never a wrong replay.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fex/internal/vfs"
+)
+
+const (
+	indexMagic  = "FEXINDEX|1"
+	indexFile   = "index"
+	journalFile = "journal"
+	lockFile    = "lock"
+	packDir     = "pack"
+	// tombstone marks a deleted key in the journal (never in a snapshot).
+	tombstone = "-"
+)
+
+// indexEntry locates one record's bytes relative to the store root.
+type indexEntry struct {
+	// file is "ab/<key>" for a loose record or "pack/ab.pack" for a packed
+	// one, where ab is the key's shard prefix.
+	file string
+	// off and length delimit the encoded record inside file.
+	off    int64
+	length int64
+	// sum is the hex SHA-256 of those record bytes, so a stale entry is
+	// detected before its payload can be replayed.
+	sum string
+}
+
+func (s *Store) indexPath() string   { return s.root + "/" + indexFile }
+func (s *Store) journalPath() string { return s.root + "/" + journalFile }
+func (s *Store) lockPath() string    { return s.root + "/" + lockFile }
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func sumHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// looseEntry builds the index entry for a loose record file holding data.
+func looseEntry(key string, data []byte) indexEntry {
+	return indexEntry{
+		file:   key[:2] + "/" + key,
+		off:    0,
+		length: int64(len(data)),
+		sum:    sumHex(data),
+	}
+}
+
+// formatEntry renders one index/journal line: key|file|off|length|sum.
+func formatEntry(key string, e indexEntry) string {
+	return key + "|" + e.file + "|" +
+		strconv.FormatInt(e.off, 10) + "|" +
+		strconv.FormatInt(e.length, 10) + "|" + e.sum + "\n"
+}
+
+func formatTombstone(key string) string {
+	return key + "|" + tombstone + "|0|0|" + tombstone + "\n"
+}
+
+// parseEntry parses one index/journal line. It is strict — five fields,
+// hex keys and sums, canonical decimal offsets, and a file path fully
+// determined by the key — so any in-place corruption surfaces as a parse
+// error (and therefore a rescan) rather than a misdirected lookup.
+func parseEntry(line string) (string, indexEntry, error) {
+	f := strings.Split(line, "|")
+	if len(f) != 5 {
+		return "", indexEntry{}, fmt.Errorf("index entry has %d fields, want 5", len(f))
+	}
+	key := f[0]
+	if len(key) != 64 || !isLowerHex(key) {
+		return "", indexEntry{}, fmt.Errorf("bad index key %q", key)
+	}
+	e := indexEntry{file: f[1], sum: f[4]}
+	if e.file == tombstone {
+		if f[2] != "0" || f[3] != "0" || e.sum != tombstone {
+			return "", indexEntry{}, fmt.Errorf("malformed tombstone for %s", key)
+		}
+		return key, e, nil
+	}
+	switch e.file {
+	case key[:2] + "/" + key: // loose record
+	case packDir + "/" + key[:2] + ".pack": // packed record
+	default:
+		return "", indexEntry{}, fmt.Errorf("index entry for %s names foreign file %q", key, e.file)
+	}
+	for i, dst := range []*int64{&e.off, &e.length} {
+		v, err := strconv.ParseInt(f[2+i], 10, 64)
+		if err != nil || v < 0 || strconv.FormatInt(v, 10) != f[2+i] {
+			return "", indexEntry{}, fmt.Errorf("bad index offset %q", f[2+i])
+		}
+		*dst = v
+	}
+	if len(e.sum) != 64 || !isLowerHex(e.sum) {
+		return "", indexEntry{}, fmt.Errorf("bad index digest %q", e.sum)
+	}
+	return key, e, nil
+}
+
+// encodeIndex renders an index snapshot: a header carrying the generation
+// counter and entry count, the entries sorted by key, and an integrity
+// trailer digesting everything above it.
+func encodeIndex(gen int64, entries map[string]indexEntry) []byte {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|gen=%d|n=%d\n", indexMagic, gen, len(entries))
+	for _, k := range keys {
+		sb.WriteString(formatEntry(k, entries[k]))
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	fmt.Fprintf(&sb, "SUM|%s\n", hex.EncodeToString(sum[:]))
+	return []byte(sb.String())
+}
+
+// decodeIndex parses a snapshot produced by encodeIndex. Any deviation —
+// bad trailer, bad header, entry count mismatch, out-of-order or duplicate
+// keys, tombstones — is an error; the caller answers every error with a
+// rescan, so decodeIndex never needs to guess.
+func decodeIndex(data []byte) (int64, map[string]indexEntry, error) {
+	const trailerLen = len("SUM|") + 64 + 1
+	if len(data) < trailerLen || data[len(data)-1] != '\n' {
+		return 0, nil, errors.New("index truncated")
+	}
+	body := data[:len(data)-trailerLen]
+	trailer := string(data[len(data)-trailerLen : len(data)-1])
+	if sum := sha256.Sum256(body); trailer != "SUM|"+hex.EncodeToString(sum[:]) {
+		return 0, nil, errors.New("index integrity trailer mismatch")
+	}
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		return 0, nil, errors.New("index body truncated")
+	}
+	lines := strings.Split(string(body[:len(body)-1]), "\n")
+	head := strings.Split(lines[0], "|")
+	if len(head) != 4 || head[0]+"|"+head[1] != indexMagic {
+		return 0, nil, fmt.Errorf("bad index header %q", lines[0])
+	}
+	genStr := strings.TrimPrefix(head[2], "gen=")
+	gen, err := strconv.ParseInt(genStr, 10, 64)
+	if genStr == head[2] || err != nil || gen < 0 || strconv.FormatInt(gen, 10) != genStr {
+		return 0, nil, fmt.Errorf("bad index generation %q", head[2])
+	}
+	nStr := strings.TrimPrefix(head[3], "n=")
+	n, err := strconv.Atoi(nStr)
+	if nStr == head[3] || err != nil || n < 0 || strconv.Itoa(n) != nStr {
+		return 0, nil, fmt.Errorf("bad index entry count %q", head[3])
+	}
+	if len(lines)-1 != n {
+		return 0, nil, fmt.Errorf("index header says %d entries, found %d", n, len(lines)-1)
+	}
+	entries := make(map[string]indexEntry, n)
+	prev := ""
+	for _, l := range lines[1:] {
+		key, e, err := parseEntry(l)
+		if err != nil {
+			return 0, nil, err
+		}
+		if e.file == tombstone {
+			return 0, nil, fmt.Errorf("tombstone for %s in snapshot", key)
+		}
+		if key <= prev {
+			return 0, nil, fmt.Errorf("index entries out of order at %s", key)
+		}
+		prev = key
+		entries[key] = e
+	}
+	return gen, entries, nil
+}
+
+// applyJournal replays journal bytes onto entries. The journal is written
+// by atomic whole-line appends, so a partial final line means corruption,
+// not an in-flight write.
+func applyJournal(entries map[string]indexEntry, data []byte) error {
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return errors.New("journal truncated mid-line")
+		}
+		key, e, err := parseEntry(string(data[:i]))
+		if err != nil {
+			return err
+		}
+		if e.file == tombstone {
+			delete(entries, key)
+		} else {
+			entries[key] = e
+		}
+		data = data[i+1:]
+	}
+	return nil
+}
+
+// syncLocked brings the in-memory index up to date: a full load on first
+// use, a cheap journal-tail refresh afterwards. Callers hold s.mu.
+func (s *Store) syncLocked() error {
+	if !s.loaded {
+		return s.loadLocked()
+	}
+	return s.refreshLocked()
+}
+
+// loadLocked (re)builds the in-memory index from the snapshot and journal
+// files. A missing snapshot with a journal is normal (no maintenance has
+// run yet); a snapshot or journal that fails to parse, or record files
+// with no index state at all (a store written before the index existed),
+// trigger a self-heal rescan.
+func (s *Store) loadLocked() error {
+	if !s.opened {
+		s.opened = true
+		s.sweepTmpLocked()
+	}
+	iData, err := s.fsys.ReadFile(s.indexPath())
+	haveSnap := err == nil
+	if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	jData, err := s.fsys.ReadFile(s.journalPath())
+	haveJournal := err == nil
+	if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	var gen int64
+	entries := map[string]indexEntry{}
+	if haveSnap {
+		gen, entries, err = decodeIndex(iData)
+		if err != nil {
+			return s.rescanLocked()
+		}
+	}
+	if haveJournal {
+		if err := applyJournal(entries, jData); err != nil {
+			return s.rescanLocked()
+		}
+	}
+	if !haveSnap && !haveJournal && s.hasRecordFiles() {
+		return s.rescanLocked()
+	}
+	s.gen = gen
+	s.entries = entries
+	s.snapRaw = iData
+	s.journal = jData
+	s.loaded = true
+	return nil
+}
+
+// refreshLocked syncs the in-memory index with writes from other store
+// instances (other processes sharing the filesystem): if the journal has
+// only grown, the new tail is replayed in place; anything else — a new
+// snapshot, a truncated journal — means maintenance ran elsewhere, and the
+// whole index is reloaded.
+func (s *Store) refreshLocked() error {
+	jData, err := s.fsys.ReadFile(s.journalPath())
+	if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	iData, ierr := s.fsys.ReadFile(s.indexPath())
+	if ierr != nil && !errors.Is(ierr, vfs.ErrNotExist) {
+		return fmt.Errorf("store: index: %w", ierr)
+	}
+	if !bytes.Equal(iData, s.snapRaw) || !bytes.HasPrefix(jData, s.journal) {
+		return s.loadLocked()
+	}
+	if delta := jData[len(s.journal):]; len(delta) > 0 {
+		if err := applyJournal(s.entries, delta); err != nil {
+			return s.rescanLocked()
+		}
+		s.journal = jData
+	}
+	return nil
+}
+
+// hasRecordFiles reports whether the root holds record files (shard dirs
+// or packs) — the legacy-layout test deciding whether a store with no
+// index state needs a rescan or is simply empty.
+func (s *Store) hasRecordFiles() bool {
+	if !s.fsys.IsDir(s.root) {
+		return false
+	}
+	dirs, err := s.fsys.ReadDir(s.root)
+	if err != nil {
+		return false
+	}
+	for _, d := range dirs {
+		if d.IsDir && (d.Name == packDir || (len(d.Name) == 2 && isLowerHex(d.Name))) {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepTmpLocked clears staging files stranded by a crash between stage
+// and commit. It runs once per store instance, at open, so it cannot race
+// a live writer's in-flight staging file from this instance.
+func (s *Store) sweepTmpLocked() {
+	_ = s.fsys.RemoveAll(s.root + "/" + tmpDir)
+}
+
+// scanRec is one record discovered by scanFiles.
+type scanRec struct {
+	fp    Fingerprint
+	raw   []byte // full encoded record bytes
+	entry indexEntry
+}
+
+// scanFiles reads every decodable, correctly-filed record under the root:
+// loose shard files first, then packs, with a loose record shadowing a
+// packed one for the same key (the loose file is always the newer write).
+// Undecodable or misfiled files are skipped — they are exactly the files
+// the per-key Get path must keep surfacing as ErrCorrupt/ErrMismatch.
+func (s *Store) scanFiles() (map[string]scanRec, error) {
+	recs := map[string]scanRec{}
+	if !s.fsys.IsDir(s.root) {
+		return recs, nil
+	}
+	dirs, err := s.fsys.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir || len(d.Name) != 2 || !isLowerHex(d.Name) {
+			continue
+		}
+		files, err := s.fsys.ReadDir(s.root + "/" + d.Name)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir || len(f.Name) != 64 || !isLowerHex(f.Name) || f.Name[:2] != d.Name {
+				continue
+			}
+			data, err := s.fsys.ReadFile(s.root + "/" + d.Name + "/" + f.Name)
+			if err != nil {
+				continue
+			}
+			rec, err := Decode(data)
+			if err != nil || rec.Fingerprint.Key() != f.Name {
+				continue
+			}
+			recs[f.Name] = scanRec{fp: rec.Fingerprint, raw: data, entry: looseEntry(f.Name, data)}
+		}
+	}
+	if s.fsys.IsDir(s.root + "/" + packDir) {
+		packs, err := s.fsys.ReadDir(s.root + "/" + packDir)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, p := range packs {
+			if p.IsDir || !strings.HasSuffix(p.Name, ".pack") {
+				continue
+			}
+			shard := strings.TrimSuffix(p.Name, ".pack")
+			if len(shard) != 2 || !isLowerHex(shard) {
+				continue
+			}
+			data, err := s.fsys.ReadFile(s.root + "/" + packDir + "/" + p.Name)
+			if err != nil {
+				continue
+			}
+			for off := 0; off < len(data); {
+				rec, n, err := decodeNext(data[off:])
+				if err != nil {
+					break // corrupt tail: keep the records before it
+				}
+				key := rec.Fingerprint.Key()
+				if key[:2] == shard {
+					if _, exists := recs[key]; !exists {
+						raw := data[off : off+n]
+						recs[key] = scanRec{fp: rec.Fingerprint, raw: raw, entry: indexEntry{
+							file:   packDir + "/" + p.Name,
+							off:    int64(off),
+							length: int64(n),
+							sum:    sumHex(raw),
+						}}
+					}
+				}
+				off += n
+			}
+		}
+	}
+	return recs, nil
+}
+
+// rescanLocked rebuilds the index from the record files themselves — the
+// self-heal path behind every index disagreement. The rebuilt snapshot is
+// persisted when the maintenance lock is free; otherwise (another process
+// mid-maintenance) the rebuild stays in-memory and the current on-disk
+// state is cached as the refresh baseline.
+func (s *Store) rescanLocked() error {
+	recs, err := s.scanFiles()
+	if err != nil {
+		return err
+	}
+	entries := make(map[string]indexEntry, len(recs))
+	for key, r := range recs {
+		entries[key] = r.entry
+	}
+	s.entries = entries
+	s.gen++
+	s.loaded = true
+	if s.tryLock() {
+		defer s.unlock()
+		return s.persistLocked()
+	}
+	// Could not persist: remember the on-disk bytes as seen so refreshes
+	// stay quiet until maintenance elsewhere actually changes them.
+	s.snapRaw, _ = s.fsys.ReadFile(s.indexPath())
+	s.journal, _ = s.fsys.ReadFile(s.journalPath())
+	return nil
+}
+
+// persistLocked writes the in-memory index as a fresh snapshot and resets
+// the journal. Callers hold the maintenance lockfile.
+func (s *Store) persistLocked() error {
+	s.snapRaw = encodeIndex(s.gen, s.entries)
+	if err := s.fsys.WriteFile(s.indexPath(), s.snapRaw, 0o644); err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	if err := s.fsys.WriteFile(s.journalPath(), nil, 0o644); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	s.journal = nil
+	return nil
+}
+
+// tryLock attempts to take the maintenance lockfile without blocking.
+func (s *Store) tryLock() bool {
+	return s.fsys.WriteFileExcl(s.lockPath(), []byte("fex maintenance\n"), 0o644) == nil
+}
+
+func (s *Store) unlock() {
+	_ = s.fsys.Remove(s.lockPath())
+}
+
+// lockMaint acquires the maintenance lockfile, spinning briefly and then
+// breaking the lock. The filesystem has no lease expiry, so a lockfile
+// left by a crashed maintenance run would wedge the store forever;
+// breaking a (rare) live lock instead makes two maintenance runs race,
+// which is safe — both are idempotent rebuilds from the record files.
+func (s *Store) lockMaint() {
+	for i := 0; i < 200; i++ {
+		if s.tryLock() {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	s.unlock()
+	if !s.tryLock() {
+		_ = s.fsys.WriteFile(s.lockPath(), []byte("fex maintenance (taken over)\n"), 0o644)
+	}
+}

@@ -1,0 +1,479 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"fex/internal/vfs"
+)
+
+// fpN returns a distinct fingerprint per index, for tests that need many
+// cells.
+func fpN(i int) Fingerprint {
+	fp := testFingerprint()
+	fp.Benchmark = fmt.Sprintf("bench%03d", i)
+	return fp
+}
+
+// TestTwoWritersShareStore is the multi-process write-safety proof: two
+// Store instances over the same filesystem — the moral equivalent of two
+// fex processes sharing a --state file — write concurrently, including
+// overlapping keys, and a third instance opened afterwards sees every
+// record intact. Run under -race in CI.
+func TestTwoWritersShareStore(t *testing.T) {
+	fsys := vfs.New()
+	a := New(fsys, "/fex/store")
+	b := New(fsys, "/fex/store")
+	// Load both instances before racing: the tmp/ sweep at open is
+	// per-instance and must not fire mid-write.
+	for _, s := range []*Store{a, b} {
+		if _, err := s.Keys(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 24
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		for _, s := range []*Store{a, b} {
+			wg.Add(1)
+			go func(s *Store, i int) {
+				defer wg.Done()
+				// Both instances put the same key set: same-key collisions
+				// must resolve to a complete record, never a torn one.
+				if err := s.Put(fpN(i), []byte(fmt.Sprintf("payload%03d", i))); err != nil {
+					t.Errorf("put %d: %v", i, err)
+				}
+			}(s, i)
+		}
+	}
+	wg.Wait()
+	// A third "process" opens the store cold and must see all n records.
+	c := New(fsys, "/fex/store")
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n {
+		t.Fatalf("third instance sees %d keys, want %d", len(keys), n)
+	}
+	for i := 0; i < n; i++ {
+		payload, present, err := c.Get(fpN(i))
+		if err != nil || !present {
+			t.Fatalf("record %d: present=%t err=%v", i, present, err)
+		}
+		if want := fmt.Sprintf("payload%03d", i); string(payload) != want {
+			t.Errorf("record %d payload %q, want %q", i, payload, want)
+		}
+		// BulkGet must agree.
+	}
+	results, err := c.BulkGet([]Fingerprint{fpN(0), fpN(n - 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Present || r.Err != nil {
+			t.Errorf("bulk result %d: present=%t err=%v", i, r.Present, r.Err)
+		}
+	}
+	// No staging leftovers survived the collision storm.
+	if entries, err := fsys.ReadDir("/fex/store/" + tmpDir); err == nil && len(entries) != 0 {
+		t.Errorf("%d staging leftovers after concurrent puts", len(entries))
+	}
+}
+
+// TestConcurrentCompacts pins maintenance serialization: two instances
+// compacting at once must both succeed (the lockfile serializes or the
+// stale-break takes over) and leave a store that still resolves every
+// record.
+func TestConcurrentCompacts(t *testing.T) {
+	fsys := vfs.New()
+	a := New(fsys, "/fex/store")
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := a.Put(fpN(i), []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := New(fsys, "/fex/store")
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			if _, err := s.Compact(nil); err != nil {
+				t.Errorf("compact: %v", err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	c := New(fsys, "/fex/store")
+	for i := 0; i < n; i++ {
+		if _, present, err := c.Get(fpN(i)); !present || err != nil {
+			t.Fatalf("record %d after dueling compacts: present=%t err=%v", i, present, err)
+		}
+	}
+	if fsys.Exists("/fex/store/" + lockFile) {
+		t.Error("maintenance lockfile leaked")
+	}
+}
+
+// TestPutCleansStagingOnCommitFailure is the staging-leak fault-injection
+// test: when MkdirAll or Rename fails mid-Put, the staged file must be
+// removed, not stranded in tmp/ forever.
+func TestPutCleansStagingOnCommitFailure(t *testing.T) {
+	fp := testFingerprint()
+	key := fp.Key()
+
+	// Rename fails: a directory squats on the record's final path.
+	s, fsys := newTestStore(t)
+	if err := fsys.MkdirAll("/fex/store/" + key[:2] + "/" + key); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fp, []byte("p")); err == nil {
+		t.Fatal("put over a directory succeeded")
+	}
+	if entries, err := fsys.ReadDir("/fex/store/" + tmpDir); err == nil && len(entries) != 0 {
+		t.Errorf("rename failure stranded %d staging files", len(entries))
+	}
+
+	// MkdirAll fails: a file squats on the shard directory's path.
+	s2, fsys2 := newTestStore(t)
+	if err := fsys2.WriteFile("/fex/store/"+key[:2], []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put(fp, []byte("p")); err == nil {
+		t.Fatal("put through a file-squatted shard dir succeeded")
+	}
+	if entries, err := fsys2.ReadDir("/fex/store/" + tmpDir); err == nil && len(entries) != 0 {
+		t.Errorf("mkdir failure stranded %d staging files", len(entries))
+	}
+}
+
+// TestOpenSweepsStrandedStaging simulates a crash between stage and
+// commit: a file left in tmp/ by a dead process is swept when the next
+// store instance opens.
+func TestOpenSweepsStrandedStaging(t *testing.T) {
+	fsys := vfs.New()
+	a := New(fsys, "/fex/store")
+	if err := a.Put(testFingerprint(), []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	// The "crash": a staged record that never got renamed into place.
+	if err := fsys.WriteFile("/fex/store/"+tmpDir+"/deadbeef.1", []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := New(fsys, "/fex/store")
+	if _, err := b.Keys(); err != nil {
+		t.Fatal(err)
+	}
+	if fsys.Exists("/fex/store/" + tmpDir + "/deadbeef.1") {
+		t.Error("stranded staging file survived store open")
+	}
+	if _, present, err := b.Get(testFingerprint()); !present || err != nil {
+		t.Errorf("real record lost to the sweep: present=%t err=%v", present, err)
+	}
+}
+
+// TestIndexSelfHeals pins the acceptance criterion: a deliberately
+// corrupted or deleted index rebuilds itself by rescan with no behavior
+// change — every record still resolves, with identical payloads.
+func TestIndexSelfHeals(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		damage func(fsys *vfs.FS) error
+	}{
+		{"deleted index", func(fsys *vfs.FS) error {
+			if err := fsys.Remove("/fex/store/" + indexFile); err != nil {
+				return err
+			}
+			return fsys.Remove("/fex/store/" + journalFile)
+		}},
+		{"corrupt index", func(fsys *vfs.FS) error {
+			return fsys.WriteFile("/fex/store/"+indexFile, []byte("FEXINDEX|1|gen=9|n=0\ngarbage\n"), 0o644)
+		}},
+		{"corrupt journal", func(fsys *vfs.FS) error {
+			return fsys.WriteFile("/fex/store/"+journalFile, []byte("not|a|journal|line\n"), 0o644)
+		}},
+		{"truncated journal", func(fsys *vfs.FS) error {
+			data, err := fsys.ReadFile("/fex/store/" + journalFile)
+			if err != nil {
+				return err
+			}
+			return fsys.WriteFile("/fex/store/"+journalFile, data[:len(data)-3], 0o644)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fsys := vfs.New()
+			a := New(fsys, "/fex/store")
+			const n = 8
+			for i := 0; i < n; i++ {
+				if err := a.Put(fpN(i), []byte(fmt.Sprintf("payload%03d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Compact half the stores so healing covers packs too.
+			if strings.HasPrefix(tc.name, "corrupt index") || strings.HasPrefix(tc.name, "deleted") {
+				if _, err := a.Compact(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tc.damage(fsys); err != nil {
+				t.Fatal(err)
+			}
+			b := New(fsys, "/fex/store")
+			fps := make([]Fingerprint, n)
+			for i := range fps {
+				fps[i] = fpN(i)
+			}
+			results, err := b.BulkGet(fps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range results {
+				if !r.Present || r.Err != nil {
+					t.Fatalf("%s: record %d lost: present=%t err=%v", tc.name, i, r.Present, r.Err)
+				}
+				if want := fmt.Sprintf("payload%03d", i); string(r.Payload) != want {
+					t.Errorf("%s: record %d payload %q, want %q", tc.name, i, r.Payload, want)
+				}
+			}
+			// The heal persisted: the snapshot on disk parses again.
+			data, err := fsys.ReadFile("/fex/store/" + indexFile)
+			if err != nil {
+				t.Fatalf("no snapshot after self-heal: %v", err)
+			}
+			if _, entries, err := decodeIndex(data); err != nil || len(entries) != n {
+				t.Errorf("healed snapshot: %d entries, err=%v", len(entries), err)
+			}
+		})
+	}
+}
+
+// TestLegacyStoreGainsIndex pins migration: a store written by the
+// pre-index layout (record files only, no index, no journal) is adopted by
+// a rescan on first use.
+func TestLegacyStoreGainsIndex(t *testing.T) {
+	fsys := vfs.New()
+	const n = 6
+	for i := 0; i < n; i++ {
+		fp := fpN(i)
+		key := fp.Key()
+		data := Encode(Record{Fingerprint: fp, Payload: []byte("legacy")})
+		if err := fsys.WriteFile("/fex/store/"+key[:2]+"/"+key, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(fsys, "/fex/store")
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n {
+		t.Fatalf("legacy store: %d keys, want %d", len(keys), n)
+	}
+	for i := 0; i < n; i++ {
+		if payload, present, err := s.Get(fpN(i)); !present || err != nil || string(payload) != "legacy" {
+			t.Fatalf("legacy record %d: %q present=%t err=%v", i, payload, present, err)
+		}
+	}
+	if !fsys.Exists("/fex/store/" + indexFile) {
+		t.Error("migration did not persist an index snapshot")
+	}
+}
+
+// TestDeletePrunesShardDir is the satellite bugfix regression test:
+// deleting the last record of a shard removes the now-empty shard
+// directory instead of leaving a husk for Walk to traverse forever.
+func TestDeletePrunesShardDir(t *testing.T) {
+	s, fsys := newTestStore(t)
+	fp := testFingerprint()
+	if err := s.Put(fp, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	shard := "/fex/store/" + fp.Key()[:2]
+	if !fsys.IsDir(shard) {
+		t.Fatal("shard dir missing after put")
+	}
+	if err := s.Delete(fp); err != nil {
+		t.Fatal(err)
+	}
+	if fsys.Exists(shard) {
+		t.Error("empty shard dir survived delete")
+	}
+	// A shard that still holds records is kept.
+	a, b := fpN(1), fpN(2)
+	if a.Key()[:2] == b.Key()[:2] {
+		t.Skip("fingerprints landed in the same shard; adjust fpN seeds")
+	}
+	if err := s.Put(a, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if !fsys.IsDir("/fex/store/" + b.Key()[:2]) {
+		t.Error("occupied shard dir was pruned")
+	}
+}
+
+// TestCompactDropsAndPacks exercises the full GC path: a keep predicate
+// evicts records, the survivors move into pack files, loose files and
+// empty dirs disappear, and every surviving record still resolves
+// identically via Get, BulkGet, and Records.
+func TestCompactDropsAndPacks(t *testing.T) {
+	s, fsys := newTestStore(t)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := s.Put(fpN(i), []byte(fmt.Sprintf("payload%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Evict odd-numbered benchmarks.
+	cs, err := s.Compact(func(fp Fingerprint) bool {
+		var i int
+		fmt.Sscanf(fp.Benchmark, "bench%d", &i)
+		return i%2 == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Kept != 5 || cs.Dropped != 5 {
+		t.Fatalf("compact stats %+v, want 5 kept / 5 dropped", cs)
+	}
+	if cs.Packs == 0 || cs.Packs > 5 {
+		t.Errorf("compact wrote %d packs", cs.Packs)
+	}
+	// Loose shard dirs are gone; only index state and packs remain.
+	entries, err := fsys.ReadDir("/fex/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir && len(e.Name) == 2 {
+			t.Errorf("loose shard dir %s survived compaction", e.Name)
+		}
+	}
+	for i := 0; i < n; i++ {
+		payload, present, err := s.Get(fpN(i))
+		if i%2 == 1 {
+			if present {
+				t.Errorf("dropped record %d still present", i)
+			}
+			continue
+		}
+		if !present || err != nil || string(payload) != fmt.Sprintf("payload%03d", i) {
+			t.Errorf("kept record %d: %q present=%t err=%v", i, payload, present, err)
+		}
+	}
+	recs, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("Records after compact: %d, want 5", len(recs))
+	}
+	// A fresh instance reads the packed layout cold.
+	c := New(fsys, "/fex/store")
+	if payload, present, err := c.Get(fpN(0)); !present || err != nil || string(payload) != "payload000" {
+		t.Errorf("cold read of packed record: %q present=%t err=%v", payload, present, err)
+	}
+	// Deleting a packed record rewrites its pack and keeps the rest.
+	if err := c.Delete(fpN(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, present, _ := c.Get(fpN(0)); present {
+		t.Error("packed record still present after delete")
+	}
+	if _, present, err := c.Get(fpN(2)); !present || err != nil {
+		t.Errorf("pack rewrite lost a sibling record: present=%t err=%v", present, err)
+	}
+	// Writes after compaction land loose and win over the packed copy.
+	if err := c.Put(fpN(2), []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if payload, _, _ := c.Get(fpN(2)); string(payload) != "newer" {
+		t.Errorf("loose overwrite lost to packed copy: %q", payload)
+	}
+	if _, err := c.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if payload, _, _ := c.Get(fpN(2)); string(payload) != "newer" {
+		t.Errorf("recompaction resurrected stale record: %q", payload)
+	}
+}
+
+// TestBulkGetMirrorsGetSemantics pins the corrupt/mismatch fallback: a
+// tampered record surfaces through BulkGet exactly as through Get.
+func TestBulkGetMirrorsGetSemantics(t *testing.T) {
+	s, fsys := newTestStore(t)
+	good, bad := fpN(0), fpN(1)
+	if err := s.Put(good, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.WriteFile(s.path(bad.Key()), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := fpN(2)
+	results, err := s.BulkGet([]Fingerprint{good, bad, missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Present || results[0].Err != nil || string(results[0].Payload) != "ok" {
+		t.Errorf("good record: %+v", results[0])
+	}
+	if !results[1].Present || !errors.Is(results[1].Err, ErrCorrupt) {
+		t.Errorf("tampered record: present=%t err=%v, want ErrCorrupt", results[1].Present, results[1].Err)
+	}
+	if results[2].Present || results[2].Err != nil {
+		t.Errorf("missing record: %+v", results[2])
+	}
+}
+
+// TestIndexCodecRoundTrip pins the snapshot codec identity and its strict
+// rejections, complementing the fuzz target.
+func TestIndexCodecRoundTrip(t *testing.T) {
+	entries := map[string]indexEntry{}
+	for i := 0; i < 5; i++ {
+		fp := fpN(i)
+		key := fp.Key()
+		data := Encode(Record{Fingerprint: fp, Payload: []byte("p")})
+		entries[key] = looseEntry(key, data)
+	}
+	data := encodeIndex(7, entries)
+	gen, got, err := decodeIndex(data)
+	if err != nil {
+		t.Fatalf("decode of own encoding: %v", err)
+	}
+	if gen != 7 || len(got) != len(entries) {
+		t.Fatalf("gen=%d entries=%d", gen, len(got))
+	}
+	for k, e := range entries {
+		if got[k] != e {
+			t.Errorf("entry %s changed across round-trip", k)
+		}
+	}
+	// Any single-byte flip in the body must be rejected (the trailer
+	// digest catches it).
+	for _, i := range []int{0, len(data) / 2, len(data) - 70} {
+		mut := append([]byte{}, data...)
+		mut[i] ^= 1
+		if _, _, err := decodeIndex(mut); err == nil {
+			t.Errorf("flip at %d accepted", i)
+		}
+	}
+	if _, _, err := decodeIndex(data[:len(data)-1]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if _, _, err := decodeIndex(nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}

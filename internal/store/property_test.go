@@ -1,0 +1,75 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fex/internal/vfs"
+)
+
+// TestBulkGetEquivalentToGet is the property test behind the plan-ahead
+// path: for arbitrary API-driven store states — random interleavings of
+// Put, Delete, Compact, and overwrites, observed from randomly chosen
+// store instances — BulkGet over an arbitrary fingerprint set returns
+// exactly what per-key Get returns for each fingerprint. The seed is fixed
+// so failures replay deterministically.
+func TestBulkGetEquivalentToGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const universe = 40 // fingerprints the generator draws from
+	fps := make([]Fingerprint, universe)
+	for i := range fps {
+		fps[i] = fpN(i)
+	}
+	for iter := 0; iter < 50; iter++ {
+		fsys := vfs.New()
+		// Two instances over one filesystem: operations land on either, so
+		// the property also covers cross-instance index staleness.
+		stores := []*Store{New(fsys, "/fex/store"), New(fsys, "/fex/store")}
+		ops := 5 + rng.Intn(40)
+		for i := 0; i < ops; i++ {
+			s := stores[rng.Intn(len(stores))]
+			fp := fps[rng.Intn(universe)]
+			switch rng.Intn(10) {
+			case 0, 1:
+				if err := s.Delete(fp); err != nil {
+					t.Fatalf("iter %d: delete: %v", iter, err)
+				}
+			case 2:
+				if _, err := s.Compact(nil); err != nil {
+					t.Fatalf("iter %d: compact: %v", iter, err)
+				}
+			default:
+				payload := []byte(fmt.Sprintf("iter%d-op%d", iter, i))
+				if err := s.Put(fp, payload); err != nil {
+					t.Fatalf("iter %d: put: %v", iter, err)
+				}
+			}
+		}
+		// Query an arbitrary subset (with duplicates) from an arbitrary
+		// instance and compare against per-key Get on the same instance.
+		reader := stores[rng.Intn(len(stores))]
+		q := make([]Fingerprint, 1+rng.Intn(universe))
+		for i := range q {
+			q[i] = fps[rng.Intn(universe)]
+		}
+		results, err := reader.BulkGet(q)
+		if err != nil {
+			t.Fatalf("iter %d: bulkget: %v", iter, err)
+		}
+		for i, fp := range q {
+			payload, present, gerr := reader.Get(fp)
+			r := results[i]
+			if r.Present != present {
+				t.Fatalf("iter %d, fp %s: bulk present=%t, get present=%t", iter, fp.Benchmark, r.Present, present)
+			}
+			if (r.Err == nil) != (gerr == nil) {
+				t.Fatalf("iter %d, fp %s: bulk err=%v, get err=%v", iter, fp.Benchmark, r.Err, gerr)
+			}
+			if !bytes.Equal(r.Payload, payload) {
+				t.Fatalf("iter %d, fp %s: bulk payload %q, get payload %q", iter, fp.Benchmark, r.Payload, payload)
+			}
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fex/internal/vfs"
 )
@@ -64,6 +66,21 @@ func Encode(r Record) []byte {
 // match exactly, so Decode∘Encode is the identity and any in-place
 // corruption surfaces as ErrCorrupt rather than a silently skewed replay.
 func Decode(data []byte) (Record, error) {
+	r, n, err := decodeNext(data)
+	if err != nil {
+		return Record{}, err
+	}
+	if n != len(data) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes after payload", ErrCorrupt, len(data)-n)
+	}
+	return r, nil
+}
+
+// decodeNext parses one record from the head of data and returns how many
+// bytes it consumed — the streaming form of Decode that lets pack files
+// hold records back to back. It shares Decode's strictness for everything
+// inside the record; only trailing bytes are the caller's business.
+func decodeNext(data []byte) (Record, int, error) {
 	var r Record
 	rest := string(data)
 	line := func() (string, bool) {
@@ -76,18 +93,18 @@ func Decode(data []byte) (Record, error) {
 		return l, true
 	}
 	if l, ok := line(); !ok || l != recordMagic {
-		return r, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return r, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	want := Fingerprint{}.fields()
 	values := make([]string, len(want))
 	for i, f := range want {
 		l, ok := line()
 		if !ok {
-			return r, fmt.Errorf("%w: truncated fingerprint", ErrCorrupt)
+			return r, 0, fmt.Errorf("%w: truncated fingerprint", ErrCorrupt)
 		}
 		prefix := "F|" + f[0] + "|"
 		if !strings.HasPrefix(l, prefix) {
-			return r, fmt.Errorf("%w: expected field %q, got %q", ErrCorrupt, f[0], l)
+			return r, 0, fmt.Errorf("%w: expected field %q, got %q", ErrCorrupt, f[0], l)
 		}
 		raw := l[len(prefix):]
 		if f[0] == "threads" {
@@ -96,13 +113,13 @@ func Decode(data []byte) (Record, error) {
 		}
 		v, err := strconv.Unquote(raw)
 		if err != nil {
-			return r, fmt.Errorf("%w: field %q: %v", ErrCorrupt, f[0], err)
+			return r, 0, fmt.Errorf("%w: field %q: %v", ErrCorrupt, f[0], err)
 		}
 		// Reject non-canonical quotings ("\x41" for "A"): Encode emits
 		// exactly strconv.Quote, and Decode must accept nothing else for
 		// the decode/encode identity to hold.
 		if strconv.Quote(v) != raw {
-			return r, fmt.Errorf("%w: non-canonical quoting of field %q", ErrCorrupt, f[0])
+			return r, 0, fmt.Errorf("%w: non-canonical quoting of field %q", ErrCorrupt, f[0])
 		}
 		values[i] = v
 	}
@@ -121,7 +138,7 @@ func Decode(data []byte) (Record, error) {
 		for _, s := range strings.Split(values[4], ",") {
 			n, err := strconv.Atoi(s)
 			if err != nil {
-				return r, fmt.Errorf("%w: bad thread count %q", ErrCorrupt, s)
+				return r, 0, fmt.Errorf("%w: bad thread count %q", ErrCorrupt, s)
 			}
 			fp.Threads = append(fp.Threads, n)
 		}
@@ -129,32 +146,48 @@ func Decode(data []byte) (Record, error) {
 	// Reject non-canonical thread renderings ("01", "+2") so a decoded
 	// record re-encodes to the exact input bytes.
 	if got := fp.fields()[4][1]; got != values[4] {
-		return r, fmt.Errorf("%w: non-canonical thread list %q", ErrCorrupt, values[4])
+		return r, 0, fmt.Errorf("%w: non-canonical thread list %q", ErrCorrupt, values[4])
 	}
 	l, ok := line()
 	if !ok || !strings.HasPrefix(l, "DATA|") {
-		return r, fmt.Errorf("%w: missing DATA header", ErrCorrupt)
+		return r, 0, fmt.Errorf("%w: missing DATA header", ErrCorrupt)
 	}
 	lenStr := l[len("DATA|"):]
 	n, err := strconv.Atoi(lenStr)
 	if err != nil || n < 0 || strconv.Itoa(n) != lenStr {
-		return r, fmt.Errorf("%w: bad DATA length %q", ErrCorrupt, l)
+		return r, 0, fmt.Errorf("%w: bad DATA length %q", ErrCorrupt, l)
 	}
-	if len(rest) != n {
-		return r, fmt.Errorf("%w: payload is %d bytes, DATA header says %d", ErrCorrupt, len(rest), n)
+	if len(rest) < n {
+		return r, 0, fmt.Errorf("%w: payload is %d bytes, DATA header says %d", ErrCorrupt, len(rest), n)
 	}
 	r.Fingerprint = fp
-	r.Payload = []byte(rest)
-	return r, nil
+	r.Payload = []byte(rest[:n])
+	return r, len(data) - (len(rest) - n), nil
 }
 
 // Store is a content-addressed result store over a vfs filesystem — the
 // same in-memory container filesystem that holds logs, CSVs, and plots, so
 // SaveState/LoadState persistence (the CLI's --state file) carries the
 // store across invocations for free.
+//
+// Multiple Store instances (concurrent goroutines, or separate processes
+// sharing the filesystem through a --state file) may read and write the
+// same root concurrently: record writes commit by rename and announce
+// themselves through an append-only journal, and every instance treats its
+// in-memory index as a cache it can refresh or rebuild from the files (see
+// index.go).
 type Store struct {
 	fsys *vfs.FS
 	root string
+
+	mu      sync.Mutex
+	opened  bool                  // tmp/ swept (once per instance)
+	loaded  bool                  // entries reflect snapshot+journal
+	gen     int64                 // snapshot generation counter
+	entries map[string]indexEntry // key → record location
+	snapRaw []byte                // snapshot bytes entries were built from
+	journal []byte                // journal bytes already applied
+	seq     atomic.Uint64         // staging-name uniquifier
 }
 
 // New returns a store rooted at root inside fsys.
@@ -169,23 +202,46 @@ func (s *Store) path(key string) string {
 
 // Put persists one cell under its fingerprint's content address. The write
 // goes to a staging file first and is renamed into place, so concurrent
-// readers under the vfs lock observe either no record or a complete one.
+// readers under the vfs lock observe either no record or a complete one;
+// the committed record is then announced to other store instances through
+// one atomic journal append, keeping Put lock-free across processes.
 // Re-putting an existing fingerprint overwrites it (same key, same
-// context — the newer measurement batch wins).
+// context — the newer measurement batch wins). A staging file whose commit
+// fails is removed, not stranded.
 func (s *Store) Put(fp Fingerprint, payload []byte) error {
 	key := fp.Key()
 	data := Encode(Record{Fingerprint: fp, Payload: payload})
-	tmp := s.root + "/" + tmpDir + "/" + key
-	if err := s.fsys.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("store: stage %s: %w", key, err)
+	// Stage under a per-call unique name: concurrent writers may put the
+	// same key simultaneously, and each must stage privately.
+	var tmp string
+	for {
+		tmp = fmt.Sprintf("%s/%s/%s.%d", s.root, tmpDir, key, s.seq.Add(1))
+		err := s.fsys.WriteFileExcl(tmp, data, 0o644)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, vfs.ErrExist) {
+			return fmt.Errorf("store: stage %s: %w", key, err)
+		}
 	}
 	final := s.path(key)
 	if err := s.fsys.MkdirAll(final[:strings.LastIndexByte(final, '/')]); err != nil {
+		_ = s.fsys.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := s.fsys.Rename(tmp, final); err != nil {
+		_ = s.fsys.Remove(tmp)
 		return fmt.Errorf("store: commit %s: %w", key, err)
 	}
+	e := looseEntry(key, data)
+	if _, err := s.fsys.Append(s.journalPath(), []byte(formatEntry(key, e))); err != nil {
+		return fmt.Errorf("store: journal %s: %w", key, err)
+	}
+	s.mu.Lock()
+	if s.loaded {
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -194,71 +250,284 @@ func (s *Store) Put(fp Fingerprint, payload []byte) error {
 // record whose embedded fingerprint does not match fp (a content-address
 // collision or tampering) returns ErrMismatch; a file that does not decode
 // returns ErrCorrupt. Callers treat both as "re-measure".
+//
+// The index fast path only serves records that live inside pack files; a
+// loose record is read from its own file exactly as before the index
+// existed, so tampering semantics and cross-process visibility are
+// unchanged. An index entry that promises a record Get cannot read
+// triggers one self-heal rescan before the miss is final.
 func (s *Store) Get(fp Fingerprint) ([]byte, bool, error) {
-	data, err := s.fsys.ReadFile(s.path(fp.Key()))
-	if err != nil {
-		if errors.Is(err, vfs.ErrNotExist) {
-			return nil, false, nil
-		}
-		return nil, false, fmt.Errorf("store: %w", err)
+	return s.get(fp, true)
+}
+
+func (s *Store) get(fp Fingerprint, retry bool) ([]byte, bool, error) {
+	key := fp.Key()
+	s.mu.Lock()
+	err := s.ensureLoadedLocked()
+	var e indexEntry
+	var indexed bool
+	if err == nil {
+		e, indexed = s.entries[key]
 	}
-	rec, err := Decode(data)
+	s.mu.Unlock()
 	if err != nil {
-		return nil, true, err
+		return nil, false, err
+	}
+	if indexed && e.file == packDir+"/"+key[:2]+".pack" {
+		if payload, perr := s.readPacked(fp, key, e); perr == nil {
+			return payload, true, nil
+		}
+		// The pack disagrees with the index; fall through to the loose
+		// probe and, failing that, the rescan below.
+	}
+	data, rerr := s.fsys.ReadFile(s.path(key))
+	if rerr == nil {
+		rec, derr := Decode(data)
+		if derr != nil {
+			return nil, true, derr
+		}
+		if !rec.Fingerprint.Equal(fp) {
+			return nil, true, fmt.Errorf("%w: key %s", ErrMismatch, key)
+		}
+		return rec.Payload, true, nil
+	}
+	if !errors.Is(rerr, vfs.ErrNotExist) {
+		return nil, false, fmt.Errorf("store: %w", rerr)
+	}
+	if indexed && retry {
+		// The index promised a record nothing holds: self-heal and retry.
+		s.mu.Lock()
+		herr := s.rescanLocked()
+		s.mu.Unlock()
+		if herr != nil {
+			return nil, false, herr
+		}
+		return s.get(fp, false)
+	}
+	return nil, false, nil
+}
+
+// readPacked reads one record out of a pack file via its index entry,
+// verifying the byte range's digest and the embedded fingerprint before
+// trusting it.
+func (s *Store) readPacked(fp Fingerprint, key string, e indexEntry) ([]byte, error) {
+	data, err := s.fsys.ReadFile(s.root + "/" + e.file)
+	if err != nil {
+		return nil, err
+	}
+	return verifySlice(data, key, e, fp)
+}
+
+// verifySlice extracts and verifies one record from a file's bytes using
+// its index entry: bounds, digest, decode, and fingerprint must all agree
+// before the payload is released for replay.
+func verifySlice(data []byte, key string, e indexEntry, fp Fingerprint) ([]byte, error) {
+	if e.off+e.length > int64(len(data)) || e.off < 0 {
+		return nil, fmt.Errorf("%w: index entry for %s out of bounds", ErrCorrupt, key)
+	}
+	raw := data[e.off : e.off+e.length]
+	if sumHex(raw) != e.sum {
+		return nil, fmt.Errorf("%w: index digest mismatch for %s", ErrCorrupt, key)
+	}
+	rec, err := Decode(raw)
+	if err != nil {
+		return nil, err
 	}
 	if !rec.Fingerprint.Equal(fp) {
-		return nil, true, fmt.Errorf("%w: key %s", ErrMismatch, fp.Key())
+		return nil, fmt.Errorf("%w: key %s", ErrMismatch, key)
 	}
-	return rec.Payload, true, nil
+	return rec.Payload, nil
+}
+
+// ensureLoadedLocked loads the index on first use. Callers hold s.mu.
+func (s *Store) ensureLoadedLocked() error {
+	if s.loaded {
+		return nil
+	}
+	return s.loadLocked()
 }
 
 // Delete removes one fingerprint's record; deleting an absent record is
-// not an error.
+// not an error. The emptied shard directory is pruned so Walk-based
+// consumers never traverse a growing set of husks, and the deletion is
+// journaled so other instances observe it.
 func (s *Store) Delete(fp Fingerprint) error {
-	err := s.fsys.RemoveAll(s.path(fp.Key()))
+	key := fp.Key()
+	s.mu.Lock()
+	err := s.syncLocked()
+	var e indexEntry
+	var indexed bool
+	if err == nil {
+		e, indexed = s.entries[key]
+	}
+	s.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
+	}
+	if indexed && e.file == packDir+"/"+key[:2]+".pack" {
+		return s.deletePacked(key)
+	}
+	if err := s.removeLoose(key); err != nil {
+		return err
+	}
+	if indexed {
+		if _, err := s.fsys.Append(s.journalPath(), []byte(formatTombstone(key))); err != nil {
+			return fmt.Errorf("store: journal %s: %w", key, err)
+		}
+		s.mu.Lock()
+		delete(s.entries, key)
+		s.mu.Unlock()
 	}
 	return nil
 }
 
+// removeLoose deletes a loose record file and prunes its shard directory
+// if that left it empty.
+func (s *Store) removeLoose(key string) error {
+	if err := s.fsys.Remove(s.path(key)); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.pruneShardDir(key[:2])
+	return nil
+}
+
+// pruneShardDir removes the shard directory when it is empty.
+func (s *Store) pruneShardDir(shard string) {
+	dir := s.root + "/" + shard
+	if entries, err := s.fsys.ReadDir(dir); err == nil && len(entries) == 0 {
+		_ = s.fsys.Remove(dir)
+	}
+}
+
+// deletePacked removes a record that lives inside a pack file: under the
+// maintenance lock, the pack is rewritten without the record (or removed
+// outright when that empties it) and a fresh snapshot is persisted, since
+// the surviving records' offsets shift.
+func (s *Store) deletePacked(key string) error {
+	s.lockMaint()
+	defer s.unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.loadLocked(); err != nil {
+		return err
+	}
+	e, indexed := s.entries[key]
+	if !indexed {
+		return nil
+	}
+	if e.file != packDir+"/"+key[:2]+".pack" {
+		// Re-puts moved the record back to a loose file meanwhile.
+		if err := s.removeLoose(key); err != nil {
+			return err
+		}
+		delete(s.entries, key)
+		s.gen++
+		return s.persistLocked()
+	}
+	packPath := s.root + "/" + e.file
+	data, err := s.fsys.ReadFile(packPath)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var keep []byte
+	for off := 0; off < len(data); {
+		rec, n, derr := decodeNext(data[off:])
+		if derr != nil {
+			break
+		}
+		raw := data[off : off+n]
+		if k := rec.Fingerprint.Key(); k != key {
+			if cur, ok := s.entries[k]; ok && cur.file == e.file {
+				s.entries[k] = indexEntry{file: e.file, off: int64(len(keep)), length: int64(n), sum: sumHex(raw)}
+			}
+			keep = append(keep, raw...)
+		}
+		off += n
+	}
+	delete(s.entries, key)
+	if len(keep) == 0 {
+		if err := s.fsys.Remove(packPath); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			return fmt.Errorf("store: %w", err)
+		}
+	} else if err := s.fsys.WriteFile(packPath, keep, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.gen++
+	return s.persistLocked()
+}
+
 // Keys lists the stored content addresses, sorted.
 func (s *Store) Keys() ([]string, error) {
-	if !s.fsys.IsDir(s.root) {
-		return nil, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.syncLocked(); err != nil {
+		return nil, err
 	}
-	var keys []string
-	err := s.fsys.Walk(s.root, func(st vfs.Stat) error {
-		if st.IsDir || strings.Contains(st.Path, "/"+tmpDir+"/") {
-			return nil
-		}
-		keys = append(keys, st.Name)
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	return keys, nil
 }
 
-// Records decodes every stored cell, in sorted key order. Each record's
+// Records decodes every stored cell, in sorted key order, reading each
+// backing file once (one read per pack, not per record). Each record's
 // embedded fingerprint is verified against the content address it was
 // filed under, so a tampered or corrupt entry surfaces as an error (with
 // ErrCorrupt / ErrMismatch in its chain) rather than leaking into a
 // cross-run analysis.
 func (s *Store) Records() ([]Record, error) {
-	keys, err := s.Keys()
+	return s.records(true)
+}
+
+func (s *Store) records(retry bool) ([]Record, error) {
+	s.mu.Lock()
+	err := s.syncLocked()
+	keys := make([]string, 0, len(s.entries))
+	entries := make(map[string]indexEntry, len(s.entries))
+	if err == nil {
+		for k, e := range s.entries {
+			keys = append(keys, k)
+			entries[k] = e
+		}
+	}
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	sort.Strings(keys)
 	out := make([]Record, 0, len(keys))
+	cache := map[string][]byte{}
 	for _, key := range keys {
-		data, err := s.fsys.ReadFile(s.path(key))
-		if err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+		e := entries[key]
+		data, cached := cache[e.file]
+		if !cached {
+			d, rerr := s.fsys.ReadFile(s.root + "/" + e.file)
+			if rerr != nil {
+				if errors.Is(rerr, vfs.ErrNotExist) && retry {
+					// A file the index promised is gone: self-heal once.
+					s.mu.Lock()
+					herr := s.rescanLocked()
+					s.mu.Unlock()
+					if herr != nil {
+						return nil, herr
+					}
+					return s.records(false)
+				}
+				return nil, fmt.Errorf("store: %w", rerr)
+			}
+			data = d
+			cache[e.file] = d
 		}
-		rec, err := Decode(data)
+		raw := data
+		if e.file == packDir+"/"+key[:2]+".pack" {
+			if e.off+e.length > int64(len(data)) {
+				return nil, fmt.Errorf("store: record %s: %w: index entry out of bounds", key, ErrCorrupt)
+			}
+			raw = data[e.off : e.off+e.length]
+		}
+		rec, err := Decode(raw)
 		if err != nil {
 			return nil, fmt.Errorf("store: record %s: %w", key, err)
 		}
@@ -299,8 +568,14 @@ func (s *Store) Stats() (Stats, error) {
 // to reason about: stale entries are never replayed (their keys are never
 // asked for again) and wholesale removal is always safe.
 func (s *Store) Clean() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.fsys.RemoveAll(s.root); err != nil {
 		return fmt.Errorf("store: clean: %w", err)
 	}
+	s.entries = map[string]indexEntry{}
+	s.snapRaw, s.journal = nil, nil
+	s.gen = 0
+	s.loaded = true
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -87,7 +88,17 @@ type FS struct {
 	mu   sync.RWMutex
 	root *node
 	now  func() time.Time
+	// ops counts public filesystem operations. Subsystems that batch their
+	// access patterns (the result store's bulk lookups) use it to quantify
+	// how many filesystem round trips a code path costs.
+	ops atomic.Uint64
 }
+
+// Ops returns the number of filesystem operations performed so far. Each
+// public method call counts as one operation regardless of how many
+// entries it touches, mirroring the per-syscall cost model of a real
+// filesystem.
+func (f *FS) Ops() uint64 { return f.ops.Load() }
 
 // New returns an empty filesystem containing only the root directory.
 func New() *FS {
@@ -179,6 +190,7 @@ func (f *FS) walkParent(p string) (*node, string, error) {
 // MkdirAll creates a directory named p, along with any necessary parents.
 // Existing directories are left untouched.
 func (f *FS) MkdirAll(p string) error {
+	f.ops.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parts, err := splitPath(p)
@@ -212,6 +224,7 @@ func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) error {
 	if err := f.MkdirAll(dir); err != nil {
 		return err
 	}
+	f.ops.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parent, name, err := f.walkParent(p)
@@ -232,8 +245,72 @@ func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) error {
 	return nil
 }
 
+// WriteFileExcl writes data to the named file like WriteFile, but fails
+// with ErrExist if the file already exists. The existence check and the
+// create happen under one lock acquisition, giving callers an O_EXCL-style
+// primitive: of several concurrent creators of the same path, exactly one
+// succeeds. The result store's maintenance lockfile is built on it.
+func (f *FS) WriteFileExcl(p string, data []byte, mode fs.FileMode) error {
+	dir := path.Dir(path.Clean("/" + p))
+	if err := f.MkdirAll(dir); err != nil {
+		return err
+	}
+	f.ops.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(p)
+	if err != nil {
+		return &PathError{Op: "create", Path: p, Err: err}
+	}
+	if _, ok := parent.children[name]; ok {
+		return &PathError{Op: "create", Path: p, Err: ErrExist}
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	parent.children[name] = &node{
+		name:    name,
+		data:    buf,
+		mode:    mode,
+		modTime: f.now(),
+	}
+	return nil
+}
+
+// Append appends data to the named file, creating it (and parent
+// directories) if absent, and returns the offset at which the data landed
+// (the file's previous length). The read-modify-write happens under one
+// lock acquisition, so concurrent appenders never interleave within a
+// record and each learns its own record's offset — the primitive behind
+// the result store's journal.
+func (f *FS) Append(p string, data []byte) (int64, error) {
+	dir := path.Dir(path.Clean("/" + p))
+	if err := f.MkdirAll(dir); err != nil {
+		return 0, err
+	}
+	f.ops.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(p)
+	if err != nil {
+		return 0, &PathError{Op: "append", Path: p, Err: err}
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		n = &node{name: name, mode: 0o644, modTime: f.now()}
+		parent.children[name] = n
+	}
+	if n.isDir {
+		return 0, &PathError{Op: "append", Path: p, Err: ErrIsDir}
+	}
+	off := int64(len(n.data))
+	n.data = append(n.data, data...)
+	n.modTime = f.now()
+	return off, nil
+}
+
 // ReadFile returns the contents of the named file.
 func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.ops.Add(1)
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	n, err := f.walk(p)
@@ -260,6 +337,7 @@ type Stat struct {
 
 // Stat returns metadata for the named path.
 func (f *FS) Stat(p string) (Stat, error) {
+	f.ops.Add(1)
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	n, err := f.walk(p)
@@ -290,6 +368,7 @@ func (f *FS) IsDir(p string) bool {
 
 // ReadDir lists the entries of the named directory, sorted by name.
 func (f *FS) ReadDir(p string) ([]Stat, error) {
+	f.ops.Add(1)
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	n, err := f.walk(p)
@@ -322,6 +401,7 @@ func (f *FS) ReadDir(p string) ([]Stat, error) {
 
 // Remove removes the named file or empty directory.
 func (f *FS) Remove(p string) error {
+	f.ops.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parent, name, err := f.walkParent(p)
@@ -349,6 +429,7 @@ func (f *FS) Remove(p string) error {
 // either the old content or the complete new content, never a partial
 // state observable under the FS lock.
 func (f *FS) Rename(oldp, newp string) error {
+	f.ops.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	oldClean := path.Clean("/" + strings.TrimSpace(oldp))
@@ -388,6 +469,7 @@ func (f *FS) Rename(oldp, newp string) error {
 // RemoveAll removes the named path and any children it contains. Removing a
 // path that does not exist is not an error.
 func (f *FS) RemoveAll(p string) error {
+	f.ops.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parts, err := splitPath(p)
@@ -415,6 +497,7 @@ type WalkFunc func(st Stat) error
 
 // Walk visits every entry below root (excluding root itself).
 func (f *FS) Walk(root string, fn WalkFunc) error {
+	f.ops.Add(1)
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	n, err := f.walk(root)
@@ -491,6 +574,7 @@ func (f *FS) TotalSize(root string) (int64, error) {
 
 // CopyTree copies the tree rooted at src into dst (dst is created).
 func (f *FS) CopyTree(src, dst string) error {
+	f.ops.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	srcNode, err := f.walk(src)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -512,5 +514,114 @@ func TestRenameOntoSelf(t *testing.T) {
 	}
 	if got, err := fs.ReadFile("/d/f.txt"); err != nil || string(got) != "x" {
 		t.Errorf("self-rename perturbed the tree: %q, %v", got, err)
+	}
+}
+
+// TestAppend pins the journal primitive: appends accumulate in order, each
+// returning the offset its bytes landed at, the file springs into existence
+// (parents included) on first append, and appending to a directory fails.
+func TestAppend(t *testing.T) {
+	fs := New()
+	off, err := fs.Append("/j/log", []byte("one\n"))
+	if err != nil || off != 0 {
+		t.Fatalf("first append: off=%d err=%v", off, err)
+	}
+	off, err = fs.Append("/j/log", []byte("two\n"))
+	if err != nil || off != 4 {
+		t.Fatalf("second append: off=%d err=%v", off, err)
+	}
+	if got, err := fs.ReadFile("/j/log"); err != nil || string(got) != "one\ntwo\n" {
+		t.Fatalf("appended content: %q, %v", got, err)
+	}
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Append("/d", []byte("x")); !errors.Is(err, ErrIsDir) {
+		t.Errorf("append to directory: %v", err)
+	}
+}
+
+// TestAppendConcurrent proves appends are atomic: N goroutines each append
+// a distinct line; every line must appear exactly once, unsplit, and the
+// returned offsets must address each goroutine's own line.
+func TestAppendConcurrent(t *testing.T) {
+	fs := New()
+	const n = 32
+	var wg sync.WaitGroup
+	offs := make([]int64, n)
+	lines := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lines[i] = fmt.Sprintf("line-%02d\n", i)
+			off, err := fs.Append("/log", []byte(lines[i]))
+			if err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+			offs[i] = off
+		}(i)
+	}
+	wg.Wait()
+	data, err := fs.ReadFile("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		end := offs[i] + int64(len(lines[i]))
+		if end > int64(len(data)) || string(data[offs[i]:end]) != lines[i] {
+			t.Errorf("offset %d does not address line %d", offs[i], i)
+		}
+	}
+}
+
+// TestWriteFileExcl pins the O_EXCL primitive: the first creator wins, a
+// second create of the same path fails with ErrExist, and parents are
+// created as needed.
+func TestWriteFileExcl(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFileExcl("/locks/l", []byte("a"), 0o644); err != nil {
+		t.Fatalf("first create: %v", err)
+	}
+	if err := fs.WriteFileExcl("/locks/l", []byte("b"), 0o644); !errors.Is(err, ErrExist) {
+		t.Fatalf("second create: %v", err)
+	}
+	if got, _ := fs.ReadFile("/locks/l"); string(got) != "a" {
+		t.Errorf("losing create overwrote the file: %q", got)
+	}
+	// Concurrent creators: exactly one must win.
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if fs.WriteFileExcl("/locks/race", nil, 0o644) == nil {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Errorf("exclusive create won %d times, want 1", wins.Load())
+	}
+}
+
+// TestOpsCounter pins the operation accounting the store ablation depends
+// on: public calls increment the counter, and a Clone starts from zero.
+func TestOpsCounter(t *testing.T) {
+	fs := New()
+	base := fs.Ops()
+	if err := fs.WriteFile("/a/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/a/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Ops() <= base {
+		t.Fatalf("ops did not advance: %d -> %d", base, fs.Ops())
+	}
+	if c := fs.Clone(); c.Ops() != 0 {
+		t.Errorf("clone inherited the op counter: %d", c.Ops())
 	}
 }

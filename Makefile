@@ -5,12 +5,14 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-# The ablation benchmarks committed as the BENCH_6.json trajectory: the
+# The ablation benchmarks committed as the BENCH_7.json trajectory: the
 # design-decision quantifications (rebuild vs --no-build, repetition
 # estimation, parallel scheduler scaling), the memoized execution
-# engine's -r 32 speedup, and the result store's batched plan-ahead
-# resolve (bulk vs per-cell vfs operations on a 1000-cell warm resume).
-ABLATIONS := BenchmarkAblation_(RebuildVsNoBuild|RepetitionEstimate|ParallelScaling|MemoizedReps|StoreBulkResolve)|BenchmarkModeledRepetition
+# engine's -r 32 speedup, the result store's batched plan-ahead resolve
+# (bulk vs per-cell vfs operations on a 1000-cell warm resume), and the
+# run planner (in-run dedup executions saved, half-warm
+# time-to-first-measurement, zero-build warm resume).
+ABLATIONS := BenchmarkAblation_(RebuildVsNoBuild|RepetitionEstimate|ParallelScaling|MemoizedReps|StoreBulkResolve|PlanAhead)|BenchmarkModeledRepetition
 
 .PHONY: build test race bench bench-smoke gate gate-baseline
 
@@ -23,15 +25,15 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-# bench regenerates BENCH_6.json from a fresh run of the ablation
+# bench regenerates BENCH_7.json from a fresh run of the ablation
 # benchmarks. Commit the result so the perf trajectory travels with the
-# code that produced it (BENCH_4.json is the previous point on that
-# trajectory, kept for comparison).
+# code that produced it (BENCH_4.json and BENCH_6.json are the previous
+# points on that trajectory, kept for comparison).
 bench:
 	$(GO) test -run '^$$' -bench '$(ABLATIONS)' -benchtime 3x -count 1 . | tee .bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_6.json < .bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_7.json < .bench.out
 	@rm -f .bench.out
-	@echo "wrote BENCH_6.json"
+	@echo "wrote BENCH_7.json"
 
 # bench-smoke runs every benchmark in the module exactly once — the CI
 # guard that keeps the bench suite compiling and passing its internal

@@ -20,6 +20,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -619,6 +620,175 @@ func BenchmarkAblation_RepetitionEstimate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n), "required-reps")
+}
+
+// BenchmarkAblation_PlanAhead quantifies the run planner (plan.go) on the
+// three behaviours it adds over per-cell decisions:
+//
+//	(a) in-run dedup — a duplicated-sweep config (the same benchmark
+//	    listed multiple times in -b) measures each distinct cell once;
+//	    kernel executions (measured repetitions) saved versus the
+//	    -no-dedup baseline, with byte-identical collected CSVs;
+//	(b) build/measurement pipelining on a half-warm two-config session
+//	    (the "fex diff" shape: config A cold, config B resumed with one
+//	    extra build type) — the warm type's build is skipped and the
+//	    cold type's cells start the moment its own build finishes, so
+//	    time-to-first-measurement stays ~one build period instead of
+//	    all-builds;
+//	(c) a 100%-warm resume performs zero buildsys.Build calls.
+func BenchmarkAblation_PlanAhead(b *testing.B) {
+	const buildDelay = 40 * time.Millisecond
+	var dedupExecs, rawExecs float64
+	var dedupCSV, rawCSV string
+	var ttfm time.Duration
+	warmBuilds := -1
+
+	for i := 0; i < b.N; i++ {
+		// (a) Dedup on a duplicated sweep: 5 positions per type, 2
+		// distinct; threads {1,2} × 4 reps.
+		var execs atomic.Int64
+		fx := newFexB(b)
+		hooks := core.Hooks{
+			PerBenchmarkAction: func(rc *core.RunContext, buildType string, w workload.Workload) error {
+				return nil
+			},
+			PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
+				execs.Add(1) // each call stands for one kernel execution
+				return measure.FromMap(map[string]float64{"cycles": float64(len(w.Name())*1000 + threads*10 + rep)}), nil
+			},
+		}
+		if err := fx.RegisterExperiment(&core.Experiment{
+			Name: "plan_dedup",
+			Kind: core.KindPerformance,
+			NewRunner: func(fx *core.Fex) (core.Runner, error) {
+				return &core.BenchRunner{Suite: "splash", Hooks: hooks}, nil
+			},
+			Collect: core.GenericCollect,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.Config{
+			Experiment: "plan_dedup",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Benchmarks: []string{"fft", "lu", "fft", "lu", "fft"},
+			Threads:    []int{1, 2},
+			Reps:       4,
+			Input:      workload.SizeTest,
+			ModelTime:  true,
+		}
+		report, err := fx.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dedupExecs = float64(execs.Load())
+		dedupCSV = report.Table.CSVString()
+
+		execs.Store(0)
+		raw := cfg
+		raw.NoDedup = true
+		report, err = fx.Run(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rawExecs = float64(execs.Load())
+		rawCSV = report.Table.CSVString()
+
+		// (b) Half-warm two-config session: config A measures gcc_native
+		// cold; config B resumes with clang_native added. The planner
+		// skips the all-warm gcc build, so the first measurement lands
+		// after ~one modeled build period, not two.
+		var start time.Time
+		var firstNS atomic.Int64
+		sessionHooks := core.Hooks{
+			PerTypeAction: func(rc *core.RunContext, buildType string) error {
+				time.Sleep(buildDelay) // models one build
+				return nil
+			},
+			PerBenchmarkAction: func(rc *core.RunContext, buildType string, w workload.Workload) error {
+				return nil
+			},
+			PerRunAction: func(rc *core.RunContext, buildType string, w workload.Workload, threads, rep int) (*measure.MetricVector, error) {
+				firstNS.CompareAndSwap(0, int64(time.Since(start)))
+				return measure.FromMap(map[string]float64{"cycles": float64(threads*10 + rep)}), nil
+			},
+		}
+		sfx := newFexB(b)
+		if err := sfx.RegisterExperiment(&core.Experiment{
+			Name: "plan_diff",
+			Kind: core.KindPerformance,
+			NewRunner: func(fx *core.Fex) (core.Runner, error) {
+				return &core.BenchRunner{Suite: "splash", Hooks: sessionHooks}, nil
+			},
+			Collect: core.GenericCollect,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		cfgA := core.Config{
+			Experiment: "plan_diff",
+			BuildTypes: []string{"gcc_native"},
+			Benchmarks: []string{"fft", "lu"},
+			Reps:       2,
+			Input:      workload.SizeTest,
+			ModelTime:  true,
+		}
+		start = time.Now()
+		if _, err := sfx.Run(cfgA); err != nil {
+			b.Fatal(err)
+		}
+		cfgB := cfgA
+		cfgB.BuildTypes = []string{"gcc_native", "clang_native"}
+		cfgB.Resume = true
+		cfgB.Jobs = 2
+		firstNS.Store(0)
+		start = time.Now()
+		if _, err := sfx.Run(cfgB); err != nil {
+			b.Fatal(err)
+		}
+		ttfm = time.Duration(firstNS.Load())
+
+		// (c) Fully-warm resume on a real experiment: zero Build calls.
+		wfx := newFexB(b, "gcc-6.1", "clang-3.8.0")
+		wcfg := core.Config{
+			Experiment: "splash",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Benchmarks: []string{"fft", "lu"},
+			Input:      workload.SizeTest,
+			ModelTime:  true,
+		}
+		if _, err := wfx.Run(wcfg); err != nil {
+			b.Fatal(err)
+		}
+		before := wfx.BuildSystem().Builds()
+		wcfg.Resume = true
+		if _, err := wfx.Run(wcfg); err != nil {
+			b.Fatal(err)
+		}
+		warmBuilds = wfx.BuildSystem().Builds() - before
+	}
+
+	if dedupCSV != rawCSV {
+		b.Fatalf("deduped CSV differs from -no-dedup baseline:\n--- no-dedup ---\n%s\n--- deduped ---\n%s", rawCSV, dedupCSV)
+	}
+	if dedupExecs >= rawExecs {
+		b.Fatalf("dedup saved no kernel executions: %.0f vs %.0f undeduped", dedupExecs, rawExecs)
+	}
+	// Old all-builds-first behaviour puts the first measurement after both
+	// build periods (~2×buildDelay); the pipelined plan with the warm type
+	// skipped lands it after ~1×. 1.75× splits the two regimes with slack.
+	if limit := time.Duration(1.75 * float64(buildDelay)); ttfm >= limit {
+		b.Fatalf("time-to-first-measurement %v on the half-warm session; want < %v (warm build skipped, builds pipelined)", ttfm, limit)
+	}
+	if warmBuilds != 0 {
+		b.Fatalf("fully-warm resume performed %d builds, want 0", warmBuilds)
+	}
+	printTable("Plan-ahead execution (dedup, build skipping, pipelining)",
+		fmt.Sprintf("dedup=%.0f execs  no-dedup=%.0f execs  saved=%.1fx\nhalf-warm ttfm=%v (build=%v)  warm-resume builds=%d\n",
+			dedupExecs, rawExecs, rawExecs/dedupExecs, ttfm.Round(time.Millisecond), buildDelay, warmBuilds))
+	b.ReportMetric(dedupExecs, "dedup-execs")
+	b.ReportMetric(rawExecs, "nodedup-execs")
+	b.ReportMetric(rawExecs/dedupExecs, "exec-savings")
+	b.ReportMetric(float64(ttfm.Milliseconds()), "halfwarm-ttfm-ms")
+	b.ReportMetric(float64(warmBuilds), "warmresume-builds")
 }
 
 // BenchmarkRIPEMatrix measures raw testbed evaluation speed (850 attack

@@ -84,6 +84,7 @@ type cliArgs struct {
 	verbose     bool
 	noBuild     bool
 	noMemo      bool
+	noDedup     bool
 	modelTime   bool
 	resume      bool
 	outDir      string
@@ -200,6 +201,8 @@ func parseArgs(argv []string) (cliArgs, error) {
 			args.noBuild = true
 		case "-no-memo", "--no-memo":
 			args.noMemo = true
+		case "-no-dedup", "--no-dedup":
+			args.noDedup = true
 		case "--modeled-time":
 			args.modelTime = true
 		case "-resume":
@@ -688,6 +691,7 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		Verbose:      args.verbose,
 		NoBuild:      args.noBuild,
 		NoMemo:       args.noMemo,
+		NoDedup:      args.noDedup,
 		ModelTime:    args.modelTime,
 		Resume:       args.resume,
 	}

@@ -32,6 +32,10 @@ type System struct {
 	// cleared by CleanBuild (the per-experiment rebuild the paper insists
 	// on to avoid stale-flag skew).
 	cache map[string]*toolchain.Artifact
+	// builds counts Build invocations over the system's lifetime,
+	// including cache hits — the observable "did anything ask for a
+	// compile" signal the warm-resume tests pin at zero.
+	builds int
 }
 
 // NewSystem creates a build system writing binaries into fs. The installed
@@ -198,6 +202,7 @@ func buildKey(suite, bench, buildType string, debug bool) string {
 func (s *System) Build(w workload.Workload, buildType string, debug bool) (*toolchain.Artifact, error) {
 	key := buildKey(w.Suite(), w.Name(), buildType, debug)
 	s.mu.Lock()
+	s.builds++
 	if a, ok := s.cache[key]; ok {
 		s.mu.Unlock()
 		return a, nil
@@ -283,6 +288,26 @@ func (s *System) CachedArtifacts() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.cache)
+}
+
+// Builds returns how many times Build has been invoked, cache hits
+// included. The plan-ahead scheduler promises that a fully-warm resume
+// never reaches the build system at all; tests assert it through this
+// counter.
+func (s *System) Builds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.builds
+}
+
+// Cached returns the cached artifact for one (workload, build type,
+// debug) combination without building, or nil when the combination has
+// not been compiled yet. The run planner uses it to probe memo warmth:
+// only an already-built artifact can hold memoized executions.
+func (s *System) Cached(w workload.Workload, buildType string, debug bool) *toolchain.Artifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache[buildKey(w.Suite(), w.Name(), buildType, debug)]
 }
 
 // DefaultMakefiles returns the makefile set FEX ships: the common layer

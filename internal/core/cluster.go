@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"fex/internal/buildsys"
 	"fex/internal/installer"
@@ -114,30 +115,35 @@ type clusterResult struct {
 	err    error
 }
 
-// runCellsCluster executes the cells on the cluster workers named by
-// rc.Config.Hosts. Placement is work-conserving: each worker runs one
-// cell at a time, and idle workers pull the earliest queued cell they
-// have not yet attempted, so fast hosts absorb more of the run. The
-// returned shards are in canonical (input) order regardless of placement;
-// nil shards mark cells that were never dispatched because an earlier
-// failure stopped the run. Error semantics mirror runCells: after a
-// genuine cell failure no new cells are dispatched, and the earliest
-// failed cell in canonical order determines the returned error.
-func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) error) ([]*runlog.Shard, error) {
-	shards := make([]*runlog.Shard, len(cells))
-	if len(cells) == 0 {
-		return shards, nil
+// runCellsCluster executes the plan's released cells on the cluster
+// workers named by rc.Config.Hosts, consuming cell indices from ready as
+// the builds goroutine releases them (a cell becomes placeable only after
+// its build type's perType action ran on the coordinator). Placement is
+// work-conserving: each worker runs one cell at a time, and idle workers
+// pull the earliest queued cell they have not yet attempted, so fast
+// hosts absorb more of the run. Measured shards land in p.shards at their
+// canonical positions; nil shards mark cells that were never dispatched
+// because an earlier failure stopped the run. Error semantics mirror
+// runCells: after a genuine cell failure no new cells are dispatched, and
+// the earliest failed cell in canonical order determines the returned
+// error.
+func runCellsCluster(rc *RunContext, vrc *RunContext, p *runPlan, ready <-chan int, failed *atomic.Bool, fn func(*RunContext, cell) error) error {
+	cells := p.cells
+	if p.pendingCount() == 0 {
+		for range ready {
+		}
+		return nil
 	}
 	workers, err := rc.Fex.clusterWorkers(rc.Config.Hosts)
 	if err != nil {
-		return nil, err
+		failed.Store(true) // stop the builds goroutine, then drain
+		for range ready {
+		}
+		return err
 	}
-	verbose := newSyncWriter(rc.Verbose)
-	// Coordinator-side context: shares the run log but logs through the
-	// serialized verbose writer, like the cell contexts.
-	vrc := &RunContext{Fex: rc.Fex, Config: rc.Config, Env: rc.Env, Log: rc.Log, Verbose: verbose}
+	verbose := vrc.Verbose
 	vrc.logf("== cluster: %d cells across %d hosts (%s)",
-		len(cells), len(workers), strings.Join(rc.Config.Hosts, ", "))
+		p.pendingCount(), len(workers), strings.Join(rc.Config.Hosts, ", "))
 
 	// Register the run-cell command on every worker. The handler executes
 	// one cell against the worker's private build system, buffering its
@@ -173,7 +179,10 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 			return remote.Output{Log: text}, nil
 		}
 		if err := workers[wi].host.RegisterCommand(cmdRunCell, handler); err != nil {
-			return nil, err
+			failed.Store(true) // stop the builds goroutine, then drain
+			for range ready {
+			}
+			return err
 		}
 	}
 	// Tear the run-cell sessions down when the run ends: the handler
@@ -189,9 +198,11 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 		ctx     = context.Background()
 		results = make(chan clusterResult)
 		errs    = make([]error, len(cells))
-		// queue holds undispatched cell indices in canonical order;
-		// attempted[i] records the hosts cell i was placed on; down marks
-		// workers observed unreachable (out of the pool for this run).
+		// queue holds released, undispatched cell indices in canonical
+		// order (cells enter it from the ready channel as their build
+		// type's perType action completes); attempted[i] records the hosts
+		// cell i was placed on; down marks workers observed unreachable
+		// (out of the pool for this run).
 		queue     = make([]int, 0, len(cells))
 		attempted = make([]map[string]bool, len(cells))
 		idle      = make([]int, 0, len(workers))
@@ -199,10 +210,6 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 		inFlight  = 0
 		stop      = false
 	)
-	for i := range cells {
-		queue = append(queue, i)
-		attempted[i] = make(map[string]bool)
-	}
 	for wi := range workers {
 		idle = append(idle, wi)
 	}
@@ -219,9 +226,19 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 				results <- clusterResult{cell: ci, worker: wi, err: err}
 				return
 			}
-			// The command output is the fetched shard log; rebuild the
-			// shard so it merges through the same Append path as local
-			// cells.
+			// The command output is the fetched shard log. Validate it
+			// before rebuilding the shard: a corrupted transfer must fail
+			// the cell with host attribution, never merge garbage records
+			// silently into the run log.
+			if verr := runlog.ValidateText(out.Log); verr != nil {
+				c := cells[ci]
+				results <- clusterResult{cell: ci, worker: wi,
+					err: fmt.Errorf("cluster: host %s: cell %s/%s [%s]: corrupt shard transfer: %w",
+						workers[wi].host.Name(), c.workload.Suite(), c.workload.Name(), c.buildType, verr)}
+				return
+			}
+			// Rebuild the shard so it merges through the same Append path
+			// as local cells.
 			results <- clusterResult{cell: ci, worker: wi, shard: runlog.RestoreShard(out.Log)}
 		}()
 	}
@@ -260,6 +277,7 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 					c.workload.Suite(), c.workload.Name(), c.buildType,
 					strings.Join(rc.Config.Hosts, ", "), triedHosts(ci), remote.ErrUnreachable)
 				stop = true
+				failed.Store(true)
 				return
 			}
 			placed := false
@@ -278,13 +296,11 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 		}
 	}
 
-	assign()
-	for inFlight > 0 {
-		r := <-results
+	handle := func(r clusterResult) {
 		inFlight--
 		switch {
 		case r.err == nil:
-			shards[r.cell] = r.shard
+			p.shards[r.cell] = r.shard
 			// The fetched shard is durable the moment it reaches the
 			// coordinator: a run that later fails still leaves this cell
 			// resumable.
@@ -304,9 +320,37 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 			// abort, attributed to the cell and host by the remote wrapper.
 			errs[r.cell] = r.err
 			stop = true
+			failed.Store(true)
 			idle = append(idle, r.worker)
 		}
 		assign()
+	}
+
+	// The placement loop interleaves two event sources: cells released by
+	// the builds goroutine (ready) and completed placements (results). It
+	// runs until every released cell settled and no further releases can
+	// arrive.
+	readyOpen := true
+	for inFlight > 0 || readyOpen {
+		if readyOpen {
+			select {
+			case i, ok := <-ready:
+				if !ok {
+					readyOpen = false
+					continue
+				}
+				if stop {
+					continue // drain: a failure already stopped the run
+				}
+				attempted[i] = make(map[string]bool)
+				queue = append(queue, i)
+				assign()
+			case r := <-results:
+				handle(r)
+			}
+		} else {
+			handle(<-results)
+		}
 	}
 
 	// Drain the per-host log retention (run.py's final "fetch the logs"):
@@ -317,8 +361,8 @@ func runCellsCluster(rc *RunContext, cells []cell, fn func(*RunContext, cell) er
 
 	for _, err := range errs {
 		if err != nil {
-			return shards, err
+			return err
 		}
 	}
-	return shards, nil
+	return nil
 }

@@ -145,6 +145,23 @@ var determinismExperiments = []struct {
 		},
 		installs: []string{"gcc-6.1", "clang-3.8.0", "ripe"},
 	},
+	{
+		// Duplicated sweep: the same benchmark listed twice in -b. The
+		// planner measures the distinct cell once and replays its shard
+		// into the duplicate position; the contract — byte-identical
+		// logs/CSVs across all three tiers, cold and resumed — must hold
+		// for deduped runs too.
+		name: "splash_dup_sweep",
+		cfg: Config{
+			Experiment: "splash",
+			BuildTypes: []string{"gcc_native", "clang_native"},
+			Benchmarks: []string{"fft", "lu", "fft"},
+			Threads:    []int{1, 2},
+			Reps:       2,
+			Input:      workload.SizeTest,
+		},
+		installs: []string{"gcc-6.1", "clang-3.8.0"},
+	},
 }
 
 // TestClusterDeterminismBuiltinExperiments is the golden suite of the
@@ -483,5 +500,72 @@ func TestClusterUnknownBenchmarkStillFails(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "unknown benchmarks") {
 		t.Errorf("got %v", err)
+	}
+}
+
+// TestClusterCorruptShardTransferFailsCell injects transfer corruption on
+// a host: the coordinator must validate the fetched shard text before
+// merging it and fail the cell with host and cell attribution — a
+// corrupted transfer must never leak garbage records into the run log.
+func TestClusterCorruptShardTransferFailsCell(t *testing.T) {
+	fx, cluster := clusterFex(t, "w1")
+	w1, err := cluster.Host("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.SetCorruptOutput(func(s string) string { return "<<garbled transfer>>\n" + s })
+	registerSchedExperiment(t, fx, "cluster_corrupt", deterministicHooks(0))
+
+	_, err = fx.Run(Config{
+		Experiment: "cluster_corrupt",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft", "lu"},
+		Reps:       2,
+		Input:      workload.SizeTest,
+		Hosts:      []string{"w1"},
+	})
+	if err == nil {
+		t.Fatal("run succeeded despite corrupted shard transfers")
+	}
+	for _, want := range []string{"host w1", "cell splash/fft [gcc_native]", "corrupt shard transfer"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestClusterCorruptTransferDoesNotPersist closes the durability hole:
+// a corrupted transfer must not be persisted to the result store either,
+// or a later -resume would replay the garbage. After the failed run, a
+// clean retry on the same framework must re-measure and succeed.
+func TestClusterCorruptTransferDoesNotPersist(t *testing.T) {
+	fx, cluster := clusterFex(t, "w1")
+	w1, err := cluster.Host("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.SetCorruptOutput(func(s string) string { return strings.ReplaceAll(s, "|", "?") })
+	registerSchedExperiment(t, fx, "cluster_heal", deterministicHooks(0))
+	cfg := Config{
+		Experiment: "cluster_heal",
+		BuildTypes: []string{"gcc_native"},
+		Benchmarks: []string{"fft"},
+		Input:      workload.SizeTest,
+		ModelTime:  true,
+		Hosts:      []string{"w1"},
+	}
+	if _, err := fx.Run(cfg); err == nil {
+		t.Fatal("run succeeded despite corrupted shard transfers")
+	}
+
+	w1.SetCorruptOutput(nil)
+	resume := cfg
+	resume.Resume = true
+	report, err := fx.Run(resume)
+	if err != nil {
+		t.Fatalf("clean retry after corruption failed: %v", err)
+	}
+	if report.Measurements != 1 {
+		t.Fatalf("%d measurements after retry, want 1 (re-measured, not replayed garbage)", report.Measurements)
 	}
 }

@@ -81,6 +81,15 @@ type Config struct {
 	// function of the workload and build type, so runs produce
 	// byte-identical logs on any machine — serial, parallel, or cluster.
 	ModelTime bool
+	// NoDedup disables in-run cell deduplication (-no-dedup): the planner
+	// normally measures each distinct cell fingerprint once per run and
+	// replays the shard into every duplicate position (a benchmark listed
+	// twice in -b, overlapping sweeps). Kernels are deterministic by
+	// contract, so deduped and undeduped runs produce byte-identical
+	// merged logs; the escape hatch exists for wall-clock studies that
+	// want every position physically measured, and as the ablation
+	// baseline.
+	NoDedup bool
 	// Resume consults the persistent result store before executing each
 	// experiment cell (-resume): a cell whose fingerprint — experiment,
 	// build type, benchmark, thread sweep, input class, tool, repetition
@@ -228,6 +237,9 @@ func (c Config) String() string {
 	}
 	if c.NoMemo {
 		sb.WriteString(" -no-memo")
+	}
+	if c.NoDedup {
+		sb.WriteString(" -no-dedup")
 	}
 	if c.ModelTime {
 		sb.WriteString(" --modeled-time")

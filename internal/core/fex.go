@@ -329,6 +329,10 @@ func (fx *Fex) Artifact(w workload.Workload, buildType string, debug bool) (*too
 }
 
 // selectBenchmarks returns the suite's workloads, filtered by -b names.
+// A name listed N times selects the workload N times (a duplicated
+// sweep): the positions are real cells of the loop, and the planner
+// measures the distinct fingerprint once and replays it into every
+// duplicate position (unless -no-dedup).
 func (fx *Fex) selectBenchmarks(suite string, filter []string) ([]workload.Workload, error) {
 	ws, err := fx.registry.Suite(suite)
 	if err != nil {
@@ -337,16 +341,16 @@ func (fx *Fex) selectBenchmarks(suite string, filter []string) ([]workload.Workl
 	if len(filter) == 0 {
 		return ws, nil
 	}
-	want := make(map[string]bool, len(filter))
+	want := make(map[string]int, len(filter))
 	for _, f := range filter {
-		want[f] = true
+		want[f]++
 	}
 	var out []workload.Workload
 	for _, w := range ws {
-		if want[w.Name()] {
+		for n := want[w.Name()]; n > 0; n-- {
 			out = append(out, w)
-			delete(want, w.Name())
 		}
+		delete(want, w.Name())
 	}
 	if len(want) > 0 {
 		missing := make([]string, 0, len(want))

@@ -128,23 +128,26 @@ var errSkipBenchmark = errors.New("core: skip benchmark")
 // current benchmark.
 func SkipBenchmark() error { return errSkipBenchmark }
 
-// Run implements Runner: the experiment loop. With Config.Jobs > 1 the
-// independent (build type, benchmark) cells of the loop run on a bounded
-// worker pool, and with Config.Hosts they are dispatched to cluster
-// workers (see schedule.go and cluster.go); the default executes the
-// paper-faithful serial order. Every tier runs its cells through the
-// result store: completed cells persist, and -resume replays satisfied
-// cells instead of re-measuring them. Per-type actions keep their ordering
-// guarantee relative to their own cells; in the parallel tiers every
-// PerTypeAction runs (serially, in -t order) before any cell starts — the
-// one observable reordering versus the serial loop.
+// Run implements Runner: the experiment loop, routed through the run
+// planner (plan.go). With Config.Jobs > 1 the independent (build type,
+// benchmark) cells of the loop run on a bounded worker pool, and with
+// Config.Hosts they are dispatched to cluster workers (see schedule.go
+// and cluster.go); the default executes the paper-faithful serial order.
+// Every tier runs its cells through the plan: completed cells persist,
+// -resume replays satisfied cells, in-run duplicates measure once, and
+// build types with no cold cells skip their PerTypeAction entirely.
+// Per-type actions keep their ordering guarantee relative to their own
+// cells; in the parallel tiers each cold type's PerTypeAction runs
+// (serially, in -t order) before that type's cells, pipelined with
+// earlier types' measurements — the one observable reordering versus the
+// serial loop.
 func (r *BenchRunner) Run(rc *RunContext) error {
 	benches, err := rc.Fex.selectBenchmarks(r.Suite, rc.Config.Benchmarks)
 	if err != nil {
 		return err
 	}
-	perType := func(buildType string) error {
-		if err := r.perType(rc, buildType); err != nil {
+	perType := func(prc *RunContext, buildType string) error {
+		if err := r.perType(prc, buildType); err != nil {
 			return fmt.Errorf("experiment %s, type %s: %w", rc.Config.Experiment, buildType, err)
 		}
 		return nil
@@ -152,10 +155,7 @@ func (r *BenchRunner) Run(rc *RunContext) error {
 	cellFn := func(cellRC *RunContext, c cell) error {
 		return r.runCell(cellRC, c.buildType, c.workload)
 	}
-	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
-		return runParallel(rc, benches, "", perType, cellFn)
-	}
-	return runSerial(rc, benches, "", perType, cellFn)
+	return runExperiment(rc, benches, "", perType, cellFn)
 }
 
 // runCell executes one cell — per-benchmark action, then the serialized
@@ -347,19 +347,16 @@ func (r *VariableInputRunner) Run(rc *RunContext) error {
 		names[i] = in.String()
 	}
 	dims := "inputs=" + strings.Join(names, ",")
-	perType := func(buildType string) error {
+	perType := func(prc *RunContext, buildType string) error {
 		if r.Hooks.PerTypeAction != nil {
-			return r.Hooks.PerTypeAction(rc, buildType)
+			return r.Hooks.PerTypeAction(prc, buildType)
 		}
 		return nil
 	}
 	cellFn := func(cellRC *RunContext, c cell) error {
 		return r.runCell(cellRC, c.buildType, c.workload, inputs)
 	}
-	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
-		return runParallel(rc, benches, dims, perType, cellFn)
-	}
-	return runSerial(rc, benches, dims, perType, cellFn)
+	return runExperiment(rc, benches, dims, perType, cellFn)
 }
 
 // runCell executes one variable-input cell: build + dry run, then the

@@ -70,19 +70,15 @@ func cellFingerprint(fx *Fex, cfg Config, c cell) store.Fingerprint {
 
 // planReplays resolves every cell's store lookup in one batched pass
 // before the run starts executing: one BulkGet over all cell fingerprints
-// syncs the index once and reads each backing file once, instead of a
-// per-cell store probe. The returned slice is positionally aligned with
-// cells; a nil shard means "execute the cell". Corrupt or mismatched
-// records are reported to the -v stream and treated as misses, so a
-// damaged store self-heals by re-measuring.
-func planReplays(rc *RunContext, cells []cell) []*runlog.Shard {
+// (precomputed by the planner) syncs the index once and reads each
+// backing file once, instead of a per-cell store probe. The returned
+// slice is positionally aligned with cells; a nil shard means "execute
+// the cell". Corrupt or mismatched records are reported to the -v stream
+// and treated as misses, so a damaged store self-heals by re-measuring.
+func planReplays(rc *RunContext, cells []cell, fps []store.Fingerprint) []*runlog.Shard {
 	shards := make([]*runlog.Shard, len(cells))
 	if !rc.Config.Resume || rc.Fex.store == nil {
 		return shards
-	}
-	fps := make([]store.Fingerprint, len(cells))
-	for i, c := range cells {
-		fps[i] = cellFingerprint(rc.Fex, rc.Config, c)
 	}
 	results, err := rc.Fex.store.BulkGet(fps)
 	if err != nil {
@@ -134,116 +130,155 @@ func persistCell(rc *RunContext, c cell, shard *runlog.Shard) {
 // runSerial is the shared serial path of the runners: the paper-faithful
 // loop order — each build type's perType action immediately before its own
 // cells — with each cell buffered in a private shard, consulted against
-// the result store, and appended to the main log as it completes. Routing
-// the serial tier through the same shard/store path as the parallel tiers
-// keeps the log bytes identical while making every tier resumable. Store
-// lookups are planned ahead in one batched pass (fingerprints depend only
-// on the config and the cell, never on perType side effects, so resolving
-// them before the loop is equivalent).
-func runSerial(rc *RunContext, benches []workload.Workload, dims string, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
-	cells := makeCells(rc.Config.BuildTypes, benches, dims)
-	replays := planReplays(rc, cells)
-	for bt, buildType := range rc.Config.BuildTypes {
-		if err := perType(buildType); err != nil {
-			return err
-		}
-		for wi := range benches {
-			i := bt*len(benches) + wi
-			c := cells[i]
-			shard := replays[i]
-			if shard == nil {
-				shard = runlog.NewShard()
-				cellRC := &RunContext{
-					Fex:     rc.Fex,
-					Config:  rc.Config,
-					Env:     rc.Env,
-					Log:     shard.Writer(),
-					Verbose: rc.Verbose,
-					build:   rc.build,
-				}
-				if err := cellFn(cellRC, c); err != nil {
-					// Keep the failed cell's partial records in the
-					// caller's log, like the pre-store serial loop (and
-					// like the parallel tier, which merges partial shards
-					// on failure); only completed cells persist.
-					_ = rc.Log.Append(shard)
+// the plan, and appended to the main log as it completes. Routing the
+// serial tier through the same plan/shard/store path as the parallel
+// tiers keeps the log bytes identical while making every tier resumable.
+// Build types whose cells are all satisfied by the plan (replays or
+// duplicates) skip their perType action entirely — a fully-warm resume
+// performs zero builds.
+func runSerial(rc *RunContext, p *runPlan, perType func(*RunContext, string) error, cellFn func(*RunContext, cell) error) error {
+	started := make(map[string]bool, len(rc.Config.BuildTypes))
+	for i, c := range p.cells {
+		if !started[c.buildType] {
+			started[c.buildType] = true
+			if p.coldTypes[c.buildType] {
+				if err := perType(rc, c.buildType); err != nil {
 					return err
 				}
-				persistCell(rc, c, shard)
+			} else {
+				rc.logf("== build type %s: all cells satisfied, build skipped", c.buildType)
 			}
-			if err := rc.Log.Append(shard); err != nil {
+		}
+		shard := p.shards[i]
+		if shard == nil && p.canon[i] != i {
+			// In-run duplicate: replay the canonical cell's shard (always
+			// an earlier position, so it has already been measured).
+			shard = p.shards[p.canon[i]]
+			p.shards[i] = shard
+		}
+		if shard == nil {
+			shard = runlog.NewShard()
+			cellRC := &RunContext{
+				Fex:     rc.Fex,
+				Config:  rc.Config,
+				Env:     rc.Env,
+				Log:     shard.Writer(),
+				Verbose: rc.Verbose,
+				build:   rc.build,
+			}
+			if err := cellFn(cellRC, c); err != nil {
+				// Keep the failed cell's partial records in the
+				// caller's log, like the pre-store serial loop (and
+				// like the parallel tier, which merges partial shards
+				// on failure); only completed cells persist.
+				_ = rc.Log.Append(shard)
 				return err
 			}
+			p.shards[i] = shard
+			persistCell(rc, c, shard)
+		}
+		if err := rc.Log.Append(shard); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// runParallel is the shared parallel path of the runners: it executes
-// perType for every build type (serially, in -t order, before any cell
-// starts), resolves store hits on the coordinator (replayed cells are
-// never dispatched — cluster placement skips them entirely), fans the
-// remaining cells out — on the local worker pool, or onto the cluster
-// hosts when -hosts is set (see cluster.go) — and merges the cell shards
-// into rc.Log in canonical order.
-func runParallel(rc *RunContext, benches []workload.Workload, dims string, perType func(buildType string) error, cellFn func(*RunContext, cell) error) error {
-	for _, buildType := range rc.Config.BuildTypes {
-		if err := perType(buildType); err != nil {
-			return err
+// runParallel is the shared parallel path of the runners, executing the
+// plan as a DAG: a builds goroutine runs perType serially in -t order for
+// the *cold* build types only, and releases each type's cells to the
+// worker pool (or the cluster placement loop) the moment that type's
+// build finishes — so the first cold cell starts measuring after its own
+// build, not after all builds. Replayed and deduped cells are never
+// dispatched; all shards merge into rc.Log in canonical order at the end.
+//
+// Error semantics: after any cell fails, no new cells are dispatched and
+// no further builds run; the earliest failed cell in canonical order
+// determines the returned error, with a build error reported only when no
+// cell failed. Completed shards still merge, partial work stays durable.
+func runParallel(rc *RunContext, p *runPlan, perType func(*RunContext, string) error, cellFn func(*RunContext, cell) error) error {
+	verbose := newSyncWriter(rc.Verbose)
+	// Coordinator-side context for everything that may run concurrently
+	// with cells: perType actions and plan/cluster progress lines all go
+	// through the serialized verbose writer.
+	vrc := &RunContext{Fex: rc.Fex, Config: rc.Config, Env: rc.Env, Log: rc.Log, Verbose: verbose, build: rc.build}
+
+	pendingByType := make(map[string][]int, len(rc.Config.BuildTypes))
+	npending := 0
+	for i := range p.cells {
+		if p.executes(i) {
+			bt := p.cells[i].buildType
+			pendingByType[bt] = append(pendingByType[bt], i)
+			npending++
 		}
 	}
-	cells := makeCells(rc.Config.BuildTypes, benches, dims)
-	shards := planReplays(rc, cells)
-	var pending []cell
-	var pendingIdx []int
-	for i, c := range cells {
-		if shards[i] != nil {
-			continue
+	// ready carries cell indices whose build prerequisite is satisfied.
+	// Buffered to npending so the builds goroutine never blocks on a slow
+	// consumer; closed when every cold build has run (or building stops).
+	ready := make(chan int, npending)
+	buildErr := make(chan error, 1)
+	var failed atomic.Bool
+	go func() {
+		defer close(ready)
+		for _, bt := range rc.Config.BuildTypes {
+			idxs := pendingByType[bt]
+			if len(idxs) == 0 {
+				if p.warmTypes[bt] {
+					vrc.logf("== build type %s: all cells satisfied, build skipped", bt)
+				}
+				continue
+			}
+			if failed.Load() {
+				return // a cell already failed; stop building
+			}
+			if err := perType(vrc, bt); err != nil {
+				buildErr <- err
+				return
+			}
+			for _, i := range idxs {
+				ready <- i
+			}
 		}
-		pending = append(pending, c)
-		pendingIdx = append(pendingIdx, i)
-	}
+	}()
+
 	var err error
-	if len(pending) > 0 {
-		var got []*runlog.Shard
-		if len(rc.Config.Hosts) > 0 {
-			got, err = runCellsCluster(rc, pending, cellFn)
-		} else {
-			got, err = runCells(rc, pending, cellFn)
-		}
-		for j, s := range got {
-			shards[pendingIdx[j]] = s
-		}
+	if len(rc.Config.Hosts) > 0 {
+		err = runCellsCluster(rc, vrc, p, ready, &failed, cellFn)
+	} else {
+		err = runCells(rc, p, ready, &failed, verbose, cellFn)
 	}
-	if mergeErr := rc.Log.Append(shards...); mergeErr != nil && err == nil {
+	p.backfillDuplicates()
+	select {
+	case berr := <-buildErr:
+		if err == nil {
+			err = berr
+		}
+	default:
+	}
+	if mergeErr := rc.Log.Append(p.shards...); mergeErr != nil && err == nil {
 		err = mergeErr
 	}
 	return err
 }
 
-// runCells executes fn over the cells on a bounded pool of
-// rc.Config.Jobs workers. Each invocation receives a derived RunContext
+// runCells executes the plan's released cells on a bounded pool of
+// rc.Config.Jobs workers, consuming indices from ready as the builds
+// goroutine releases them. Each invocation receives a derived RunContext
 // whose Log writes to a private shard and whose Verbose writer is
-// serialized across cells. The returned shards are in canonical (input)
-// order regardless of completion order; a nil shard marks a cell that was
-// never dispatched because an earlier failure stopped the run.
+// serialized across cells; measured shards land in p.shards at their
+// canonical positions. A nil shard marks a cell that was never dispatched
+// because an earlier failure stopped the run.
 //
 // Error semantics mirror the serial loop as closely as concurrency
 // allows: after any cell fails, no new cells are dispatched (in-flight
 // ones finish), and the earliest failed cell in canonical order among
 // those that ran determines the returned error.
-func runCells(rc *RunContext, cells []cell, fn func(*RunContext, cell) error) ([]*runlog.Shard, error) {
+func runCells(rc *RunContext, p *runPlan, ready <-chan int, failed *atomic.Bool, verbose io.Writer, fn func(*RunContext, cell) error) error {
 	jobs := rc.Config.Jobs
 	if jobs < 1 {
 		jobs = 1
 	}
-	if jobs > len(cells) {
-		jobs = len(cells)
-	}
-	shards := make([]*runlog.Shard, len(cells))
-	errs := make([]error, len(cells))
-	verbose := newSyncWriter(rc.Verbose)
-	var failed atomic.Bool
+	errs := make([]error, len(p.cells))
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for n := 0; n < jobs; n++ {
@@ -257,26 +292,27 @@ func runCells(rc *RunContext, cells []cell, fn func(*RunContext, cell) error) ([
 					continue
 				}
 				shard := runlog.NewShard()
-				shards[i] = shard
+				p.shards[i] = shard
 				cellRC := &RunContext{
 					Fex:     rc.Fex,
 					Config:  rc.Config,
 					Env:     rc.Env,
 					Log:     shard.Writer(),
 					Verbose: verbose,
+					build:   rc.build,
 				}
-				if err := fn(cellRC, cells[i]); err != nil {
+				if err := fn(cellRC, p.cells[i]); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					continue
 				}
-				persistCell(cellRC, cells[i], shard)
+				persistCell(cellRC, p.cells[i], shard)
 			}
 		}()
 	}
-	for i := range cells {
+	for i := range ready {
 		if failed.Load() {
-			break
+			continue // drain ready so the builds goroutine can finish
 		}
 		idx <- i
 	}
@@ -284,10 +320,10 @@ func runCells(rc *RunContext, cells []cell, fn func(*RunContext, cell) error) ([
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return shards, err
+			return err
 		}
 	}
-	return shards, nil
+	return nil
 }
 
 // syncWriter serializes concurrent writes so -v progress lines from

@@ -57,6 +57,7 @@ type Host struct {
 	handlers    map[string]Handler
 	latency     time.Duration
 	unreachable bool
+	corrupt     func(string) string
 	logs        []string
 }
 
@@ -97,6 +98,17 @@ func (h *Host) SetUnreachable(down bool) {
 	h.unreachable = down
 }
 
+// SetCorruptOutput injects transfer corruption: fn rewrites the log
+// output of every command *in transit*, after the host-side handler
+// produced it and retained the pristine copy. nil disables the fault.
+// Callers use it to prove the coordinator validates fetched data instead
+// of trusting the wire.
+func (h *Host) SetCorruptOutput(fn func(string) string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.corrupt = fn
+}
+
 // Run executes a command on the host — the SSH-session stand-in. The
 // command's log output is retained on the host until FetchLogs collects
 // it.
@@ -104,6 +116,7 @@ func (h *Host) Run(ctx context.Context, job Job) (Output, error) {
 	h.mu.Lock()
 	latency := h.latency
 	down := h.unreachable
+	corrupt := h.corrupt
 	fn, ok := h.handlers[job.Command]
 	h.mu.Unlock()
 	if down {
@@ -127,6 +140,11 @@ func (h *Host) Run(ctx context.Context, job Job) (Output, error) {
 		h.mu.Lock()
 		h.logs = append(h.logs, out.Log)
 		h.mu.Unlock()
+	}
+	// Corruption strikes the transfer, not the host: the retained log
+	// above stays pristine while the caller receives the damaged copy.
+	if corrupt != nil {
+		out.Log = corrupt(out.Log)
 	}
 	return out, nil
 }

@@ -427,6 +427,14 @@ func (a *Artifact) MemoKeys() []string {
 	return out
 }
 
+// Memoized reports whether an execution of (in, threads) under the
+// artifact's current cost vector is already cached in the memo — the
+// plan-ahead scheduler's warmth probe, answered without running anything.
+func (a *Artifact) Memoized(in workload.Input, threads int) bool {
+	_, hit := a.memoLookup(in, threads)
+	return hit
+}
+
 // MemoLen returns the number of cached executions.
 func (a *Artifact) MemoLen() int {
 	a.memoMu.Lock()

@@ -16,6 +16,7 @@
 package fex_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -69,7 +70,7 @@ func BenchmarkFigure6_SplashClangVsGCC(b *testing.B) {
 	fx := newFexB(b, "gcc-6.1", "clang-3.8.0", "splash_inputs")
 	var fftRatio, geomean float64
 	for i := 0; i < b.N; i++ {
-		report, err := fx.Run(core.Config{
+		report, err := fx.Run(context.Background(), core.Config{
 			Experiment: "splash",
 			BuildTypes: []string{"gcc_native", "clang_native"},
 			Input:      workload.SizeTest,
@@ -143,7 +144,7 @@ func BenchmarkFigure7_NginxThroughputLatency(b *testing.B) {
 	}
 	var peakGCC, peakClang float64
 	for i := 0; i < b.N; i++ {
-		report, err := fx.Run(core.Config{
+		report, err := fx.Run(context.Background(), core.Config{
 			Experiment: "nginx_bench",
 			BuildTypes: []string{"gcc_native", "clang_native"},
 		})
@@ -199,7 +200,7 @@ func BenchmarkTable2_RIPESecurity(b *testing.B) {
 	fx := newFexB(b, "gcc-6.1", "clang-3.8.0", "ripe")
 	var gccSucc, clangSucc float64
 	for i := 0; i < b.N; i++ {
-		report, err := fx.Run(core.Config{
+		report, err := fx.Run(context.Background(), core.Config{
 			Experiment: "ripe",
 			BuildTypes: []string{"gcc_native", "clang_native"},
 		})
@@ -294,7 +295,7 @@ func BenchmarkAblation_RebuildVsNoBuild(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fx.Run(cfg); err != nil {
+				if _, err := fx.Run(context.Background(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -339,7 +340,7 @@ func BenchmarkAblation_DryRun(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fx.Run(cfg); err != nil {
+				if _, err := fx.Run(context.Background(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -405,7 +406,7 @@ func BenchmarkAblation_MemoizedReps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.NoMemo = false
 		start := time.Now()
-		memoReport, err := fx.Run(cfg)
+		memoReport, err := fx.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -413,7 +414,7 @@ func BenchmarkAblation_MemoizedReps(b *testing.B) {
 
 		cfg.NoMemo = true
 		start = time.Now()
-		noMemoReport, err := fx.Run(cfg)
+		noMemoReport, err := fx.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -537,7 +538,7 @@ func BenchmarkAblation_ParallelScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Jobs = 1
 		start := time.Now()
-		serialReport, err := fx.Run(cfg)
+		serialReport, err := fx.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -545,7 +546,7 @@ func BenchmarkAblation_ParallelScaling(b *testing.B) {
 
 		cfg.Jobs = 4
 		start = time.Now()
-		parallelReport, err := fx.Run(cfg)
+		parallelReport, err := fx.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -676,7 +677,7 @@ func BenchmarkAblation_PlanAhead(b *testing.B) {
 			Input:      workload.SizeTest,
 			ModelTime:  true,
 		}
-		report, err := fx.Run(cfg)
+		report, err := fx.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -686,7 +687,7 @@ func BenchmarkAblation_PlanAhead(b *testing.B) {
 		execs.Store(0)
 		raw := cfg
 		raw.NoDedup = true
-		report, err = fx.Run(raw)
+		report, err = fx.Run(context.Background(), raw)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -732,7 +733,7 @@ func BenchmarkAblation_PlanAhead(b *testing.B) {
 			ModelTime:  true,
 		}
 		start = time.Now()
-		if _, err := sfx.Run(cfgA); err != nil {
+		if _, err := sfx.Run(context.Background(), cfgA); err != nil {
 			b.Fatal(err)
 		}
 		cfgB := cfgA
@@ -741,7 +742,7 @@ func BenchmarkAblation_PlanAhead(b *testing.B) {
 		cfgB.Jobs = 2
 		firstNS.Store(0)
 		start = time.Now()
-		if _, err := sfx.Run(cfgB); err != nil {
+		if _, err := sfx.Run(context.Background(), cfgB); err != nil {
 			b.Fatal(err)
 		}
 		ttfm = time.Duration(firstNS.Load())
@@ -755,12 +756,12 @@ func BenchmarkAblation_PlanAhead(b *testing.B) {
 			Input:      workload.SizeTest,
 			ModelTime:  true,
 		}
-		if _, err := wfx.Run(wcfg); err != nil {
+		if _, err := wfx.Run(context.Background(), wcfg); err != nil {
 			b.Fatal(err)
 		}
 		before := wfx.BuildSystem().Builds()
 		wcfg.Resume = true
-		if _, err := wfx.Run(wcfg); err != nil {
+		if _, err := wfx.Run(context.Background(), wcfg); err != nil {
 			b.Fatal(err)
 		}
 		warmBuilds = wfx.BuildSystem().Builds() - before

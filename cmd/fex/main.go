@@ -14,13 +14,16 @@
 //	export   -o <dir>                      write the result store as a committable run-set directory
 //	clean                                  evict the persistent result store
 //	compact                                garbage-collect and repack the result store
+//	serve    [-addr host:port]             run the experiment service (HTTP/JSON API)
 //	list                                   print the supported-experiments inventory (Table I)
 //
 // Flags (matching §III-B): -t build types / plot kind, -b benchmark
 // filter, -m thread counts, -r repetitions (a count, or
 // "auto[:level,relwidth]" for adaptive repetitions that stop once the
 // confidence interval is tight enough), -i input class, -d debug
-// builds, -v verbose, --no-build, -o host output directory, --state state
+// builds, -v verbose, --no-build, -tool measurement tool (perf-stat,
+// perf-stat-mem, time; default per experiment), -o host output directory,
+// --state state
 // file (container persistence between invocations), -jobs parallel
 // experiment cells (default 1: the paper's serial loop), -hosts
 // comma-separated cluster worker hosts (cells are dispatched remotely
@@ -44,17 +47,23 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"fex/internal/core"
 	"fex/internal/diff"
+	"fex/internal/serve"
 	"fex/internal/workload"
 )
 
@@ -87,6 +96,8 @@ type cliArgs struct {
 	noDedup     bool
 	modelTime   bool
 	resume      bool
+	tool        string
+	addr        string
 	outDir      string
 	stateFile   string
 	cpuProfile  string
@@ -100,7 +111,7 @@ type cliArgs struct {
 
 func parseArgs(argv []string) (cliArgs, error) {
 	if len(argv) == 0 {
-		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|analyze|diff|gate|export|clean|compact|list> -n <name> [args]")
+		return cliArgs{}, errors.New("usage: fex <install|run|collect|plot|analyze|diff|gate|export|clean|compact|serve|list> -n <name> [args]")
 	}
 	args := cliArgs{action: argv[0], reps: 1, jobs: 1}
 	i := 1
@@ -207,6 +218,18 @@ func parseArgs(argv []string) (cliArgs, error) {
 			args.modelTime = true
 		case "-resume":
 			args.resume = true
+		case "-tool":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-tool requires a measurement-tool name")
+			}
+			args.tool = v
+		case "-addr":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-addr requires a listen address (host:port)")
+			}
+			args.addr = v
 		case "-cpuprofile":
 			v, ok := next()
 			if !ok {
@@ -370,7 +393,7 @@ func run(argv []string) error {
 		if err := fx.InstallPrerequisites(cfg.BuildTypes...); err != nil {
 			return err
 		}
-		report, err := fx.Run(cfg)
+		report, err := fx.Run(context.Background(), cfg)
 		if err != nil {
 			// The result store already holds every cell that completed
 			// before the failure; persist the state anyway so a retry with
@@ -566,13 +589,54 @@ func run(argv []string) error {
 			stats.Kept, stats.Dropped, stats.Packs, stats.Bytes)
 		return saveState()
 
+	case "serve":
+		// fex serve [-addr host:port] [--state file]: run the experiment
+		// service — an HTTP/JSON API accepting experiment configurations,
+		// executing them through this framework instance, and exposing run
+		// status, streaming logs, and artifacts. With --state, container
+		// state is persisted after every settled run, so completed cells
+		// survive a restart and later submissions replay them.
+		return runServe(fx, args, saveState)
+
 	case "list":
 		fmt.Print(fx.BuildInventory().String())
 		return nil
 
 	default:
-		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, diff, gate, export, clean, compact, list)", args.action)
+		return fmt.Errorf("unknown action %q (have install, run, collect, plot, analyze, diff, gate, export, clean, compact, serve, list)", args.action)
 	}
+}
+
+// runServe hosts the experiment service until interrupted: it listens on
+// -addr (default 127.0.0.1:8080), serves the HTTP API, and shuts down
+// cleanly on SIGINT/SIGTERM — the in-flight run is cancelled, queued runs
+// settle as cancelled, and state is saved one last time.
+func runServe(fx *core.Fex, args cliArgs, saveState func() error) error {
+	srv := serve.New(fx, serve.Options{
+		OnRunFinished: func(id string, runErr error) {
+			if err := saveState(); err != nil {
+				fmt.Fprintf(os.Stderr, "fex: run %s: %v\n", id, err)
+			}
+		},
+	})
+	ln, err := net.Listen("tcp", orDefault(args.addr, "127.0.0.1:8080"))
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		_ = httpSrv.Shutdown(context.Background())
+	}()
+	fmt.Printf("fex serve listening on http://%s\n", ln.Addr())
+	err = httpSrv.Serve(ln)
+	srv.Close()
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return errors.Join(err, saveState())
 }
 
 // diffOptions maps CLI flags onto the differential analyzer's options.
@@ -694,6 +758,7 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		NoDedup:      args.noDedup,
 		ModelTime:    args.modelTime,
 		Resume:       args.resume,
+		Tool:         args.tool,
 	}
 	if args.input != "" {
 		cls, err := workload.ParseSizeClass(args.input)

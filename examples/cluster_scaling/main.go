@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -53,7 +54,7 @@ func runSplash(cluster *remote.Cluster, jobs int, hosts []string) (string, strin
 		}
 	}
 	start := time.Now()
-	report, err := fx.Run(core.Config{
+	report, err := fx.Run(context.Background(), core.Config{
 		Experiment: "splash",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 		Threads:    []int{1, 2},

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"regexp"
@@ -50,7 +51,7 @@ func runOnce(source string) (*diff.RunSet, error) {
 	if _, err := fx.Install("gcc-6.1"); err != nil {
 		return nil, err
 	}
-	if _, err := fx.Run(core.Config{
+	if _, err := fx.Run(context.Background(), core.Config{
 		Experiment: "micro",
 		BuildTypes: []string{"gcc_native", "gcc_asan"},
 		Benchmarks: []string{"array_read", "branch_heavy"},

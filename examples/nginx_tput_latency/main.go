@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -76,7 +77,7 @@ func run(deterministic bool) error {
 		return err
 	}
 
-	report, err := fx.Run(core.Config{
+	report, err := fx.Run(context.Background(), core.Config{
 		Experiment: "nginx_fig7",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 	})

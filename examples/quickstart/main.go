@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -57,7 +58,7 @@ func run(deterministic bool) error {
 	// --- run stage -------------------------------------------------------
 	// fex run -n phoenix -t gcc_native gcc_asan -b histogram word_count -i test -r 2
 	fmt.Println("== run stage")
-	report, err := fx.Run(core.Config{
+	report, err := fx.Run(context.Background(), core.Config{
 		Experiment: "phoenix",
 		BuildTypes: []string{"gcc_native", "gcc_asan"},
 		Benchmarks: []string{"histogram", "word_count"},
@@ -134,7 +135,7 @@ CFLAGS += -D_FORTIFY_SOURCE=2
 	if err != nil {
 		return err
 	}
-	report2, err := fx.Run(core.Config{
+	report2, err := fx.Run(context.Background(), core.Config{
 		Experiment: "micro_hardened",
 		BuildTypes: []string{"gcc_native", "gcc_hardened"},
 		Benchmarks: []string{"array_read", "branch_heavy"},

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync/atomic"
@@ -85,7 +86,7 @@ func run(deterministic bool) error {
 
 	// --- 1. cold adaptive run -------------------------------------------
 	fmt.Println("== cold run with -r auto")
-	report, err := fx.Run(cfg)
+	report, err := fx.Run(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -104,7 +105,7 @@ func run(deterministic bool) error {
 	executed.Store(0)
 	warm := cfg
 	warm.Resume = true
-	report, err = fx.Run(warm)
+	report, err = fx.Run(context.Background(), warm)
 	if err != nil {
 		return err
 	}
@@ -129,7 +130,7 @@ func run(deterministic bool) error {
 	executed.Store(0)
 	extended := warm
 	extended.Benchmarks = append(append([]string{}, warm.Benchmarks...), "alloc_churn")
-	report, err = fx.Run(extended)
+	report, err = fx.Run(context.Background(), extended)
 	if err != nil {
 		return err
 	}
@@ -152,7 +153,7 @@ func run(deterministic bool) error {
 		return err
 	}
 	executed.Store(0)
-	if _, err := fx.Run(warm); err != nil {
+	if _, err := fx.Run(context.Background(), warm); err != nil {
 		return err
 	}
 	fmt.Printf("   after clean, -resume measured cold again: %d executed repetitions\n", executed.Load())

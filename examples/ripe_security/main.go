@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -44,7 +45,7 @@ func run(deterministic bool) error {
 		}
 	}
 
-	report, err := fx.Run(core.Config{
+	report, err := fx.Run(context.Background(), core.Config{
 		Experiment: "ripe",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 	})
@@ -59,7 +60,7 @@ func run(deterministic bool) error {
 
 	// Bonus beyond the paper's table: the instrumented build types stop
 	// essentially all attack forms.
-	asan, err := fx.Run(core.Config{
+	asan, err := fx.Run(context.Background(), core.Config{
 		Experiment: "ripe",
 		BuildTypes: []string{"gcc_asan", "clang_asan"},
 	})

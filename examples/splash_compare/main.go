@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -44,7 +45,7 @@ func run(deterministic bool) error {
 	}
 
 	// fex run -n splash -t gcc_native clang_native
-	report, err := fx.Run(core.Config{
+	report, err := fx.Run(context.Background(), core.Config{
 		Experiment: "splash",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 		Input:      workload.SizeSmall,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -153,7 +154,7 @@ func TestAdaptiveRunnerStopsPerRequiredRepetitions(t *testing.T) {
 	}
 	registerSchedExperiment(t, fx, "adaptive_stop", hooks)
 
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment:   "adaptive_stop",
 		BuildTypes:   []string{"gcc_native", "clang_native"},
 		Benchmarks:   []string{"fft", "lu"},
@@ -189,7 +190,7 @@ func TestAdaptiveRunnerConstantStreamStopsAtPilot(t *testing.T) {
 		return measure.FromMap(map[string]float64{"cycles": 42}), nil
 	}
 	registerSchedExperiment(t, fx, "adaptive_const", hooks)
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment:   "adaptive_const",
 		BuildTypes:   []string{"gcc_native"},
 		Benchmarks:   []string{"fft"},
@@ -222,7 +223,7 @@ func TestAdaptiveVariableInputRunner(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment:   "adaptive_varinput",
 		BuildTypes:   []string{"gcc_native"},
 		Benchmarks:   []string{"histogram"},

@@ -161,14 +161,8 @@ func runCellsCluster(rc *RunContext, vrc *RunContext, p *runPlan, ready <-chan i
 				return remote.Output{}, err
 			}
 			shard := runlog.NewShard()
-			cellRC := &RunContext{
-				Fex:     rc.Fex,
-				Config:  rc.Config,
-				Env:     rc.Env,
-				Log:     shard.Writer(),
-				Verbose: verbose,
-				build:   build,
-			}
+			cellRC := rc.child(shard.Writer(), verbose)
+			cellRC.build = build
 			if err := fn(cellRC, cells[i]); err != nil {
 				return remote.Output{}, err
 			}
@@ -195,7 +189,10 @@ func runCellsCluster(rc *RunContext, vrc *RunContext, p *runPlan, ready <-chan i
 	}()
 
 	var (
-		ctx     = context.Background()
+		// The run's cancellation context rides into every Host.Run: a
+		// cancelled run aborts in-flight remote cells at the transport and
+		// between repetitions on the worker.
+		ctx     = rc.Context()
 		results = make(chan clusterResult)
 		errs    = make([]error, len(cells))
 		// queue holds released, undispatched cell indices in canonical
@@ -306,6 +303,8 @@ func runCellsCluster(rc *RunContext, vrc *RunContext, p *runPlan, ready <-chan i
 			// resumable.
 			persistCell(vrc, cells[r.cell], r.shard)
 			idle = append(idle, r.worker)
+			rc.reportProgress(ProgressEvent{Stage: "cell", Done: int(p.done.Add(1)),
+				Total: len(cells), Replayed: p.replayed, Deduped: p.deduped})
 		case errors.Is(r.err, remote.ErrUnreachable):
 			// Host outage: drop the host from the pool and retry the cell
 			// elsewhere. Logged once — each worker runs one cell at a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -38,7 +39,7 @@ func runOnce(t *testing.T, cfg Config, installs []string) (string, string) {
 	t.Helper()
 	fx := newSchedFex(t)
 	installAll(t, fx, installs...)
-	report, err := fx.Run(cfg)
+	report, err := fx.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", cfg.String(), err)
 	}
@@ -226,7 +227,7 @@ func serialReference(t *testing.T, name string, hooks Hooks, cfg Config) (string
 	ref := cfg
 	ref.Hosts = nil
 	ref.Jobs = 1
-	report, err := fx.Run(ref)
+	report, err := fx.Run(context.Background(), ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestClusterFailoverHostDownFromStart(t *testing.T) {
 	fx.verbose = newSyncWriter(&verbose)
 	registerSchedExperiment(t, fx, "cluster_failover", deterministicHooks(0))
 
-	report, err := fx.Run(cfg)
+	report, err := fx.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("cluster run with one dead host failed: %v", err)
 	}
@@ -326,7 +327,7 @@ func TestClusterFailoverMidRunOutage(t *testing.T) {
 	}
 	registerSchedExperiment(t, fx, "cluster_midrun", hooks)
 
-	report, err := fx.Run(cfg)
+	report, err := fx.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("cluster run with mid-run outage failed: %v", err)
 	}
@@ -363,7 +364,7 @@ func TestClusterAllHostsUnreachable(t *testing.T) {
 	}
 	registerSchedExperiment(t, fx, "cluster_dark", deterministicHooks(0))
 
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment: "cluster_dark",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"fft", "lu"},
@@ -402,7 +403,7 @@ func TestClusterCellErrorAttribution(t *testing.T) {
 	}
 	registerSchedExperiment(t, fx, "cluster_cellerr", hooks)
 
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment: "cluster_cellerr",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"fft", "lu", "radix"},
@@ -443,7 +444,7 @@ func TestClusterLatencySkew(t *testing.T) {
 	w1.SetLatency(30 * time.Millisecond)
 	registerSchedExperiment(t, fx, "cluster_latency", deterministicHooks(0))
 
-	report, err := fx.Run(cfg)
+	report, err := fx.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +468,7 @@ func TestClusterLatencySkew(t *testing.T) {
 func TestClusterBuildsStayOnWorkers(t *testing.T) {
 	fx, _ := clusterFex(t, "w1", "w2")
 	installAll(t, fx, "gcc-6.1")
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment: "micro",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"array_read", "branch_heavy"},
@@ -491,7 +492,7 @@ func TestClusterBuildsStayOnWorkers(t *testing.T) {
 func TestClusterUnknownBenchmarkStillFails(t *testing.T) {
 	fx, _ := clusterFex(t, "w1")
 	registerSchedExperiment(t, fx, "cluster_badbench", deterministicHooks(0))
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment: "cluster_badbench",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"no_such_bench"},
@@ -516,7 +517,7 @@ func TestClusterCorruptShardTransferFailsCell(t *testing.T) {
 	w1.SetCorruptOutput(func(s string) string { return "<<garbled transfer>>\n" + s })
 	registerSchedExperiment(t, fx, "cluster_corrupt", deterministicHooks(0))
 
-	_, err = fx.Run(Config{
+	_, err = fx.Run(context.Background(), Config{
 		Experiment: "cluster_corrupt",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"fft", "lu"},
@@ -554,14 +555,14 @@ func TestClusterCorruptTransferDoesNotPersist(t *testing.T) {
 		ModelTime:  true,
 		Hosts:      []string{"w1"},
 	}
-	if _, err := fx.Run(cfg); err == nil {
+	if _, err := fx.Run(context.Background(), cfg); err == nil {
 		t.Fatal("run succeeded despite corrupted shard transfers")
 	}
 
 	w1.SetCorruptOutput(nil)
 	resume := cfg
 	resume.Resume = true
-	report, err := fx.Run(resume)
+	report, err := fx.Run(context.Background(), resume)
 	if err != nil {
 		t.Fatalf("clean retry after corruption failed: %v", err)
 	}

@@ -229,6 +229,9 @@ func (c Config) String() string {
 	if c.Input != 0 && c.Input != workload.SizeNative {
 		sb.WriteString(" -i " + c.Input.String())
 	}
+	if c.Tool != "" {
+		sb.WriteString(" -tool " + c.Tool)
+	}
 	if c.Jobs > 1 {
 		sb.WriteString(" -jobs " + strconv.Itoa(c.Jobs))
 	}

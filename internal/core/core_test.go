@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +49,7 @@ func installAll(t *testing.T, fx *Fex, names ...string) {
 
 func runPhoenixSubset(t *testing.T, fx *Fex, cfg Config) *RunReport {
 	t.Helper()
-	report, err := fx.Run(cfg)
+	report, err := fx.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,12 +108,19 @@ func TestConfigString(t *testing.T) {
 		Threads:    []int{1, 2, 4},
 		Reps:       10,
 		Debug:      true,
+		Tool:       "perf-stat-mem",
 	}
 	s := cfg.String()
-	for _, want := range []string{"fex run -n splash", "-t gcc_native clang_native", "-m 1 2 4", "-r 10", "-d"} {
+	for _, want := range []string{"fex run -n splash", "-t gcc_native clang_native", "-m 1 2 4", "-r 10", "-tool perf-stat-mem", "-d"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("config string %q missing %q", s, want)
 		}
+	}
+	// The default tool is implicit: the reproducibility line must not pin
+	// an empty -tool.
+	cfg.Tool = ""
+	if s := cfg.String(); strings.Contains(s, "-tool") {
+		t.Errorf("config string %q renders -tool for default tool", s)
 	}
 
 	cfg.Reps = 0
@@ -145,7 +153,7 @@ func TestParseThreadList(t *testing.T) {
 
 func TestRunRequiresInstalledCompiler(t *testing.T) {
 	fx := newFex(t)
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment: "phoenix",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"histogram"},
@@ -197,7 +205,7 @@ func TestRunPhoenixEndToEnd(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	fx := newFex(t)
-	_, err := fx.Run(Config{Experiment: "nope", BuildTypes: []string{"gcc_native"}})
+	_, err := fx.Run(context.Background(), Config{Experiment: "nope", BuildTypes: []string{"gcc_native"}})
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("got %v", err)
 	}
@@ -206,7 +214,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunUnknownBenchmark(t *testing.T) {
 	fx := newFex(t)
 	installAll(t, fx, "gcc-6.1")
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment: "phoenix",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"does_not_exist"},
@@ -430,7 +438,7 @@ func TestPlotKinds(t *testing.T) {
 func TestRipeExperimentMatchesTable2(t *testing.T) {
 	fx := newFex(t)
 	installAll(t, fx, "gcc-6.1", "clang-3.8.0", "ripe")
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment: "ripe",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 	})
@@ -455,7 +463,7 @@ func TestRipeExperimentMatchesTable2(t *testing.T) {
 func TestRipeRequiresInstall(t *testing.T) {
 	fx := newFex(t)
 	installAll(t, fx, "gcc-6.1")
-	_, err := fx.Run(Config{Experiment: "ripe", BuildTypes: []string{"gcc_native"}})
+	_, err := fx.Run(context.Background(), Config{Experiment: "ripe", BuildTypes: []string{"gcc_native"}})
 	if err == nil || !strings.Contains(err.Error(), "fex install -n ripe") {
 		t.Errorf("got %v", err)
 	}
@@ -464,7 +472,7 @@ func TestRipeRequiresInstall(t *testing.T) {
 func TestRipeHasNoPlot(t *testing.T) {
 	fx := newFex(t)
 	installAll(t, fx, "gcc-6.1", "ripe")
-	if _, err := fx.Run(Config{Experiment: "ripe", BuildTypes: []string{"gcc_native"}}); err != nil {
+	if _, err := fx.Run(context.Background(), Config{Experiment: "ripe", BuildTypes: []string{"gcc_native"}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fx.Plot("ripe", ""); err == nil {
@@ -498,7 +506,7 @@ func TestNginxExperimentEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment: "nginx_test",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 	})
@@ -542,7 +550,7 @@ func TestMemcachedExperimentEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment: "memcached_test",
 		BuildTypes: []string{"gcc_native"},
 	})
@@ -557,7 +565,7 @@ func TestMemcachedExperimentEndToEnd(t *testing.T) {
 func TestNginxRequiresInstall(t *testing.T) {
 	fx := newFex(t)
 	installAll(t, fx, "gcc-6.1")
-	_, err := fx.Run(Config{Experiment: "nginx", BuildTypes: []string{"gcc_native"}})
+	_, err := fx.Run(context.Background(), Config{Experiment: "nginx", BuildTypes: []string{"gcc_native"}})
 	if err == nil || !strings.Contains(err.Error(), "nginx-1.4.1") {
 		t.Errorf("got %v", err)
 	}

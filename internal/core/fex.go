@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fex/internal/buildsys"
@@ -41,6 +43,10 @@ const (
 	// StoreDir holds the persistent result store: one content-addressed
 	// record per experiment cell (see internal/store).
 	StoreDir = "/fex/store"
+	// RunsDir holds per-run artifact directories, one per run ID, so
+	// concurrent and repeated runs of the same experiment never collide.
+	// The legacy LogDir/ResultDir/PlotDir paths stay the "latest run" view.
+	RunsDir = "/fex/runs"
 )
 
 // Options configures framework construction. Zero values select the
@@ -85,6 +91,10 @@ type Fex struct {
 	cluster     *remote.Cluster
 	verbose     io.Writer
 	now         func() time.Time
+	// runSeq numbers the framework-assigned run IDs ("run-0001", …); it
+	// only advances, so every Run of this instance gets a distinct
+	// artifact directory under RunsDir.
+	runSeq atomic.Uint64
 }
 
 // New constructs a framework instance: it boots the container from the
@@ -411,13 +421,93 @@ func plotPath(experiment, kind string) string {
 	return filepath.Join(PlotDir, experiment+"_"+kind+".svg")
 }
 
+// runDir returns the per-run artifact directory of one run ID.
+func runDir(runID string) string { return filepath.Join(RunsDir, runID) }
+
+// runLogPath returns the run-scoped container path of a run's log.
+func runLogPath(runID, experiment string) string {
+	return filepath.Join(runDir(runID), experiment+".log")
+}
+
+// runCSVPath returns the run-scoped container path of a run's CSV.
+func runCSVPath(runID, experiment string) string {
+	return filepath.Join(runDir(runID), experiment+".csv")
+}
+
+// runPlotPath returns the run-scoped container path of a rendered plot.
+func runPlotPath(runID, experiment, kind string) string {
+	return filepath.Join(runDir(runID), experiment+"_"+kind+".svg")
+}
+
+// validRunID accepts caller-supplied run IDs that are safe as a single
+// path element: letters, digits, '-', '_', '.', not empty, not starting
+// with a dot (no "..", no hidden directories, no separators).
+func validRunID(id string) bool {
+	if id == "" || id[0] == '.' {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ProgressEvent is one run-progress notification, delivered through
+// RunHooks.Progress: the plan summary before execution starts (Done counts
+// the cells already satisfied by replays and dedup) and one event per
+// settled cell after. Events from the parallel tiers arrive from
+// concurrent workers.
+type ProgressEvent struct {
+	// Stage is "plan" for the pre-execution summary, "cell" for a settled
+	// cell.
+	Stage string
+	// Done and Total count settled cells out of the run's cell set.
+	Done, Total int
+	// Replayed and Deduped are the plan's store-replay and in-run
+	// duplicate counts.
+	Replayed, Deduped int
+}
+
+// RunHooks bundles the cross-cutting, per-invocation concerns of one Run:
+// the artifact namespace and the observability taps a long-running caller
+// (the fex serve service) needs. The zero value is what the CLI uses — a
+// framework-assigned run ID and no observers.
+type RunHooks struct {
+	// RunID names the run's artifact directory under RunsDir; empty lets
+	// the framework assign a sequential one ("run-0001"). Must be a single
+	// path element (letters, digits, '-', '_', '.').
+	RunID string
+	// Progress, when set, receives the plan summary and per-cell
+	// completion events. It may be called from concurrent scheduler
+	// workers and must be safe for concurrent use.
+	Progress func(ProgressEvent)
+	// LogSink, when set, receives the run log's bytes as they are
+	// produced — header and environment immediately, then each cell's
+	// records as the cell settles (the streaming run-log feed of fex
+	// serve). The sink observes exactly the bytes of the final stored
+	// log, in order.
+	LogSink io.Writer
+}
+
 // RunReport summarizes one experiment execution.
 type RunReport struct {
 	// Experiment is the experiment name.
 	Experiment string
-	// LogPath and CSVPath locate the artifacts inside the container FS.
+	// RunID names this run's artifact directory under RunsDir.
+	RunID string
+	// LogPath and CSVPath locate the artifacts inside the container FS —
+	// the legacy per-experiment "latest run" paths.
 	LogPath string
 	CSVPath string
+	// RunLogPath and RunCSVPath are the collision-free run-scoped copies,
+	// keyed by RunID.
+	RunLogPath string
+	RunCSVPath string
 	// Measurements is the number of measurement records produced.
 	Measurements int
 	// Table is the collected result table.
@@ -426,8 +516,29 @@ type RunReport struct {
 
 // Run executes an experiment end to end: rebuild (unless --no-build), set
 // environment, run the experiment loop, then collect the log into a CSV
-// table — the all-in-one "fex run" command of §III-B.
-func (fx *Fex) Run(cfg Config) (*RunReport, error) {
+// table — the all-in-one "fex run" command of §III-B. The context cancels
+// an in-flight run cleanly: every execution tier observes it between
+// units of work, completed cells stay persisted in the result store, and
+// the error unwraps to the context's.
+func (fx *Fex) Run(ctx context.Context, cfg Config) (*RunReport, error) {
+	return fx.RunWithHooks(ctx, cfg, RunHooks{})
+}
+
+// RunWithHooks is Run with per-invocation hooks: a caller-supplied run ID
+// and the progress/log observers a service layer needs.
+func (fx *Fex) RunWithHooks(ctx context.Context, cfg Config, hooks RunHooks) (*RunReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	runID := hooks.RunID
+	if runID == "" {
+		runID = fmt.Sprintf("run-%04d", fx.runSeq.Add(1))
+	} else if !validRunID(runID) {
+		return nil, fmt.Errorf("core: invalid run ID %q (want letters, digits, '-', '_', '.')", runID)
+	}
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
@@ -454,7 +565,11 @@ func (fx *Fex) Run(cfg Config) (*RunReport, error) {
 	}
 
 	var logBuf strings.Builder
-	lw := runlog.NewWriter(&logBuf)
+	var logOut io.Writer = &logBuf
+	if hooks.LogSink != nil {
+		logOut = io.MultiWriter(&logBuf, hooks.LogSink)
+	}
+	lw := runlog.NewWriter(logOut)
 	benchNames := cfg.Benchmarks
 	if len(benchNames) == 0 && exp.Suite != "" {
 		ws, err := fx.registry.Suite(exp.Suite)
@@ -476,13 +591,21 @@ func (fx *Fex) Run(cfg Config) (*RunReport, error) {
 	})
 	// Store the complete experimental setup in the log (reproducibility).
 	lw.WriteEnv(environment.ResolveSorted(cfg.Debug))
+	// Push the header and environment to a streaming sink immediately;
+	// cell records follow as cells settle (the tiers flush after each
+	// merge). Without a sink this just primes the in-memory buffer.
+	if err := lw.Flush(); err != nil {
+		return nil, fmt.Errorf("flush log: %w", err)
+	}
 
 	rc := &RunContext{
-		Fex:     fx,
-		Config:  cfg,
-		Env:     environment,
-		Log:     lw,
-		Verbose: fx.verbose,
+		Fex:      fx,
+		Config:   cfg,
+		Env:      environment,
+		Log:      lw,
+		Verbose:  fx.verbose,
+		ctx:      ctx,
+		progress: hooks.Progress,
 	}
 	runner, err := exp.NewRunner(fx)
 	if err != nil {
@@ -494,7 +617,14 @@ func (fx *Fex) Run(cfg Config) (*RunReport, error) {
 	if err := lw.Flush(); err != nil {
 		return nil, fmt.Errorf("flush log: %w", err)
 	}
-	if err := fsys.WriteFile(logPath(cfg.Experiment), []byte(logBuf.String()), 0o644); err != nil {
+	logText := []byte(logBuf.String())
+	// The run-scoped artifact is the durable, collision-free copy; the
+	// legacy per-experiment path stays the "latest run" view existing
+	// tooling and goldens read.
+	if err := fsys.WriteFile(runLogPath(runID, cfg.Experiment), logText, 0o644); err != nil {
+		return nil, fmt.Errorf("store run log: %w", err)
+	}
+	if err := fsys.WriteFile(logPath(cfg.Experiment), logText, 0o644); err != nil {
 		return nil, fmt.Errorf("store log: %w", err)
 	}
 
@@ -503,14 +633,20 @@ func (fx *Fex) Run(cfg Config) (*RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := fsys.WriteFile(runCSVPath(runID, cfg.Experiment), []byte(tbl.CSVString()), 0o644); err != nil {
+		return nil, fmt.Errorf("store run csv: %w", err)
+	}
 	lg, err := runlog.Parse(strings.NewReader(logBuf.String()))
 	if err != nil {
 		return nil, err
 	}
 	return &RunReport{
 		Experiment:   cfg.Experiment,
+		RunID:        runID,
 		LogPath:      logPath(cfg.Experiment),
 		CSVPath:      csvPath(cfg.Experiment),
+		RunLogPath:   runLogPath(runID, cfg.Experiment),
+		RunCSVPath:   runCSVPath(runID, cfg.Experiment),
 		Measurements: len(lg.Measurements),
 		Table:        tbl,
 	}, nil
@@ -576,6 +712,40 @@ func (fx *Fex) Plot(experiment, kind string) (string, error) {
 		return "", fmt.Errorf("plot %s (%s): %w", experiment, kind, err)
 	}
 	if err := fsys.WriteFile(plotPath(experiment, kind), []byte(svg), 0o644); err != nil {
+		return "", fmt.Errorf("store plot: %w", err)
+	}
+	return svg, nil
+}
+
+// PlotRun renders one of an experiment's plots from a specific run's
+// collected CSV (the run-scoped artifact under RunsDir) and stores the SVG
+// next to it — the collision-free counterpart of Plot, which always reads
+// the "latest run" view.
+func (fx *Fex) PlotRun(runID, experiment, kind string) (string, error) {
+	exp, err := fx.Experiment(experiment)
+	if err != nil {
+		return "", err
+	}
+	fsys, err := fx.ctr.FS()
+	if err != nil {
+		return "", err
+	}
+	data, err := fsys.ReadFile(runCSVPath(runID, experiment))
+	if err != nil {
+		return "", fmt.Errorf("plot run %s: no collected results for %s: %w", runID, experiment, err)
+	}
+	tbl, err := table.ReadCSV(strings.NewReader(string(data)), exp.CSVKinds)
+	if err != nil {
+		return "", fmt.Errorf("plot run %s: %w", runID, err)
+	}
+	if exp.Plot == nil {
+		return "", fmt.Errorf("plot %s: experiment defines no plots", experiment)
+	}
+	svg, err := exp.Plot(tbl, kind)
+	if err != nil {
+		return "", fmt.Errorf("plot run %s (%s): %w", runID, kind, err)
+	}
+	if err := fsys.WriteFile(runPlotPath(runID, experiment, kind), []byte(svg), 0o644); err != nil {
 		return "", fmt.Errorf("store plot: %w", err)
 	}
 	return svg, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fex/internal/workload"
@@ -29,7 +30,7 @@ func TestMemoDeterminism(t *testing.T) {
 	var logs, csvs []string
 	for _, noMemo := range []bool{false, true} {
 		fx := memoFex(t)
-		report, err := fx.Run(Config{
+		report, err := fx.Run(context.Background(), Config{
 			Experiment: "splash",
 			BuildTypes: []string{"gcc_native", "clang_native"},
 			Benchmarks: []string{"fft", "lu", "radix"},
@@ -91,7 +92,7 @@ func TestMemoDeterminismAcrossTiers(t *testing.T) {
 		fx := memoFex(t)
 		cfg := base
 		v.mod(&cfg)
-		report, err := fx.Run(cfg)
+		report, err := fx.Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", v.name, err)
 		}
@@ -164,7 +165,7 @@ func TestAdaptiveLiveTimeBypassesMemo(t *testing.T) {
 // write ratio derived from the kernel's read/write mix.
 func TestWriteRatioReported(t *testing.T) {
 	fx := memoFex(t)
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment: "splash",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"lu"},

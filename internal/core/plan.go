@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fex/internal/runlog"
 	"fex/internal/store"
@@ -52,6 +53,11 @@ type runPlan struct {
 	replayed int
 	deduped  int
 	memoWarm int
+
+	// done counts settled cells for progress events: replayed and deduped
+	// positions settle at plan time, executed cells advance it from the
+	// (possibly concurrent) scheduler workers.
+	done atomic.Int64
 }
 
 // planRun resolves an experiment's cells into an execution plan: one
@@ -193,9 +199,14 @@ func (p *runPlan) logSummary(rc *RunContext) {
 // verbose-serialized context in the parallel tiers, where builds overlap
 // cell measurement.
 func runExperiment(rc *RunContext, benches []workload.Workload, dims string, perType func(*RunContext, string) error, cellFn func(*RunContext, cell) error) error {
+	if err := rc.cancelled(); err != nil {
+		return err
+	}
 	cells := makeCells(rc.Config.BuildTypes, benches, dims)
 	p := planRun(rc, cells)
 	p.logSummary(rc)
+	rc.reportProgress(ProgressEvent{Stage: "plan", Done: len(cells) - p.pendingCount(),
+		Total: len(cells), Replayed: p.replayed, Deduped: p.deduped})
 	if rc.Config.Jobs > 1 || len(rc.Config.Hosts) > 0 {
 		return runParallel(rc, p, perType, cellFn)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -339,7 +340,7 @@ func TestPlanSummaryVerbose(t *testing.T) {
 		ModelTime:  true,
 		Verbose:    true,
 	}
-	if _, err := fx.Run(cfg); err != nil {
+	if _, err := fx.Run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := vbuf.String()
@@ -350,7 +351,7 @@ func TestPlanSummaryVerbose(t *testing.T) {
 	vbuf.Reset()
 	warm := cfg
 	warm.Resume = true
-	if _, err := fx.Run(warm); err != nil {
+	if _, err := fx.Run(context.Background(), warm); err != nil {
 		t.Fatal(err)
 	}
 	out = vbuf.String()

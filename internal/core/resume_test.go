@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -20,7 +21,7 @@ import (
 // CSV bytes.
 func runOn(t *testing.T, fx *Fex, cfg Config) (string, string) {
 	t.Helper()
-	report, err := fx.Run(cfg)
+	report, err := fx.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", cfg.String(), err)
 	}

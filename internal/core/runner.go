@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,11 +25,69 @@ type RunContext struct {
 	Log     *runlog.Writer
 	Verbose io.Writer
 
+	// ctx carries the run's cancellation signal. Every tier observes it:
+	// the serial loop between cells and repetitions, the parallel workers
+	// before starting a cell, the builds goroutine between types, and the
+	// cluster placement loop (which also hands it to Host.Run). nil means
+	// "never cancelled" (context.Background()).
+	ctx context.Context
+
+	// progress, when set, receives run-progress events: the plan summary
+	// before execution starts and one event per settled cell. It may be
+	// called from concurrent scheduler workers; implementations must be
+	// safe for concurrent use.
+	progress func(ProgressEvent)
+
 	// build overrides the framework build system for this context. Cluster
 	// workers set it so cells dispatched to them compile against the
 	// worker's private container instead of the coordinator's; nil uses
 	// the framework's own build system.
 	build *buildsys.System
+}
+
+// Context returns the run's cancellation context (context.Background()
+// when the run was started without one).
+func (rc *RunContext) Context() context.Context {
+	if rc.ctx == nil {
+		return context.Background()
+	}
+	return rc.ctx
+}
+
+// cancelled returns the context's error once the run has been cancelled,
+// nil while it is live — the check every execution tier performs between
+// units of work.
+func (rc *RunContext) cancelled() error {
+	if rc.ctx == nil {
+		return nil
+	}
+	return rc.ctx.Err()
+}
+
+// child derives a cell-scoped context from rc: same framework handle,
+// config, environment, cancellation context, progress hook, and build
+// override, but logging into the given writer and verbose sink. Every
+// execution tier builds its per-cell contexts through this one helper so
+// a new cross-cutting field cannot be silently dropped on one tier.
+func (rc *RunContext) child(lw *runlog.Writer, verbose io.Writer) *RunContext {
+	return &RunContext{
+		Fex:      rc.Fex,
+		Config:   rc.Config,
+		Env:      rc.Env,
+		Log:      lw,
+		Verbose:  verbose,
+		ctx:      rc.ctx,
+		progress: rc.progress,
+		build:    rc.build,
+	}
+}
+
+// reportProgress delivers one progress event to the run's observer, if
+// any.
+func (rc *RunContext) reportProgress(ev ProgressEvent) {
+	if rc.progress != nil {
+		rc.progress(ev)
+	}
 }
 
 // Artifact builds (or fetches from the context's build cache) one
@@ -198,6 +257,12 @@ func (r *BenchRunner) runCell(rc *RunContext, buildType string, w workload.Workl
 		ctl := newRepController(rc.Config)
 		var samples []float64
 		for rep := 0; ctl.more(rep, samples); rep++ {
+			// Cancellation is observed between repetitions: a cancelled run
+			// abandons the cell mid-sweep (its partial shard never persists)
+			// and the error surfaces as the context's.
+			if err := rc.cancelled(); err != nil {
+				return err
+			}
 			values, err := perRun(rc, buildType, w, threads, rep)
 			if err != nil {
 				return fmt.Errorf("experiment %s, %s/%s [%s] m=%d rep=%d: %w",
@@ -382,6 +447,9 @@ func (r *VariableInputRunner) runCell(rc *RunContext, buildType string, w worklo
 			ctl := newRepController(rc.Config)
 			var samples []float64
 			for rep := 0; ctl.more(rep, samples); rep++ {
+				if err := rc.cancelled(); err != nil {
+					return err
+				}
 				values, err := defaultRep(rc, artifact, tool, in, threads, false)
 				if err != nil {
 					return fmt.Errorf("variable-input %s/%s [%s] input=%s: %w",

@@ -138,7 +138,13 @@ func persistCell(rc *RunContext, c cell, shard *runlog.Shard) {
 // performs zero builds.
 func runSerial(rc *RunContext, p *runPlan, perType func(*RunContext, string) error, cellFn func(*RunContext, cell) error) error {
 	started := make(map[string]bool, len(rc.Config.BuildTypes))
+	done := 0
 	for i, c := range p.cells {
+		// Cancellation is observed between cells (and, inside a cell,
+		// between repetitions): nothing new starts after the context ends.
+		if err := rc.cancelled(); err != nil {
+			return err
+		}
 		if !started[c.buildType] {
 			started[c.buildType] = true
 			if p.coldTypes[c.buildType] {
@@ -158,14 +164,7 @@ func runSerial(rc *RunContext, p *runPlan, perType func(*RunContext, string) err
 		}
 		if shard == nil {
 			shard = runlog.NewShard()
-			cellRC := &RunContext{
-				Fex:     rc.Fex,
-				Config:  rc.Config,
-				Env:     rc.Env,
-				Log:     shard.Writer(),
-				Verbose: rc.Verbose,
-				build:   rc.build,
-			}
+			cellRC := rc.child(shard.Writer(), rc.Verbose)
 			if err := cellFn(cellRC, c); err != nil {
 				// Keep the failed cell's partial records in the
 				// caller's log, like the pre-store serial loop (and
@@ -180,6 +179,14 @@ func runSerial(rc *RunContext, p *runPlan, perType func(*RunContext, string) err
 		if err := rc.Log.Append(shard); err != nil {
 			return err
 		}
+		// Push the merged records to a streaming log sink cell by cell;
+		// the flush is a no-op into the in-memory buffer otherwise.
+		if err := rc.Log.Flush(); err != nil {
+			return err
+		}
+		done++
+		rc.reportProgress(ProgressEvent{Stage: "cell", Done: done, Total: len(p.cells),
+			Replayed: p.replayed, Deduped: p.deduped})
 	}
 	return nil
 }
@@ -201,7 +208,7 @@ func runParallel(rc *RunContext, p *runPlan, perType func(*RunContext, string) e
 	// Coordinator-side context for everything that may run concurrently
 	// with cells: perType actions and plan/cluster progress lines all go
 	// through the serialized verbose writer.
-	vrc := &RunContext{Fex: rc.Fex, Config: rc.Config, Env: rc.Env, Log: rc.Log, Verbose: verbose, build: rc.build}
+	vrc := rc.child(rc.Log, verbose)
 
 	pendingByType := make(map[string][]int, len(rc.Config.BuildTypes))
 	npending := 0
@@ -212,6 +219,9 @@ func runParallel(rc *RunContext, p *runPlan, perType func(*RunContext, string) e
 			npending++
 		}
 	}
+	// Replayed and deduped positions are settled before execution starts;
+	// executed cells advance the counter from the workers.
+	p.done.Store(int64(len(p.cells) - npending))
 	// ready carries cell indices whose build prerequisite is satisfied.
 	// Buffered to npending so the builds goroutine never blocks on a slow
 	// consumer; closed when every cold build has run (or building stops).
@@ -230,6 +240,11 @@ func runParallel(rc *RunContext, p *runPlan, perType func(*RunContext, string) e
 			}
 			if failed.Load() {
 				return // a cell already failed; stop building
+			}
+			// A cancelled run builds nothing further; the workers observe
+			// the same context and surface its error.
+			if rc.cancelled() != nil {
+				return
 			}
 			if err := perType(vrc, bt); err != nil {
 				buildErr <- err
@@ -287,26 +302,27 @@ func runCells(rc *RunContext, p *runPlan, ready <-chan int, failed *atomic.Bool,
 			defer wg.Done()
 			for i := range idx {
 				// A cell may have been queued just before another cell
-				// failed; don't start it (its shard stays nil).
+				// failed; don't start it (its shard stays nil). A cancelled
+				// run records the context error so it surfaces as the run's.
 				if failed.Load() {
+					continue
+				}
+				if err := rc.cancelled(); err != nil {
+					errs[i] = err
+					failed.Store(true)
 					continue
 				}
 				shard := runlog.NewShard()
 				p.shards[i] = shard
-				cellRC := &RunContext{
-					Fex:     rc.Fex,
-					Config:  rc.Config,
-					Env:     rc.Env,
-					Log:     shard.Writer(),
-					Verbose: verbose,
-					build:   rc.build,
-				}
+				cellRC := rc.child(shard.Writer(), verbose)
 				if err := fn(cellRC, p.cells[i]); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					continue
 				}
 				persistCell(cellRC, p.cells[i], shard)
+				rc.reportProgress(ProgressEvent{Stage: "cell", Done: int(p.done.Add(1)),
+					Total: len(p.cells), Replayed: p.replayed, Deduped: p.deduped})
 			}
 		}()
 	}

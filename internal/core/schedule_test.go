@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -163,7 +164,7 @@ func TestSchedulerPoolBounds(t *testing.T) {
 	}
 	registerSchedExperiment(t, fx, "sched_bounds", hooks)
 
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment: "sched_bounds",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 		Benchmarks: []string{"fft", "lu", "radix"},
@@ -186,7 +187,7 @@ func TestSchedulerDeterministicOutput(t *testing.T) {
 	for _, jobs := range []int{1, 4} {
 		fx := newSchedFex(t)
 		registerSchedExperiment(t, fx, "sched_ident", deterministicHooks(0))
-		report, err := fx.Run(Config{
+		report, err := fx.Run(context.Background(), Config{
 			Experiment: "sched_ident",
 			BuildTypes: []string{"gcc_native", "clang_native"},
 			Benchmarks: []string{"fft", "lu", "radix", "ocean"},
@@ -236,7 +237,7 @@ func TestSchedulerSkipBenchmark(t *testing.T) {
 	}
 	registerSchedExperiment(t, fx, "sched_skip", hooks)
 
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment: "sched_skip",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 		Benchmarks: []string{"fft", "lu", "radix"},
@@ -281,7 +282,7 @@ func TestSchedulerErrorStopsDispatch(t *testing.T) {
 	}
 	registerSchedExperiment(t, fx, "sched_err", hooks)
 
-	_, err := fx.Run(Config{
+	_, err := fx.Run(context.Background(), Config{
 		Experiment: "sched_err",
 		BuildTypes: []string{"gcc_native"},
 		Benchmarks: []string{"fft", "lu", "radix"},
@@ -303,7 +304,7 @@ func TestSchedulerErrorStopsDispatch(t *testing.T) {
 func TestSchedulerRealWorkloads(t *testing.T) {
 	fx := newSchedFex(t)
 	installAll(t, fx, "gcc-6.1", "clang-3.8.0")
-	report, err := fx.Run(Config{
+	report, err := fx.Run(context.Background(), Config{
 		Experiment: "phoenix",
 		BuildTypes: []string{"gcc_native", "clang_native"},
 		Benchmarks: []string{"histogram", "word_count", "kmeans", "string_match"},
@@ -338,7 +339,7 @@ func TestVariableInputRunnerParallel(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		report, err := fx.Run(Config{
+		report, err := fx.Run(context.Background(), Config{
 			Experiment: "sched_varinput",
 			BuildTypes: []string{"gcc_native"},
 			Benchmarks: []string{"histogram", "linear_regression", "pca"},

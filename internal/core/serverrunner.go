@@ -16,17 +16,28 @@ import (
 	"fex/internal/workload"
 )
 
+// clientHost names the remote client machine the load generator runs on
+// (§IV-B: "start a client on a separate machine via SSH"). It is resolved
+// through the framework cluster, so tests that inject a pre-built cluster
+// can pre-register it with latency or reachability faults.
+const clientHost = "client1"
+
 // ServerBenchRunner is the throughput–latency runner for the standalone
 // applications (§IV-B): it pre-configures the server side, starts a load
 // generator on a remote client host, waits for the sweep to finish, and
 // fetches the client logs — the shape of the paper's Nginx run.py.
+//
+// The runner struct is pure configuration: Run never writes to it, so one
+// instance can back any number of Runs (a registered experiment's runner,
+// a long-running service) without leaking one run's calibration into the
+// next.
 type ServerBenchRunner struct {
 	// App selects the server application ("nginx", "apache", "memcached").
 	App string
 	// Rates is the offered-rate sweep (requests/second). Leave empty to
 	// auto-calibrate: the runner probes the server's capacity closed-loop
 	// and sweeps fractions of it, so the saturation knee is visible on any
-	// host.
+	// host. Calibration is per-Run state — each Run re-probes.
 	Rates []float64
 	// RateFractions are the capacity fractions swept when Rates is empty.
 	RateFractions []float64
@@ -98,12 +109,19 @@ func (r *ServerBenchRunner) Run(rc *RunContext) error {
 	}
 
 	// The remote client machine (§IV-B: "start a client on a separate
-	// machine via SSH").
-	cluster := remote.NewCluster()
-	client, err := cluster.AddHost("client1")
+	// machine via SSH") — resolved through the framework cluster, per the
+	// Options.Cluster contract: an injected cluster's latency and
+	// reachability faults apply to the load-generation client too.
+	client, err := rc.Fex.Cluster().Ensure(clientHost)
 	if err != nil {
 		return err
 	}
+
+	// The calibrated sweep is per-Run state, deliberately kept off the
+	// runner struct: calibrate once against the first build type, reuse the
+	// same offered rates for every type of this run (both curves of the
+	// figure share one x-axis sweep), and re-probe on the next Run.
+	sweep := r.Rates
 
 	for _, buildType := range rc.Config.BuildTypes {
 		artifact, err := rc.Fex.Artifact(appW, buildType, rc.Config.Debug)
@@ -120,10 +138,11 @@ func (r *ServerBenchRunner) Run(rc *RunContext) error {
 		}
 		rc.logf("== %s [%s] workUnits=%d (cost factor %.3f)", r.App, buildType, workUnits, factor)
 
-		results, err := r.sweepOnce(rc, client, buildType, workUnits)
+		results, rates, err := r.sweepOnce(rc, client, buildType, workUnits, sweep)
 		if err != nil {
 			return fmt.Errorf("%s [%s]: %w", r.App, buildType, err)
 		}
+		sweep = rates
 		for i, res := range results {
 			values := measure.NewMetricVector()
 			values.Set("offered_rate", res.OfferedRate)
@@ -146,16 +165,18 @@ func (r *ServerBenchRunner) Run(rc *RunContext) error {
 		}
 		// Fetch the client logs, as run.py does after the experiment.
 		for _, lg := range client.FetchLogs() {
-			rc.Log.WriteNote("client1: " + lg)
+			rc.Log.WriteNote(clientHost + ": " + lg)
 		}
 	}
 	return nil
 }
 
 // sweepOnce starts the server for one build type, drives the rate sweep
-// from the remote client, and stops the server.
-func (r *ServerBenchRunner) sweepOnce(rc *RunContext, client *remote.Host, buildType string, workUnits int) ([]loadgen.Result, error) {
-	ctx := context.Background()
+// from the remote client, and stops the server. sweep carries the run's
+// offered rates; when empty, the sweep is calibrated against this server
+// and returned for the run's remaining build types.
+func (r *ServerBenchRunner) sweepOnce(rc *RunContext, client *remote.Host, buildType string, workUnits int, sweep []float64) ([]loadgen.Result, []float64, error) {
+	ctx := rc.Context()
 	switch r.App {
 	case "nginx", "apache":
 		model := httpd.ModelEventWorkers
@@ -169,7 +190,7 @@ func (r *ServerBenchRunner) sweepOnce(rc *RunContext, client *remote.Host, build
 			Model:     model,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer func() {
 			stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -177,11 +198,11 @@ func (r *ServerBenchRunner) sweepOnce(rc *RunContext, client *remote.Host, build
 			_ = srv.Stop(stopCtx)
 		}()
 		target := loadgen.HTTPTarget(srv.URL() + "/index.html")
-		return r.driveFromClient(ctx, client, buildType, target)
+		return r.driveFromClient(ctx, client, buildType, target, sweep)
 	case "memcached":
 		srv, err := kvcache.Start(kvcache.Config{WorkUnits: workUnits, Shards: r.Workers})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer func() {
 			stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -190,12 +211,12 @@ func (r *ServerBenchRunner) sweepOnce(rc *RunContext, client *remote.Host, build
 		}()
 		target, closePool, err := loadgen.KVTarget(srv.Addr(), "bench-key", 1024)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer closePool()
-		return r.driveFromClient(ctx, client, buildType, target)
+		return r.driveFromClient(ctx, client, buildType, target, sweep)
 	default:
-		return nil, fmt.Errorf("core: unknown server application %q", r.App)
+		return nil, nil, fmt.Errorf("core: unknown server application %q", r.App)
 	}
 }
 
@@ -219,22 +240,24 @@ func (r *ServerBenchRunner) calibrate(ctx context.Context, target func(context.C
 }
 
 // driveFromClient registers and invokes the loadgen command on the remote
-// host, one job per offered rate.
-func (r *ServerBenchRunner) driveFromClient(ctx context.Context, client *remote.Host, buildType string, target func(context.Context) error) ([]loadgen.Result, error) {
-	rates := r.Rates
+// host, one job per offered rate. The sweep is received and returned as a
+// value — never written back onto the runner — so a second Run of the same
+// runner instance re-probes capacity instead of silently reusing the first
+// run's calibration.
+func (r *ServerBenchRunner) driveFromClient(ctx context.Context, client *remote.Host, buildType string, target func(context.Context) error, sweep []float64) ([]loadgen.Result, []float64, error) {
+	rates := sweep
 	if len(rates) == 0 {
-		// Calibrate once, against the first build type, and reuse the
-		// same offered rates for every type — both curves of the figure
-		// share one x-axis sweep.
+		// Calibrate against this run's first build type; the caller reuses
+		// the returned rates for the run's remaining types — both curves of
+		// the figure share one x-axis sweep.
 		capacity, err := r.calibrate(ctx, target)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rates = make([]float64, 0, len(r.RateFractions))
 		for _, f := range r.RateFractions {
 			rates = append(rates, capacity*f)
 		}
-		r.Rates = rates
 	}
 	results := make([]loadgen.Result, 0, len(rates))
 	err := client.RegisterCommand("loadgen", func(ctx context.Context, job remote.Job) (remote.Output, error) {
@@ -258,15 +281,19 @@ func (r *ServerBenchRunner) driveFromClient(ctx context.Context, client *remote.
 		}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	// Tear the session down when the sweep ends: the handler closure
+	// captures this sweep's target and results, which must not outlive it
+	// on the long-lived (possibly injected) cluster host.
+	defer client.UnregisterCommand("loadgen")
 	for _, rate := range rates {
 		if _, err := client.Run(ctx, remote.Job{
 			Command: "loadgen",
 			Args:    map[string]string{"rate": fmt.Sprintf("%f", rate)},
 		}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return results, nil
+	return results, rates, nil
 }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fex/internal/remote"
+)
+
+// This file pins the two one-shot-state regressions of ServerBenchRunner:
+// the runner struct must stay pure configuration (no calibration
+// write-back between runs) and the load-generation client must live on the
+// framework cluster (so injected faults apply to it).
+
+// registerServerBench registers a throughput-latency experiment backed by
+// the given shared runner instance.
+func registerServerBench(t *testing.T, fx *Fex, name string, r *ServerBenchRunner) {
+	t.Helper()
+	if err := fx.RegisterExperiment(&Experiment{
+		Name: name,
+		Kind: KindThroughputLatency,
+		NewRunner: func(fx *Fex) (Runner, error) {
+			return r, nil
+		},
+		Collect:  NetCollect,
+		CSVKinds: NetCSVKinds(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRunnerRecalibratesPerRun is the regression test for the
+// calibrated sweep leaking between runs through the shared runner struct
+// (r.Rates = rates): the same runner instance, driven twice with a ~200x
+// difference in per-request cost, must calibrate each run against the
+// current server — the cheap run's sweep reaches far higher offered rates
+// than the expensive one's — and must leave the struct untouched.
+func TestServerRunnerRecalibratesPerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network experiment")
+	}
+	fx := newFex(t)
+	installAll(t, fx, "gcc-6.1", "memcached-1.4.25")
+	runner := &ServerBenchRunner{
+		App:           "memcached",
+		RateFractions: []float64{0.5, 1.0},
+		Duration:      120 * time.Millisecond,
+		BaseWorkUnits: 20,
+	}
+	registerServerBench(t, fx, "recal", runner)
+	cfg := Config{Experiment: "recal", BuildTypes: []string{"gcc_native"}}
+
+	maxRate := func(report *RunReport) float64 {
+		t.Helper()
+		rates, err := report.Table.Floats("offered_rate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0.0
+		for _, r := range rates {
+			if r > max {
+				max = r
+			}
+		}
+		return max
+	}
+
+	cheap, err := fx.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run of the same instance against a much slower server: a
+	// runner that cached the first calibration would replay the cheap
+	// sweep verbatim.
+	runner.BaseWorkUnits = 4000
+	expensive, err := fx.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheapMax, expensiveMax := maxRate(cheap), maxRate(expensive)
+	if expensiveMax >= cheapMax {
+		t.Errorf("second run swept up to %.0f req/s, first up to %.0f: calibration leaked between runs",
+			expensiveMax, cheapMax)
+	}
+	if len(runner.Rates) != 0 {
+		t.Errorf("Run wrote the calibrated sweep onto the shared runner struct: %v", runner.Rates)
+	}
+}
+
+// TestServerRunnerClientOnFrameworkCluster is the regression test for the
+// runner building a private throwaway cluster: the load-generation client
+// must resolve through Fex.Cluster(), so a fault injected on the client
+// host applies. An unreachable client1 must fail the run with the
+// transport's error — the old private-cluster code never saw the fault
+// and sailed through.
+func TestServerRunnerClientOnFrameworkCluster(t *testing.T) {
+	cluster := remote.NewCluster()
+	client, err := cluster.AddHost("client1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SetUnreachable(true)
+	fx, err := New(Options{Cluster: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	installAll(t, fx, "gcc-6.1", "memcached-1.4.25")
+	registerServerBench(t, fx, "down_client", &ServerBenchRunner{
+		App:      "memcached",
+		Rates:    []float64{100},
+		Duration: 50 * time.Millisecond,
+	})
+	_, err = fx.Run(context.Background(), Config{
+		Experiment: "down_client",
+		BuildTypes: []string{"gcc_native"},
+	})
+	if !errors.Is(err, remote.ErrUnreachable) {
+		t.Fatalf("run with unreachable client returned %v, want remote.ErrUnreachable", err)
+	}
+}
+
+// TestServerRunnerClientLatencyApplies injects per-job latency on the
+// client host and checks it shapes the run: with 2 offered rates the
+// sweep issues 2 remote jobs, so the run must take at least 2x the
+// injected latency longer than the measurement intervals alone.
+func TestServerRunnerClientLatencyApplies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network experiment")
+	}
+	cluster := remote.NewCluster()
+	client, err := cluster.AddHost("client1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const latency = 150 * time.Millisecond
+	client.SetLatency(latency)
+	fx, err := New(Options{Cluster: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	installAll(t, fx, "gcc-6.1", "memcached-1.4.25")
+	registerServerBench(t, fx, "slow_client", &ServerBenchRunner{
+		App:      "memcached",
+		Rates:    []float64{100, 200},
+		Duration: 50 * time.Millisecond,
+	})
+	start := time.Now()
+	report, err := fx.Run(context.Background(), Config{
+		Experiment: "slow_client",
+		BuildTypes: []string{"gcc_native"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*latency {
+		t.Errorf("run finished in %v despite %v injected per-job latency on the client", elapsed, latency)
+	}
+	if report.Table.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", report.Table.NumRows())
+	}
+}

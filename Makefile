@@ -14,7 +14,7 @@ SHELL := /bin/bash
 # time-to-first-measurement, zero-build warm resume).
 ABLATIONS := BenchmarkAblation_(RebuildVsNoBuild|RepetitionEstimate|ParallelScaling|MemoizedReps|StoreBulkResolve|PlanAhead)|BenchmarkModeledRepetition
 
-.PHONY: build test race bench bench-smoke gate gate-baseline
+.PHONY: build test race bench bench-smoke chaos gate gate-baseline
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,17 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+
+# chaos runs the cluster tier under randomized seeded fault schedules
+# (outages, latency, hangs on the non-pristine hosts) and asserts the
+# merged log and CSV stay byte-identical to serial every round. The
+# seed is printed on failure; reproduce with
+# `make chaos FEX_CHAOS_SEED=<seed>`.
+FEX_CHAOS_SEED ?=
+FEX_CHAOS_ROUNDS ?= 5
+chaos:
+	FEX_CHAOS_SEED=$(FEX_CHAOS_SEED) FEX_CHAOS_ROUNDS=$(FEX_CHAOS_ROUNDS) \
+		$(GO) test -race -count=1 -run TestClusterChaosSeededFaults ./internal/core/ -v
 
 # bench regenerates BENCH_7.json from a fresh run of the ablation
 # benchmarks. Commit the result so the perf trajectory travels with the

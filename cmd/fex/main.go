@@ -27,7 +27,14 @@
 // file (container persistence between invocations), -jobs parallel
 // experiment cells (default 1: the paper's serial loop), -hosts
 // comma-separated cluster worker hosts (cells are dispatched remotely
-// with failover; logs stay byte-identical to a serial run),
+// with failover; logs stay byte-identical to a serial run), -hosts-file
+// a file of host names (one per line; re-read while the run executes, so
+// new names join the cluster mid-run), -host-timeout a per-cell deadline
+// after which a placement is treated as a host fault and fails over,
+// -no-speculate disables speculative straggler re-execution (-speculate,
+// the default, duplicates a straggling cell onto a spare idle host,
+// first result wins), -degrade local runs queued cells on the
+// coordinator while every host is down or probing,
 // --modeled-time record modeled instead of live wall time (makes logs
 // fully machine-independent), -resume replay already-satisfied cells from
 // the persistent result store instead of re-measuring them, -no-memo
@@ -60,6 +67,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"fex/internal/core"
 	"fex/internal/diff"
@@ -88,6 +96,10 @@ type cliArgs struct {
 	repRelWidth float64
 	jobs        int
 	hosts       []string
+	hostsFile   string
+	hostTimeout time.Duration
+	noSpeculate bool
+	degrade     string
 	input       string
 	debug       bool
 	verbose     bool
@@ -198,6 +210,32 @@ func parseArgs(argv []string) (cliArgs, error) {
 				}
 				args.hosts = append(args.hosts, h)
 			}
+		case "-hosts-file":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-hosts-file requires a file path")
+			}
+			args.hostsFile = v
+		case "-host-timeout":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-host-timeout requires a duration (e.g. 30s)")
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return args, fmt.Errorf("bad -host-timeout value %q (want a positive duration)", v)
+			}
+			args.hostTimeout = d
+		case "-speculate":
+			args.noSpeculate = false // the default; accepted for symmetry
+		case "-no-speculate", "--no-speculate":
+			args.noSpeculate = true
+		case "-degrade":
+			v, ok := next()
+			if !ok {
+				return args, errors.New("-degrade requires a mode (local)")
+			}
+			args.degrade = v
 		case "-i":
 			v, ok := next()
 			if !ok {
@@ -384,6 +422,17 @@ func run(argv []string) error {
 		if args.name == "" {
 			return errors.New("run requires -n <experiment>")
 		}
+		// -hosts-file seeds (and can extend mid-run) the cluster host pool:
+		// hosts listed at start merge with -hosts; names appearing in the
+		// file while the run executes are Ensure'd into the cluster and
+		// join the scheduler, absorbing queued cells.
+		if args.hostsFile != "" {
+			fromFile, err := readHostsFile(args.hostsFile)
+			if err != nil {
+				return err
+			}
+			args.hosts = mergeHosts(args.hosts, fromFile)
+		}
 		cfg, err := buildConfig(fx, args)
 		if err != nil {
 			return err
@@ -393,7 +442,9 @@ func run(argv []string) error {
 		if err := fx.InstallPrerequisites(cfg.BuildTypes...); err != nil {
 			return err
 		}
+		stopPoll := pollHostsFile(fx, args.hostsFile)
 		report, err := fx.Run(context.Background(), cfg)
+		stopPoll()
 		if err != nil {
 			// The result store already holds every cell that completed
 			// before the failure; persist the state anyway so a retry with
@@ -751,6 +802,9 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		RepRelWidth:  args.repRelWidth,
 		Jobs:         args.jobs,
 		Hosts:        args.hosts,
+		HostTimeout:  args.hostTimeout,
+		NoSpeculate:  args.noSpeculate,
+		Degrade:      args.degrade,
 		Debug:        args.debug,
 		Verbose:      args.verbose,
 		NoBuild:      args.noBuild,
@@ -775,6 +829,72 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		cfg.BuildTypes = exp.DefaultTypes
 	}
 	return cfg, nil
+}
+
+// readHostsFile parses a hosts file: one host name per line, blank lines
+// and #-comments ignored.
+func readHostsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hosts file: %w", err)
+	}
+	var hosts []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		hosts = append(hosts, line)
+	}
+	return hosts, nil
+}
+
+// mergeHosts appends the extras not already present, preserving order.
+func mergeHosts(hosts, extras []string) []string {
+	seen := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		seen[h] = true
+	}
+	for _, h := range extras {
+		if !seen[h] {
+			seen[h] = true
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
+// pollHostsFile watches the -hosts-file for new host names while a run
+// executes, Ensure-ing each into the framework cluster so the scheduler
+// admits it mid-run. Returns a stop function; a no-op when no hosts file
+// was given. Read errors are ignored (the file may be mid-rewrite);
+// known names are skipped by the scheduler.
+func pollHostsFile(fx *core.Fex, path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			hosts, err := readHostsFile(path)
+			if err != nil {
+				continue
+			}
+			for _, h := range hosts {
+				if _, err := fx.Cluster().Ensure(h); err != nil {
+					fmt.Fprintf(os.Stderr, "fex: hosts file: host %q: %v\n", h, err)
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 func exportFile(fx *core.Fex, containerPath, outDir string) error {

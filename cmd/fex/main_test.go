@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"fex/internal/diff"
 )
@@ -428,6 +429,74 @@ func TestParseArgsClusterFlags(t *testing.T) {
 		if _, err := parseArgs(argv); err == nil {
 			t.Errorf("parseArgs(%v): expected error", argv)
 		}
+	}
+}
+
+func TestParseArgsFaultToleranceFlags(t *testing.T) {
+	args, err := parseArgs([]string{
+		"run", "-n", "splash",
+		"-t", "gcc_native",
+		"-hosts", "w1,w2",
+		"-hosts-file", "hosts.txt",
+		"-host-timeout", "30s",
+		"-no-speculate",
+		"-degrade", "local",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args.hostsFile != "hosts.txt" {
+		t.Errorf("hosts file %q, want hosts.txt", args.hostsFile)
+	}
+	if args.hostTimeout != 30*time.Second {
+		t.Errorf("host timeout %v, want 30s", args.hostTimeout)
+	}
+	if !args.noSpeculate {
+		t.Error("-no-speculate not parsed")
+	}
+	if args.degrade != "local" {
+		t.Errorf("degrade %q, want local", args.degrade)
+	}
+
+	// -speculate restores the default after -no-speculate (last wins).
+	args, err = parseArgs([]string{"run", "-n", "splash", "-no-speculate", "-speculate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args.noSpeculate {
+		t.Error("-speculate did not reset -no-speculate")
+	}
+
+	for _, argv := range [][]string{
+		{"run", "-host-timeout"},           // missing value
+		{"run", "-host-timeout", "banana"}, // not a duration
+		{"run", "-host-timeout", "-5s"},    // negative
+		{"run", "-hosts-file"},             // missing value
+		{"run", "-degrade"},                // missing value
+	} {
+		if _, err := parseArgs(argv); err == nil {
+			t.Errorf("parseArgs(%v): expected error", argv)
+		}
+	}
+}
+
+func TestReadHostsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hosts.txt")
+	if err := os.WriteFile(path, []byte("# workers\nw1\n\n  w2  \n#w3\nw4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := readHostsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 3 || hosts[0] != "w1" || hosts[1] != "w2" || hosts[2] != "w4" {
+		t.Errorf("hosts %v, want [w1 w2 w4]", hosts)
+	}
+	if _, err := readHostsFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing hosts file did not error")
+	}
+	if got := mergeHosts([]string{"w1", "w2"}, []string{"w2", "w5"}); len(got) != 3 || got[2] != "w5" {
+		t.Errorf("mergeHosts = %v, want [w1 w2 w5]", got)
 	}
 }
 

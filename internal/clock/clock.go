@@ -1,0 +1,189 @@
+// Package clock abstracts time for the scheduler's fault-tolerance
+// machinery. Probation backoff, per-cell deadlines, and speculation
+// thresholds all wait on timers; production uses the real clock, while
+// tests inject a Virtual clock and advance it explicitly, so timing
+// behaviour (a probe fires, a deadline expires) is proven
+// deterministically without sleeping real time.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer is a stoppable one-shot timer. C fires at most once.
+type Timer struct {
+	// C delivers the fire time.
+	C <-chan time.Time
+
+	stop func() bool
+}
+
+// Stop cancels the timer. It reports whether the call prevented the
+// timer from firing. Safe to call multiple times.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// Clock is the scheduler's time source.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a Timer that fires once d has elapsed on this clock.
+	// A non-positive d fires immediately.
+	After(d time.Duration) *Timer
+}
+
+// realClock delegates to the runtime clock.
+type realClock struct{}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) After(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+// vtimer is one pending virtual timer.
+type vtimer struct {
+	deadline time.Time
+	seq      int // registration order breaks deadline ties deterministically
+	ch       chan time.Time
+}
+
+// Virtual is a manually-advanced clock. Time moves only through Advance
+// and AdvanceToNext; timers registered via After fire during those calls,
+// in (deadline, registration) order. BlockUntil lets a test wait for the
+// code under test to have registered its timers before advancing — the
+// standard pump loop is:
+//
+//	go func() {
+//	        for {
+//	                vc.BlockUntil(1)
+//	                vc.AdvanceToNext()
+//	        }
+//	}()
+type Virtual struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	seq     int
+	pending []*vtimer
+}
+
+// NewVirtual returns a virtual clock reading start.
+func NewVirtual(start time.Time) *Virtual {
+	v := &Virtual{now: start}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now returns the virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After registers a timer firing once d has elapsed on the virtual
+// clock. A non-positive d fires immediately without registering.
+func (v *Virtual) After(d time.Duration) *Timer {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d <= 0 {
+		ch <- v.now
+		return &Timer{C: ch, stop: func() bool { return false }}
+	}
+	t := &vtimer{deadline: v.now.Add(d), seq: v.seq, ch: ch}
+	v.seq++
+	v.pending = append(v.pending, t)
+	v.cond.Broadcast()
+	return &Timer{C: ch, stop: func() bool { return v.remove(t) }}
+}
+
+// remove unregisters a pending timer, reporting whether it was still
+// pending (i.e. the Stop prevented a fire).
+func (v *Virtual) remove(t *vtimer) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, p := range v.pending {
+		if p == t {
+			v.pending = append(v.pending[:i], v.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline is reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.advanceTo(v.now.Add(d))
+}
+
+// AdvanceToNext jumps the clock to the earliest pending deadline and
+// fires the timers due there. It reports whether any timer was pending.
+func (v *Virtual) AdvanceToNext() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.pending) == 0 {
+		return false
+	}
+	next := v.pending[0].deadline
+	for _, t := range v.pending[1:] {
+		if t.deadline.Before(next) {
+			next = t.deadline
+		}
+	}
+	v.advanceTo(next)
+	return true
+}
+
+// advanceTo fires all timers due at or before target and sets now.
+// Called with mu held.
+func (v *Virtual) advanceTo(target time.Time) {
+	if target.Before(v.now) {
+		target = v.now
+	}
+	var due []*vtimer
+	rest := v.pending[:0]
+	for _, t := range v.pending {
+		if !t.deadline.After(target) {
+			due = append(due, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	v.pending = rest
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].deadline.Equal(due[j].deadline) {
+			return due[i].deadline.Before(due[j].deadline)
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, t := range due {
+		t.ch <- t.deadline
+	}
+	v.now = target
+}
+
+// BlockUntil waits until at least n timers are pending.
+func (v *Virtual) BlockUntil(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.pending) < n {
+		v.cond.Wait()
+	}
+}
+
+// Pending returns the number of registered, unfired timers.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.pending)
+}

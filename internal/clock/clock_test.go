@@ -1,0 +1,134 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockAfterFires(t *testing.T) {
+	c := Real()
+	start := c.Now()
+	tm := c.After(time.Millisecond)
+	fired := <-tm.C
+	if fired.Before(start) {
+		t.Fatalf("real timer fired at %v, before start %v", fired, start)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported the timer as still pending")
+	}
+}
+
+func TestVirtualAdvanceFiresInDeadlineOrder(t *testing.T) {
+	base := time.Unix(1000, 0)
+	v := NewVirtual(base)
+	t3 := v.After(30 * time.Millisecond)
+	t1 := v.After(10 * time.Millisecond)
+	t2 := v.After(20 * time.Millisecond)
+	if got := v.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+
+	v.Advance(25 * time.Millisecond)
+	if got := <-t1.C; !got.Equal(base.Add(10 * time.Millisecond)) {
+		t.Fatalf("t1 fired at %v", got)
+	}
+	if got := <-t2.C; !got.Equal(base.Add(20 * time.Millisecond)) {
+		t.Fatalf("t2 fired at %v", got)
+	}
+	select {
+	case <-t3.C:
+		t.Fatal("t3 fired before its deadline")
+	default:
+	}
+	if got := v.Now(); !got.Equal(base.Add(25 * time.Millisecond)) {
+		t.Fatalf("Now = %v after Advance", got)
+	}
+
+	v.Advance(5 * time.Millisecond)
+	if got := <-t3.C; !got.Equal(base.Add(30 * time.Millisecond)) {
+		t.Fatalf("t3 fired at %v", got)
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending = %d after all fired", v.Pending())
+	}
+}
+
+func TestVirtualImmediateFire(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tm := v.After(0)
+	select {
+	case <-tm.C:
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on an already-fired immediate timer returned true")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("immediate timer left %d pending", v.Pending())
+	}
+}
+
+func TestVirtualStopPreventsFire(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tm := v.After(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	v.Advance(time.Hour)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestVirtualAdvanceToNext(t *testing.T) {
+	base := time.Unix(0, 0)
+	v := NewVirtual(base)
+	if v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext with no timers returned true")
+	}
+	tm := v.After(42 * time.Millisecond)
+	later := v.After(time.Second)
+	if !v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext with pending timers returned false")
+	}
+	if got := v.Now(); !got.Equal(base.Add(42 * time.Millisecond)) {
+		t.Fatalf("Now = %v, want earliest deadline", got)
+	}
+	select {
+	case <-tm.C:
+	default:
+		t.Fatal("earliest timer did not fire")
+	}
+	select {
+	case <-later.C:
+		t.Fatal("later timer fired early")
+	default:
+	}
+}
+
+func TestVirtualBlockUntil(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	released := make(chan struct{})
+	go func() {
+		v.BlockUntil(2)
+		close(released)
+	}()
+	v.After(time.Second)
+	select {
+	case <-released:
+		t.Fatal("BlockUntil(2) released with one timer")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.After(time.Second)
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("BlockUntil(2) did not release with two timers")
+	}
+}

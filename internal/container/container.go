@@ -321,10 +321,11 @@ type Container struct {
 	ID    string
 	image *Image
 
-	mu      sync.Mutex
-	fs      *vfs.FS
-	env     map[string]string
-	stopped bool
+	mu          sync.Mutex
+	fs          *vfs.FS
+	env         map[string]string
+	stopped     bool
+	cloneFaults map[string]error
 }
 
 // Run instantiates an image into a fresh container. The container's
@@ -424,12 +425,31 @@ func (c *Container) Clone(id string) (*Container, error) {
 	if id == "" {
 		return nil, errors.New("container: clone requires an id")
 	}
+	if err, ok := c.cloneFaults[id]; ok {
+		return nil, fmt.Errorf("container: clone %q: %w", id, err)
+	}
 	fsys := c.fs.Clone()
 	envCopy := make(map[string]string, len(c.env))
 	for k, v := range c.env {
 		envCopy[k] = v
 	}
 	return &Container{ID: id, image: c.image, fs: fsys, env: envCopy}, nil
+}
+
+// SetCloneFault injects a failure for Clone calls with the given id —
+// the worker-provisioning step failing on one specific host while others
+// clone fine. A nil err clears the fault.
+func (c *Container) SetCloneFault(id string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil {
+		delete(c.cloneFaults, id)
+		return
+	}
+	if c.cloneFaults == nil {
+		c.cloneFaults = make(map[string]error)
+	}
+	c.cloneFaults[id] = err
 }
 
 // Commit snapshots the container's current filesystem as a new image layer

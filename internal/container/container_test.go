@@ -370,3 +370,26 @@ func TestCloneValidation(t *testing.T) {
 		t.Error("clone of stopped container accepted")
 	}
 }
+
+func TestCloneFaultInjection(t *testing.T) {
+	img, err := BuildBaseImage(BaseImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	ctr.SetCloneFault("worker-w2", boom)
+	if _, err := ctr.Clone("worker-w2"); !errors.Is(err, boom) {
+		t.Errorf("faulted clone: got %v, want wrapped %v", err, boom)
+	}
+	if _, err := ctr.Clone("worker-w1"); err != nil {
+		t.Errorf("unrelated clone id failed: %v", err)
+	}
+	ctr.SetCloneFault("worker-w2", nil)
+	if _, err := ctr.Clone("worker-w2"); err != nil {
+		t.Errorf("cleared fault still fires: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"fex/internal/workload"
 )
@@ -67,6 +68,24 @@ type Config struct {
 	// container, build system, cell shards — per host, with failover onto
 	// the remaining healthy hosts when one becomes unreachable.
 	Hosts []string
+	// HostTimeout bounds each remote cell placement (-host-timeout): a
+	// placement exceeding it is classified as a host fault — the cell
+	// fails over and the host enters probation — so a hung machine cannot
+	// stall the run past timeout + one failover. Zero (the default, kept
+	// for goldens) disables deadlines.
+	HostTimeout time.Duration
+	// NoSpeculate disables speculative straggler re-execution
+	// (-no-speculate), the ablation baseline. By default the cluster tier
+	// launches a duplicate of a cell that has run much longer than the
+	// run's median cell duration onto a spare idle host, first result
+	// wins, loser cancelled; losing shards are discarded before the
+	// merge, so byte-identity is unaffected either way.
+	NoSpeculate bool
+	// Degrade selects the coordinator's behaviour when every cluster
+	// host is down or probing (-degrade): "" fails the run (classic
+	// semantics), "local" executes queued cells on the coordinator
+	// itself until hosts recover.
+	Degrade string
 	// NoMemo disables the per-artifact execution memo (-no-memo): every
 	// repetition physically re-executes the kernel instead of re-deriving
 	// its sample from cached counters. Kernels are deterministic by
@@ -178,6 +197,14 @@ func (c *Config) Normalize() error {
 		}
 		seenHost[h] = true
 	}
+	if c.HostTimeout < 0 {
+		return fmt.Errorf("core: negative host timeout %v", c.HostTimeout)
+	}
+	switch c.Degrade {
+	case "", "local":
+	default:
+		return fmt.Errorf("core: unknown degrade mode %q (want \"local\")", c.Degrade)
+	}
 	return nil
 }
 
@@ -237,6 +264,15 @@ func (c Config) String() string {
 	}
 	if len(c.Hosts) > 0 {
 		sb.WriteString(" -hosts " + strings.Join(c.Hosts, ","))
+	}
+	if c.HostTimeout > 0 {
+		sb.WriteString(" -host-timeout " + c.HostTimeout.String())
+	}
+	if c.NoSpeculate {
+		sb.WriteString(" -no-speculate")
+	}
+	if c.Degrade != "" {
+		sb.WriteString(" -degrade " + c.Degrade)
 	}
 	if c.NoMemo {
 		sb.WriteString(" -no-memo")

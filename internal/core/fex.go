@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"fex/internal/buildsys"
+	fexclock "fex/internal/clock"
 	"fex/internal/container"
 	"fex/internal/env"
 	"fex/internal/installer"
@@ -66,6 +67,12 @@ type Options struct {
 	// Now supplies timestamps (defaults to time.Now); injectable for
 	// deterministic tests.
 	Now func() time.Time
+	// Clock drives the cluster scheduler's fault-tolerance timers —
+	// probation reprobe backoff, per-cell deadlines, speculation
+	// thresholds; nil selects the real clock. Tests inject a
+	// clock.Virtual and advance it explicitly, so timing behaviour is
+	// proven deterministically without sleeping real time.
+	Clock fexclock.Clock
 	// Cluster is the worker-host cluster experiment cells are dispatched
 	// to when Config.Hosts is set; nil creates an empty cluster whose
 	// hosts are registered on first use. Tests inject a pre-built cluster
@@ -91,6 +98,7 @@ type Fex struct {
 	cluster     *remote.Cluster
 	verbose     io.Writer
 	now         func() time.Time
+	clock       fexclock.Clock
 	// runSeq numbers the framework-assigned run IDs ("run-0001", …); it
 	// only advances, so every Run of this instance gets a distinct
 	// artifact directory under RunsDir.
@@ -162,6 +170,10 @@ func New(opts Options) (*Fex, error) {
 	if cluster == nil {
 		cluster = remote.NewCluster()
 	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = fexclock.Real()
+	}
 	fx := &Fex{
 		ctr:         ctr,
 		inst:        inst,
@@ -177,6 +189,7 @@ func New(opts Options) (*Fex, error) {
 		},
 		verbose: verbose,
 		now:     now,
+		clock:   clk,
 	}
 	if err := fx.registerBuiltinExperiments(); err != nil {
 		return nil, err
@@ -464,13 +477,41 @@ func validRunID(id string) bool {
 // concurrent workers.
 type ProgressEvent struct {
 	// Stage is "plan" for the pre-execution summary, "cell" for a settled
-	// cell.
+	// cell, "hosts" for a cluster host-state change.
 	Stage string
 	// Done and Total count settled cells out of the run's cell set.
 	Done, Total int
 	// Replayed and Deduped are the plan's store-replay and in-run
 	// duplicate counts.
 	Replayed, Deduped int
+	// Hosts carries the cluster tier's per-host health and counters; set
+	// on "hosts" events (emitted whenever a host changes state or settles
+	// a cell) and on the final "cell" event of a cluster run. Nil outside
+	// the cluster tier.
+	Hosts []HostStatus
+}
+
+// HostStatus is one cluster host's health and work counters, surfaced
+// through ProgressEvent.Hosts, the serve run-status JSON, and the
+// end-of-run -v summary.
+type HostStatus struct {
+	// Host is the host name ("local" for the coordinator's degrade-local
+	// pseudo-worker).
+	Host string `json:"host"`
+	// State is "healthy", "probation", or "evicted".
+	State string `json:"state"`
+	// Cells counts cells this host completed (wins included).
+	Cells int `json:"cells"`
+	// Failovers counts placements lost to this host's faults
+	// (unreachable, deadline expiry, provision failure).
+	Failovers int `json:"failovers"`
+	// Probes counts reprobe attempts while in probation.
+	Probes int `json:"probes"`
+	// SpecWins counts cells this host won with a speculative duplicate;
+	// SpecLosses counts this host's placements superseded by a duplicate
+	// that finished first elsewhere.
+	SpecWins   int `json:"spec_wins"`
+	SpecLosses int `json:"spec_losses"`
 }
 
 // RunHooks bundles the cross-cutting, per-invocation concerns of one Run:

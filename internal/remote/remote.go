@@ -56,7 +56,11 @@ type Host struct {
 	mu          sync.Mutex
 	handlers    map[string]Handler
 	latency     time.Duration
+	cmdLatency  map[string]time.Duration
 	unreachable bool
+	outage      int // remaining contacts that fail before recovery
+	hanging     bool
+	hang        chan<- string
 	corrupt     func(string) string
 	logs        []string
 }
@@ -91,11 +95,54 @@ func (h *Host) SetLatency(d time.Duration) {
 	h.latency = d
 }
 
+// SetCommandLatency injects an additional delay on one command only —
+// a per-command slow path (e.g. a slow run-cell on an overloaded host)
+// on top of any host-wide SetLatency.
+func (h *Host) SetCommandLatency(command string, d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cmdLatency == nil {
+		h.cmdLatency = make(map[string]time.Duration)
+	}
+	h.cmdLatency[command] = d
+}
+
 // SetUnreachable toggles connectivity-failure injection.
 func (h *Host) SetUnreachable(down bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.unreachable = down
+}
+
+// SetOutage injects a flapping schedule: the next n contacts (Run or
+// Ping) fail with ErrUnreachable, after which the host recovers on its
+// own. Overwrites any outage still in progress.
+func (h *Host) SetOutage(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.outage = n
+}
+
+// SetHang injects a hung machine: every contact blocks until its
+// context is cancelled and returns the context's error — the host
+// accepted the connection and never answered. If notify is non-nil, the
+// command name is sent on it (non-blocking) when a contact starts
+// hanging, so tests can synchronize on "the host is now wedged" without
+// sleeping. ClearHang removes the fault.
+func (h *Host) SetHang(notify chan<- string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hanging = true
+	h.hang = notify
+}
+
+// ClearHang removes a SetHang fault; contacts already blocked stay
+// blocked until their context is cancelled.
+func (h *Host) ClearHang() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hanging = false
+	h.hang = nil
 }
 
 // SetCorruptOutput injects transfer corruption: fn rewrites the log
@@ -109,44 +156,104 @@ func (h *Host) SetCorruptOutput(fn func(string) string) {
 	h.corrupt = fn
 }
 
-// Run executes a command on the host — the SSH-session stand-in. The
-// command's log output is retained on the host until FetchLogs collects
-// it.
-func (h *Host) Run(ctx context.Context, job Job) (Output, error) {
+// contact performs the transport preamble shared by Run and Ping under
+// one fault-injection decision: pay the injected latency (the wire is
+// slow whether or not the far end answers), consume one step of any
+// outage schedule, then report the reachability verdict or a hang.
+// A hang blocks until ctx is cancelled — the connection was accepted and
+// never answered — which is what makes cancellation observable at the
+// transport: deadline tests cancel ctx instead of sleeping real time.
+func (h *Host) contact(ctx context.Context, command string) error {
 	h.mu.Lock()
-	latency := h.latency
+	latency := h.latency + h.cmdLatency[command]
 	down := h.unreachable
-	corrupt := h.corrupt
-	fn, ok := h.handlers[job.Command]
+	if h.outage > 0 {
+		h.outage--
+		down = true
+	}
+	hanging, hangNotify := h.hanging, h.hang
 	h.mu.Unlock()
-	if down {
-		return Output{}, fmt.Errorf("%w: %s", ErrUnreachable, h.name)
-	}
-	if !ok {
-		return Output{}, fmt.Errorf("%w: %q on %s", ErrUnknownCommand, job.Command, h.name)
-	}
 	if latency > 0 {
 		select {
 		case <-time.After(latency):
 		case <-ctx.Done():
-			return Output{}, ctx.Err()
+			return ctx.Err()
 		}
 	}
-	out, err := fn(ctx, job)
-	if err != nil {
-		return Output{}, fmt.Errorf("remote %s: %s: %w", h.name, job.Command, err)
+	if down {
+		return fmt.Errorf("%w: %s", ErrUnreachable, h.name)
 	}
-	if out.Log != "" {
-		h.mu.Lock()
-		h.logs = append(h.logs, out.Log)
-		h.mu.Unlock()
+	if hanging {
+		if hangNotify != nil {
+			select {
+			case hangNotify <- command:
+			default:
+			}
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Ping probes host liveness without running a command — the reprobe a
+// coordinator sends to a host in probation. It observes the same
+// injected faults as Run: latency, outage schedules, unreachability,
+// and hangs (a hung host's probe blocks until ctx is cancelled).
+func (h *Host) Ping(ctx context.Context) error {
+	return h.contact(ctx, "ping")
+}
+
+// Run executes a command on the host — the SSH-session stand-in. The
+// command's log output is retained on the host until FetchLogs collects
+// it.
+//
+// The handler races against ctx: when ctx is cancelled mid-execution,
+// Run returns the context error immediately while the handler keeps
+// running detached on the host (the SSH session dropped; the remote
+// process does not know). A detached handler's log output is still
+// retained host-side for FetchLogs, but its Output never reaches the
+// caller.
+func (h *Host) Run(ctx context.Context, job Job) (Output, error) {
+	if err := h.contact(ctx, job.Command); err != nil {
+		return Output{}, err
+	}
+	h.mu.Lock()
+	corrupt := h.corrupt
+	fn, ok := h.handlers[job.Command]
+	h.mu.Unlock()
+	if !ok {
+		return Output{}, fmt.Errorf("%w: %q on %s", ErrUnknownCommand, job.Command, h.name)
+	}
+	type result struct {
+		out Output
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := fn(ctx, job)
+		if err == nil && out.Log != "" {
+			h.mu.Lock()
+			h.logs = append(h.logs, out.Log)
+			h.mu.Unlock()
+		}
+		done <- result{out, err}
+	}()
+	var r result
+	select {
+	case r = <-done:
+	case <-ctx.Done():
+		return Output{}, ctx.Err()
+	}
+	if r.err != nil {
+		return Output{}, fmt.Errorf("remote %s: %s: %w", h.name, job.Command, r.err)
 	}
 	// Corruption strikes the transfer, not the host: the retained log
 	// above stays pristine while the caller receives the damaged copy.
 	if corrupt != nil {
-		out.Log = corrupt(out.Log)
+		r.out.Log = corrupt(r.out.Log)
 	}
-	return out, nil
+	return r.out, nil
 }
 
 // FetchLogs returns and clears the host's retained logs (the experiment's
@@ -161,19 +268,51 @@ func (h *Host) FetchLogs() []string {
 
 // Cluster is a named set of hosts.
 type Cluster struct {
-	mu    sync.Mutex
-	hosts map[string]*Host
+	mu     sync.Mutex
+	hosts  map[string]*Host
+	subs   map[int]chan *Host
+	subSeq int
 }
 
 // NewCluster returns an empty cluster.
 func NewCluster() *Cluster {
-	return &Cluster{hosts: make(map[string]*Host)}
+	return &Cluster{hosts: make(map[string]*Host), subs: make(map[int]chan *Host)}
 }
 
-// addHost registers a fresh host under c.mu.
+// Subscribe returns a channel delivering every host subsequently added
+// to the cluster (via AddHost or a first Ensure) and a cancel function.
+// An in-flight run subscribes so hosts joining mid-run — a new name in
+// -hosts-file, or an Ensure through the serve API — can absorb queued
+// cells. Delivery is best-effort: if the subscriber's buffer is full the
+// notification is dropped (the host is still in the cluster and visible
+// to the next run).
+func (c *Cluster) Subscribe(buf int) (<-chan *Host, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan *Host, buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.subSeq
+	c.subSeq++
+	c.subs[id] = ch
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.subs, id)
+	}
+}
+
+// addHost registers a fresh host and notifies subscribers, under c.mu.
 func (c *Cluster) addHost(name string) *Host {
 	h := &Host{name: name, handlers: make(map[string]Handler)}
 	c.hosts[name] = h
+	for _, ch := range c.subs {
+		select {
+		case ch <- h:
+		default:
+		}
+	}
 	return h
 }
 

@@ -167,6 +167,206 @@ func TestClusterEnsure(t *testing.T) {
 	}
 }
 
+func TestOutageScheduleRecovers(t *testing.T) {
+	h := testHost(t)
+	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) { return Output{}, nil })
+	h.SetOutage(2)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := h.Run(ctx, Job{Command: "x"}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("contact %d: got %v, want ErrUnreachable", i+1, err)
+		}
+	}
+	if _, err := h.Run(ctx, Job{Command: "x"}); err != nil {
+		t.Fatalf("host did not recover after outage: %v", err)
+	}
+}
+
+func TestOutageConsumedByPing(t *testing.T) {
+	h := testHost(t)
+	h.SetOutage(1)
+	ctx := context.Background()
+	if err := h.Ping(ctx); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("first ping: got %v, want ErrUnreachable", err)
+	}
+	if err := h.Ping(ctx); err != nil {
+		t.Fatalf("second ping: %v", err)
+	}
+}
+
+func TestPingUnreachableAndRecovery(t *testing.T) {
+	h := testHost(t)
+	h.SetUnreachable(true)
+	if err := h.Ping(context.Background()); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("got %v", err)
+	}
+	h.SetUnreachable(false)
+	if err := h.Ping(context.Background()); err != nil {
+		t.Fatalf("recovered ping: %v", err)
+	}
+}
+
+func TestHangBlocksUntilCancel(t *testing.T) {
+	h := testHost(t)
+	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) { return Output{}, nil })
+	started := make(chan string, 1)
+	h.SetHang(started)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.Run(ctx, Job{Command: "x"})
+		errc <- err
+	}()
+	select {
+	case cmd := <-started:
+		if cmd != "x" {
+			t.Fatalf("hang notified command %q", cmd)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hang never started")
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("hung Run returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	h.ClearHang()
+	if _, err := h.Run(context.Background(), Job{Command: "x"}); err != nil {
+		t.Fatalf("ClearHang did not restore the host: %v", err)
+	}
+}
+
+func TestHangAppliesToPing(t *testing.T) {
+	h := testHost(t)
+	h.SetHang(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- h.Ping(ctx) }()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCommandLatencyOnlyAffectsThatCommand(t *testing.T) {
+	h := testHost(t)
+	noop := func(context.Context, Job) (Output, error) { return Output{}, nil }
+	_ = h.RegisterCommand("slow", noop)
+	_ = h.RegisterCommand("fast", noop)
+	h.SetCommandLatency("slow", 30*time.Millisecond)
+	ctx := context.Background()
+	start := time.Now()
+	if _, err := h.Run(ctx, Job{Command: "fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("fast command took %v", d)
+	}
+	start = time.Now()
+	if _, err := h.Run(ctx, Job{Command: "slow"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("slow command took %v, latency not applied", d)
+	}
+}
+
+func TestLatencyPaidBeforeReachabilityVerdict(t *testing.T) {
+	// The wire is slow whether or not the far end answers: an
+	// unreachable host still costs the injected latency, and a caller
+	// whose ctx expires during it sees the ctx error, not ErrUnreachable.
+	h := testHost(t)
+	h.SetLatency(5 * time.Second)
+	h.SetUnreachable(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := h.Run(ctx, Job{Command: "x"}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCancellationObservableDuringHandler(t *testing.T) {
+	// A handler that ignores ctx cannot wedge the transport: Run
+	// returns the ctx error while the handler finishes detached, and
+	// its log is still retained host-side.
+	h := testHost(t)
+	release := make(chan struct{})
+	_ = h.RegisterCommand("stuck", func(context.Context, Job) (Output, error) {
+		<-release
+		return Output{Log: "late"}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.Run(ctx, Job{Command: "stuck"})
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Run did not observe cancellation during handler execution")
+	}
+	close(release)
+	deadline := time.Now().Add(time.Second)
+	for len(h.FetchLogs()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("detached handler's log never retained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClusterSubscribeDeliversJoins(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.AddHost("pre"); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := c.Subscribe(4)
+	select {
+	case h := <-ch:
+		t.Fatalf("subscription delivered pre-existing host %s", h.Name())
+	default:
+	}
+	if _, err := c.Ensure("joined"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case h := <-ch:
+		if h.Name() != "joined" {
+			t.Fatalf("got %s", h.Name())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("join not delivered")
+	}
+	if _, err := c.Ensure("joined"); err != nil { // already known: no event
+		t.Fatal(err)
+	}
+	select {
+	case h := <-ch:
+		t.Fatalf("re-Ensure delivered duplicate join %s", h.Name())
+	default:
+	}
+	cancel()
+	if _, err := c.AddHost("after-cancel"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case h, ok := <-ch:
+		if ok {
+			t.Fatalf("cancelled subscription received %s", h.Name())
+		}
+	default:
+	}
+}
+
 func TestUnregisterCommand(t *testing.T) {
 	h := testHost(t)
 	_ = h.RegisterCommand("x", func(context.Context, Job) (Output, error) { return Output{}, nil })

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"fex/internal/core"
 	"fex/internal/workload"
@@ -24,10 +25,18 @@ type RunSpec struct {
 	Tool       string   `json:"tool,omitempty"`
 	Jobs       int      `json:"jobs,omitempty"`
 	Hosts      []string `json:"hosts,omitempty"`
-	Debug      bool     `json:"debug,omitempty"`
-	Verbose    bool     `json:"verbose,omitempty"`
-	NoBuild    bool     `json:"no_build,omitempty"`
-	ModelTime  bool     `json:"modeled_time,omitempty"`
+	// HostTimeoutMS bounds each remote cell placement in milliseconds; a
+	// placement exceeding it fails over and the host enters probation.
+	HostTimeoutMS int `json:"host_timeout_ms,omitempty"`
+	// NoSpeculate disables speculative straggler re-execution.
+	NoSpeculate bool `json:"no_speculate,omitempty"`
+	// Degrade selects the no-healthy-host policy: "" fails the run,
+	// "local" executes queued cells on the coordinator.
+	Degrade   string `json:"degrade,omitempty"`
+	Debug     bool   `json:"debug,omitempty"`
+	Verbose   bool   `json:"verbose,omitempty"`
+	NoBuild   bool   `json:"no_build,omitempty"`
+	ModelTime bool   `json:"modeled_time,omitempty"`
 }
 
 // config validates the specification against the framework and produces
@@ -37,19 +46,22 @@ type RunSpec struct {
 // the replayed bytes are identical to a cold run's.
 func (spec RunSpec) config(fx *core.Fex) (core.Config, error) {
 	cfg := core.Config{
-		Experiment: spec.Experiment,
-		BuildTypes: spec.BuildTypes,
-		Benchmarks: spec.Benchmarks,
-		Threads:    spec.Threads,
-		Reps:       spec.Reps,
-		Tool:       spec.Tool,
-		Jobs:       spec.Jobs,
-		Hosts:      spec.Hosts,
-		Debug:      spec.Debug,
-		Verbose:    spec.Verbose,
-		NoBuild:    spec.NoBuild,
-		ModelTime:  spec.ModelTime,
-		Resume:     true,
+		Experiment:  spec.Experiment,
+		BuildTypes:  spec.BuildTypes,
+		Benchmarks:  spec.Benchmarks,
+		Threads:     spec.Threads,
+		Reps:        spec.Reps,
+		Tool:        spec.Tool,
+		Jobs:        spec.Jobs,
+		Hosts:       spec.Hosts,
+		HostTimeout: time.Duration(spec.HostTimeoutMS) * time.Millisecond,
+		NoSpeculate: spec.NoSpeculate,
+		Degrade:     spec.Degrade,
+		Debug:       spec.Debug,
+		Verbose:     spec.Verbose,
+		NoBuild:     spec.NoBuild,
+		ModelTime:   spec.ModelTime,
+		Resume:      true,
 	}
 	if spec.Input != "" {
 		cls, err := workload.ParseSizeClass(spec.Input)
@@ -100,11 +112,16 @@ type RunStatus struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
 	// Config is the equivalent fex command line (reproducibility).
-	Config       string     `json:"config"`
-	Progress     *Progress  `json:"progress,omitempty"`
-	Error        string     `json:"error,omitempty"`
-	Measurements int        `json:"measurements,omitempty"`
-	Artifacts    *Artifacts `json:"artifacts,omitempty"`
+	Config   string    `json:"config"`
+	Progress *Progress `json:"progress,omitempty"`
+	// Hosts carries per-host cluster health and counters (cells
+	// completed, failovers, probes, speculation outcomes); only present
+	// for cluster runs, and kept current as the scheduler's state machine
+	// transitions.
+	Hosts        []core.HostStatus `json:"hosts,omitempty"`
+	Error        string            `json:"error,omitempty"`
+	Measurements int               `json:"measurements,omitempty"`
+	Artifacts    *Artifacts        `json:"artifacts,omitempty"`
 }
 
 // snapshot renders the record's current state under its lock.
@@ -115,6 +132,7 @@ func (r *run) snapshot() *RunStatus {
 		ID:     r.id,
 		Status: r.status,
 		Config: r.cfg.String(),
+		Hosts:  r.hosts,
 		Error:  r.errMsg,
 	}
 	if r.hasPlan {
@@ -147,7 +165,42 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/runs/{id}/log", s.handleLog)
 	mux.HandleFunc("GET /api/v1/runs/{id}/csv", s.handleCSV)
+	mux.HandleFunc("GET /api/v1/hosts", s.handleHosts)
+	mux.HandleFunc("POST /api/v1/hosts", s.handleAddHost)
 	return mux
+}
+
+// handleHosts lists the framework cluster's host names.
+func (s *Server) handleHosts(w http.ResponseWriter, req *http.Request) {
+	hosts := s.fx.Cluster().Hosts()
+	if hosts == nil {
+		hosts = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hosts": hosts})
+}
+
+// handleAddHost Ensures a host into the framework cluster. A cluster run
+// in flight observes the join through its subscription and admits the
+// host mid-run, so it absorbs queued cells immediately.
+func (s *Server) handleAddHost(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Host string `json:"host"`
+	}
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode host spec: %w", err))
+		return
+	}
+	if body.Host == "" {
+		writeError(w, http.StatusBadRequest, errors.New("host spec requires a host name"))
+		return
+	}
+	if _, err := s.fx.Cluster().Ensure(body.Host); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hosts": s.fx.Cluster().Hosts()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -96,10 +96,14 @@ type run struct {
 	status   string
 	progress core.ProgressEvent
 	hasPlan  bool
-	report   *core.RunReport
-	errMsg   string
-	logBuf   []byte
-	settled  bool
+	// hosts is the latest per-host cluster health snapshot; events other
+	// than cluster ones leave it untouched, so the final state survives
+	// run settlement in status responses.
+	hosts   []core.HostStatus
+	report  *core.RunReport
+	errMsg  string
+	logBuf  []byte
+	settled bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -303,8 +307,15 @@ func (r *run) settle(report *core.RunReport, err error) {
 // concurrent scheduler workers.
 func (r *run) onProgress(ev core.ProgressEvent) {
 	r.mu.Lock()
-	r.progress = ev
-	r.hasPlan = true
+	if ev.Hosts != nil {
+		r.hosts = ev.Hosts
+	}
+	// Host-state transitions ("hosts" events) refresh the snapshot above
+	// without regressing the cell counters shown as run progress.
+	if ev.Stage != "hosts" {
+		r.progress = ev
+		r.hasPlan = true
+	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
 }

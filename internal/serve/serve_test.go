@@ -483,3 +483,103 @@ func TestServeRejectsBadRequests(t *testing.T) {
 		t.Errorf("DELETE unknown run = %d, want 404", code)
 	}
 }
+
+// TestServeHostsAPI exercises the cluster hosts endpoints: listing starts
+// empty, POST Ensures a host into the framework cluster (the mid-run join
+// path of the self-healing scheduler), and bad submissions are rejected.
+func TestServeHostsAPI(t *testing.T) {
+	fx := newServeFex(t)
+	s := New(fx, Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var listing struct {
+		Hosts []string `json:"hosts"`
+	}
+	if err := json.Unmarshal(getBody(t, ts, "/api/v1/hosts", http.StatusOK), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Hosts) != 0 {
+		t.Fatalf("fresh cluster lists hosts %v, want none", listing.Hosts)
+	}
+
+	resp, err := http.Post(ts.URL+"/api/v1/hosts", "application/json", strings.NewReader(`{"host": "w9"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST host = %d, want 200", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Hosts) != 1 || listing.Hosts[0] != "w9" {
+		t.Errorf("after POST, hosts = %v, want [w9]", listing.Hosts)
+	}
+	if _, err := fx.Cluster().Host("w9"); err != nil {
+		t.Errorf("posted host not in framework cluster: %v", err)
+	}
+
+	for name, body := range map[string]string{
+		"malformed json": "{",
+		"unknown field":  `{"name": "w1"}`,
+		"empty host":     `{"host": ""}`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/hosts", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: POST host = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeClusterRunReportsHostCounters submits a cluster run and
+// asserts the run status carries the per-host health snapshot — every
+// host named, healthy, with the completed cells accounted for — and that
+// the fault-tolerance knobs round-trip into the rendered config line.
+func TestServeClusterRunReportsHostCounters(t *testing.T) {
+	fx := newServeFex(t)
+	installAll(t, fx, "gcc-6.1")
+	s := New(fx, Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := splashSpec("fft", "lu")
+	spec.Hosts = []string{"w1", "w2"}
+	spec.HostTimeoutMS = 60000
+	spec.NoSpeculate = true
+	st := postRun(t, ts, spec)
+	for _, want := range []string{"-hosts w1,w2", "-host-timeout 1m0s", "-no-speculate"} {
+		if !strings.Contains(st.Config, want) {
+			t.Errorf("config %q does not render %q", st.Config, want)
+		}
+	}
+
+	final := waitStatus(t, ts, st.ID, StatusDone, StatusFailed)
+	if final.Status != StatusDone {
+		t.Fatalf("cluster run failed: %s", final.Error)
+	}
+	if len(final.Hosts) != 2 {
+		t.Fatalf("run status reports %d hosts, want 2: %+v", len(final.Hosts), final.Hosts)
+	}
+	cells := 0
+	for _, h := range final.Hosts {
+		if h.Host != "w1" && h.Host != "w2" {
+			t.Errorf("unexpected host %q in snapshot", h.Host)
+		}
+		if h.State != "healthy" {
+			t.Errorf("host %s state %q, want healthy", h.Host, h.State)
+		}
+		cells += h.Cells
+	}
+	if cells != 2 {
+		t.Errorf("hosts completed %d cells in total, want 2", cells)
+	}
+}

@@ -5,14 +5,16 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-# The ablation benchmarks committed as the BENCH_7.json trajectory: the
+# The ablation benchmarks committed as the BENCH_10.json trajectory: the
 # design-decision quantifications (rebuild vs --no-build, repetition
 # estimation, parallel scheduler scaling), the memoized execution
 # engine's -r 32 speedup, the result store's batched plan-ahead resolve
-# (bulk vs per-cell vfs operations on a 1000-cell warm resume), and the
+# (bulk vs per-cell vfs operations on a 1000-cell warm resume), the
 # run planner (in-run dedup executions saved, half-warm
-# time-to-first-measurement, zero-build warm resume).
-ABLATIONS := BenchmarkAblation_(RebuildVsNoBuild|RepetitionEstimate|ParallelScaling|MemoizedReps|StoreBulkResolve|PlanAhead)|BenchmarkModeledRepetition
+# time-to-first-measurement, zero-build warm resume), and the load-aware
+# cluster scheduler's makespan win over blind round-robin on a skewed
+# host set.
+ABLATIONS := BenchmarkAblation_(RebuildVsNoBuild|RepetitionEstimate|ParallelScaling|MemoizedReps|StoreBulkResolve|PlanAhead|LoadAware)|BenchmarkModeledRepetition
 
 .PHONY: build test race bench bench-smoke chaos gate gate-baseline
 
@@ -26,25 +28,28 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # chaos runs the cluster tier under randomized seeded fault schedules
-# (outages, latency, hangs on the non-pristine hosts) and asserts the
-# merged log and CSV stay byte-identical to serial every round. The
-# seed is printed on failure; reproduce with
-# `make chaos FEX_CHAOS_SEED=<seed>`.
+# (outages, latency, load skew, hangs on the non-pristine hosts) plus
+# the fixed fault-schedule determinism matrix (flap, hang, eviction,
+# load-skew, steal-heavy, ablation schedules) and asserts the merged log
+# and CSV stay byte-identical to serial every round. The seed is printed
+# on failure; reproduce with `make chaos FEX_CHAOS_SEED=<seed>`.
 FEX_CHAOS_SEED ?=
 FEX_CHAOS_ROUNDS ?= 5
 chaos:
 	FEX_CHAOS_SEED=$(FEX_CHAOS_SEED) FEX_CHAOS_ROUNDS=$(FEX_CHAOS_ROUNDS) \
-		$(GO) test -race -count=1 -run TestClusterChaosSeededFaults ./internal/core/ -v
+		$(GO) test -race -count=1 \
+		-run 'TestClusterChaosSeededFaults|TestClusterDeterminismUnderFaultSchedules' \
+		./internal/core/ -v
 
-# bench regenerates BENCH_7.json from a fresh run of the ablation
+# bench regenerates BENCH_10.json from a fresh run of the ablation
 # benchmarks. Commit the result so the perf trajectory travels with the
-# code that produced it (BENCH_4.json and BENCH_6.json are the previous
-# points on that trajectory, kept for comparison).
+# code that produced it (BENCH_4.json, BENCH_6.json and BENCH_7.json are
+# the previous points on that trajectory, kept for comparison).
 bench:
 	$(GO) test -run '^$$' -bench '$(ABLATIONS)' -benchtime 3x -count 1 . | tee .bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_7.json < .bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_10.json < .bench.out
 	@rm -f .bench.out
-	@echo "wrote BENCH_7.json"
+	@echo "wrote BENCH_10.json"
 
 # bench-smoke runs every benchmark in the module exactly once — the CI
 # guard that keeps the bench suite compiling and passing its internal

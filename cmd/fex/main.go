@@ -33,7 +33,9 @@
 // after which a placement is treated as a host fault and fails over,
 // -no-speculate disables speculative straggler re-execution (-speculate,
 // the default, duplicates a straggling cell onto a spare idle host,
-// first result wins), -degrade local runs queued cells on the
+// first result wins), -no-steal disables work-stealing by idle workers,
+// -no-load-aware disables latency-weighted placement (falling back to
+// round-robin), -degrade local runs queued cells on the
 // coordinator while every host is down or probing,
 // --modeled-time record modeled instead of live wall time (makes logs
 // fully machine-independent), -resume replay already-satisfied cells from
@@ -57,6 +59,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -66,11 +69,14 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"fex/internal/clock"
 	"fex/internal/core"
 	"fex/internal/diff"
+	"fex/internal/remote"
 	"fex/internal/serve"
 	"fex/internal/workload"
 )
@@ -99,6 +105,8 @@ type cliArgs struct {
 	hostsFile   string
 	hostTimeout time.Duration
 	noSpeculate bool
+	noSteal     bool
+	noLoadAware bool
 	degrade     string
 	input       string
 	debug       bool
@@ -230,6 +238,10 @@ func parseArgs(argv []string) (cliArgs, error) {
 			args.noSpeculate = false // the default; accepted for symmetry
 		case "-no-speculate", "--no-speculate":
 			args.noSpeculate = true
+		case "-no-steal", "--no-steal":
+			args.noSteal = true
+		case "-no-load-aware", "--no-load-aware":
+			args.noLoadAware = true
 		case "-degrade":
 			v, ok := next()
 			if !ok {
@@ -804,6 +816,8 @@ func buildConfig(fx *core.Fex, args cliArgs) (core.Config, error) {
 		Hosts:        args.hosts,
 		HostTimeout:  args.hostTimeout,
 		NoSpeculate:  args.noSpeculate,
+		NoSteal:      args.noSteal,
+		NoLoadAware:  args.noLoadAware,
 		Degrade:      args.degrade,
 		Debug:        args.debug,
 		Verbose:      args.verbose,
@@ -867,16 +881,27 @@ func mergeHosts(hosts, extras []string) []string {
 // pollHostsFile watches the -hosts-file for new host names while a run
 // executes, Ensure-ing each into the framework cluster so the scheduler
 // admits it mid-run. Returns a stop function; a no-op when no hosts file
-// was given. Read errors are ignored (the file may be mid-rewrite);
-// known names are skipped by the scheduler.
+// was given.
 func pollHostsFile(fx *core.Fex, path string) func() {
+	return pollHostsFileOn(fx.Clock(), fx.Cluster(), path, os.Stderr)
+}
+
+// pollHostsFileOn is the poller itself, parameterized on its time source
+// and cluster so tests drive it on a virtual clock without a framework
+// instance. It ticks on the run's scheduler clock (not the wall clock).
+// Read errors are ignored (the file may be mid-rewrite); known names are
+// skipped by the scheduler. A host that fails to Ensure is warned about
+// once, not once per tick — the warning re-arms only after the host
+// succeeds (so a host that breaks again warns anew).
+func pollHostsFileOn(clk clock.Clock, cluster *remote.Cluster, path string, warn io.Writer) func() {
 	if path == "" {
 		return func() {}
 	}
 	done := make(chan struct{})
 	go func() {
-		ticker := time.NewTicker(2 * time.Second)
+		ticker := clock.NewTicker(clk, 2*time.Second)
 		defer ticker.Stop()
+		warned := make(map[string]bool)
 		for {
 			select {
 			case <-done:
@@ -887,14 +912,27 @@ func pollHostsFile(fx *core.Fex, path string) func() {
 			if err != nil {
 				continue
 			}
-			for _, h := range hosts {
-				if _, err := fx.Cluster().Ensure(h); err != nil {
-					fmt.Fprintf(os.Stderr, "fex: hosts file: host %q: %v\n", h, err)
-				}
-			}
+			ensureHosts(cluster, hosts, warned, warn)
 		}
 	}()
-	return func() { close(done) }
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// ensureHosts registers each name into the cluster. A name the cluster
+// rejects is warned about once — not once per poll tick — and the
+// warning re-arms only after that name registers successfully.
+func ensureHosts(cluster *remote.Cluster, hosts []string, warned map[string]bool, warn io.Writer) {
+	for _, h := range hosts {
+		if _, err := cluster.Ensure(h); err != nil {
+			if !warned[h] {
+				warned[h] = true
+				fmt.Fprintf(warn, "fex: hosts file: host %q: %v\n", h, err)
+			}
+		} else {
+			delete(warned, h)
+		}
+	}
 }
 
 func exportFile(fx *core.Fex, containerPath, outDir string) error {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -9,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"fex/internal/clock"
 	"fex/internal/diff"
+	"fex/internal/remote"
 )
 
 func TestParseArgsRunFlags(t *testing.T) {
@@ -457,6 +461,20 @@ func TestParseArgsFaultToleranceFlags(t *testing.T) {
 	if args.degrade != "local" {
 		t.Errorf("degrade %q, want local", args.degrade)
 	}
+	if args.noSteal || args.noLoadAware {
+		t.Error("-no-steal/-no-load-aware defaulted on")
+	}
+
+	args, err = parseArgs([]string{"run", "-n", "splash", "-no-steal", "--no-load-aware"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !args.noSteal {
+		t.Error("-no-steal not parsed")
+	}
+	if !args.noLoadAware {
+		t.Error("--no-load-aware not parsed")
+	}
 
 	// -speculate restores the default after -no-speculate (last wins).
 	args, err = parseArgs([]string{"run", "-n", "splash", "-no-speculate", "-speculate"})
@@ -497,6 +515,88 @@ func TestReadHostsFile(t *testing.T) {
 	}
 	if got := mergeHosts([]string{"w1", "w2"}, []string{"w2", "w5"}); len(got) != 3 || got[2] != "w5" {
 		t.Errorf("mergeHosts = %v, want [w1 w2 w5]", got)
+	}
+}
+
+// TestPollHostsFileOnVirtualClock pins the poller to the run's clock: it
+// must tick on the injected clock.Clock (not a wall-clock time.Ticker),
+// so under a virtual clock nothing happens until the clock is advanced
+// and each 2s advance triggers exactly one re-read of the hosts file.
+func TestPollHostsFileOnVirtualClock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hosts.txt")
+	if err := os.WriteFile(path, []byte("w1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vclk := clock.NewVirtual(time.Date(2017, 6, 26, 12, 0, 0, 0, time.UTC))
+	cluster := remote.NewCluster()
+	stop := pollHostsFileOn(vclk, cluster, path, io.Discard)
+	defer stop()
+
+	waitForHost := func(name string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, err := cluster.Host(name); err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("host %s never joined: cluster has %v", name, cluster.Hosts())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The poller's ticker registers on the virtual clock; until it is
+	// advanced, the file is never read.
+	vclk.BlockUntil(1)
+	if _, err := cluster.Host("w1"); err == nil {
+		t.Fatal("host registered before the virtual clock advanced")
+	}
+	vclk.Advance(2 * time.Second)
+	waitForHost("w1")
+
+	// A name appearing in the file mid-run joins on the next tick.
+	if err := os.WriteFile(path, []byte("w1\nw2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vclk.BlockUntil(1)
+	vclk.Advance(2 * time.Second)
+	waitForHost("w2")
+
+	// After stop, further advances tick nobody.
+	stop()
+	if err := os.WriteFile(path, []byte("w1\nw2\nw3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vclk.Advance(2 * time.Second)
+	time.Sleep(10 * time.Millisecond)
+	if _, err := cluster.Host("w3"); err == nil {
+		t.Error("poller still registering hosts after stop")
+	}
+}
+
+// TestEnsureHostsWarnsOnce pins the fix for the poller's log spam: a
+// host name the cluster rejects used to be warned about on every 2s
+// tick; now it is warned exactly once until it recovers.
+func TestEnsureHostsWarnsOnce(t *testing.T) {
+	cluster := remote.NewCluster()
+	var buf bytes.Buffer
+	warned := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		ensureHosts(cluster, []string{"", "w1"}, warned, &buf)
+	}
+	if got := strings.Count(buf.String(), `host ""`); got != 1 {
+		t.Errorf("rejected host warned %d times over 5 ticks, want 1:\n%s", got, buf.String())
+	}
+	if _, err := cluster.Host("w1"); err != nil {
+		t.Errorf("valid host not registered: %v", err)
+	}
+	// A warning re-arms once the host registers successfully, so a host
+	// that breaks again is reported again.
+	warned["w1"] = true
+	ensureHosts(cluster, []string{"w1"}, warned, &buf)
+	if warned["w1"] {
+		t.Error("successful registration did not re-arm the warning")
 	}
 }
 

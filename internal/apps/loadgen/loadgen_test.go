@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -50,13 +51,14 @@ func TestRunAgainstFastTarget(t *testing.T) {
 
 func TestRunCountsErrors(t *testing.T) {
 	fail := errors.New("boom")
-	calls := 0
+	// Do runs from concurrent dispatch goroutines; the counter must be
+	// atomic or the race detector trips when two requests overlap.
+	var calls atomic.Int64
 	res, err := Run(context.Background(), Config{
 		Rate:     200,
 		Duration: 200 * time.Millisecond,
 		Do: func(context.Context) error {
-			calls++
-			if calls%2 == 0 {
+			if calls.Add(1)%2 == 0 {
 				return fail
 			}
 			return nil

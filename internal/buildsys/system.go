@@ -36,6 +36,11 @@ type System struct {
 	// including cache hits — the observable "did anything ask for a
 	// compile" signal the warm-resume tests pin at zero.
 	builds int
+	// compiles counts actual compilations (cache misses only) — the
+	// observable behind cross-experiment build-artifact sharing: a
+	// second experiment whose CleanBuild was elided serves every Build
+	// from cache and adds zero compiles.
+	compiles int
 }
 
 // NewSystem creates a build system writing binaries into fs. The installed
@@ -261,6 +266,7 @@ func (s *System) Build(w workload.Workload, buildType string, debug bool) (*tool
 
 	s.mu.Lock()
 	s.cache[key] = artifact
+	s.compiles++
 	s.mu.Unlock()
 	return artifact, nil
 }
@@ -298,6 +304,15 @@ func (s *System) Builds() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.builds
+}
+
+// Compiles returns how many Build calls actually compiled (cache
+// misses). Cross-experiment artifact sharing is proven through this
+// counter: a run served entirely from retained artifacts adds zero.
+func (s *System) Compiles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compiles
 }
 
 // Cached returns the cached artifact for one (workload, build type,

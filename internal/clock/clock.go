@@ -46,6 +46,48 @@ func (realClock) After(d time.Duration) *Timer {
 	return &Timer{C: t.C, stop: t.Stop}
 }
 
+// Ticker delivers repeated ticks every d on a Clock, built by chaining
+// After timers so a Virtual clock drives it deterministically (the
+// hosts-file poller runs on it, making mid-run joins testable without
+// sleeping). Like time.Ticker, a slow receiver coalesces ticks rather
+// than queueing them. Stop releases the ticker's goroutine; it does not
+// close C.
+type Ticker struct {
+	// C delivers the tick times.
+	C <-chan time.Time
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewTicker returns a Ticker firing every d on c. d must be positive.
+func NewTicker(c Clock, d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("clock: NewTicker interval must be positive")
+	}
+	ch := make(chan time.Time, 1)
+	tk := &Ticker{C: ch, stop: make(chan struct{})}
+	go func() {
+		for {
+			t := c.After(d)
+			select {
+			case v := <-t.C:
+				select {
+				case ch <- v:
+				default: // receiver is behind; coalesce this tick
+				}
+			case <-tk.stop:
+				t.Stop()
+				return
+			}
+		}
+	}()
+	return tk
+}
+
+// Stop terminates the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() { t.once.Do(func() { close(t.stop) }) }
+
 // vtimer is one pending virtual timer.
 type vtimer struct {
 	deadline time.Time

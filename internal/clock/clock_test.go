@@ -112,6 +112,70 @@ func TestVirtualAdvanceToNext(t *testing.T) {
 	}
 }
 
+// TestTickerOnVirtualClock drives a Ticker deterministically: each
+// interval advance delivers exactly one tick, ticks a slow receiver
+// missed coalesce instead of queueing, and Stop releases the chained
+// timer.
+func TestTickerOnVirtualClock(t *testing.T) {
+	base := time.Unix(2000, 0)
+	v := NewVirtual(base)
+	const d = 2 * time.Second
+	tk := NewTicker(v, d)
+	defer tk.Stop()
+
+	recv := func() time.Time {
+		select {
+		case got := <-tk.C:
+			return got
+		case <-time.After(5 * time.Second):
+			t.Fatal("tick not delivered")
+			return time.Time{}
+		}
+	}
+
+	for i := 1; i <= 3; i++ {
+		v.BlockUntil(1) // wait for the ticker's next chained After
+		v.Advance(d)
+		if got := recv(); !got.Equal(base.Add(time.Duration(i) * d)) {
+			t.Fatalf("tick %d at %v, want %v", i, got, base.Add(time.Duration(i)*d))
+		}
+	}
+
+	// A receiver that misses intervals gets the coalesced latest tick,
+	// not a backlog: advance twice without reading.
+	v.BlockUntil(1)
+	v.Advance(d)
+	// Wait until the ticker consumed the fire and re-armed before
+	// advancing again, so both advances are distinct intervals.
+	v.BlockUntil(1)
+	v.Advance(d)
+	first := recv()
+	if !first.Equal(base.Add(4 * d)) {
+		t.Fatalf("coalesced tick at %v, want the 4th interval %v", first, base.Add(4*d))
+	}
+	select {
+	case extra := <-tk.C:
+		// The 5th interval's tick may legitimately arrive (it fired
+		// after the read above); anything older means a backlog queued.
+		if !extra.Equal(base.Add(5 * d)) {
+			t.Fatalf("backlogged tick at %v", extra)
+		}
+	default:
+	}
+
+	tk.Stop()
+	tk.Stop() // idempotent
+}
+
+func TestTickerRejectsNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(0) did not panic")
+		}
+	}()
+	NewTicker(NewVirtual(time.Unix(0, 0)), 0)
+}
+
 func TestVirtualBlockUntil(t *testing.T) {
 	v := NewVirtual(time.Unix(0, 0))
 	released := make(chan struct{})

@@ -163,6 +163,52 @@ var faultSchedules = []struct {
 			h.SetHang(nil)
 		},
 	},
+	{
+		// Host-wide transport latency skew: w1 is chronically slow on
+		// every operation. Load-aware placement routes most cells away
+		// from it and work-stealing drains whatever queued behind it —
+		// placement changes, bytes must not.
+		name: "load_skew",
+		set:  func(c *Config) {},
+		inject: func(t *testing.T, cluster *remote.Cluster) {
+			h, err := cluster.Host("w1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.SetLatency(3 * time.Millisecond)
+		},
+	},
+	{
+		// Steal-heavy: two of three hosts are slow on cell execution, so
+		// the fast host repeatedly empties its own queue and steals the
+		// deepest backlogs. -no-speculate isolates stealing from the
+		// straggler detector.
+		name: "steal_heavy",
+		set:  func(c *Config) { c.NoSpeculate = true },
+		inject: func(t *testing.T, cluster *remote.Cluster) {
+			for _, name := range []string{"w1", "w2"} {
+				h, err := cluster.Host(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.SetCommandLatency(cmdRunCell, 10*time.Millisecond)
+			}
+		},
+	},
+	{
+		// The same skew under both ablations: round-robin placement, no
+		// stealing. The slow host absorbs its full share; byte identity
+		// must survive the worst placement too.
+		name: "load_skew_ablation",
+		set:  func(c *Config) { c.NoLoadAware = true; c.NoSteal = true },
+		inject: func(t *testing.T, cluster *remote.Cluster) {
+			h, err := cluster.Host("w1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.SetLatency(3 * time.Millisecond)
+		},
+	},
 }
 
 // TestClusterDeterminismUnderFaultSchedules re-runs the builtin
@@ -656,6 +702,8 @@ func TestClusterChaosSeededFaults(t *testing.T) {
 		registerSchedExperiment(t, fx, "cluster_chaos", deterministicHooks(0))
 		rcfg := cfg
 		rcfg.NoSpeculate = rng.Intn(2) == 0
+		rcfg.NoSteal = rng.Intn(2) == 0
+		rcfg.NoLoadAware = rng.Intn(2) == 0
 		// Hung hosts need the deadline to fail over; keep it generous so a
 		// loaded machine never times out a legitimately-running cell.
 		rcfg.HostTimeout = 500 * time.Millisecond
@@ -667,7 +715,7 @@ func TestClusterChaosSeededFaults(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			switch rng.Intn(4) {
+			switch rng.Intn(5) {
 			case 0:
 				plan = append(plan, name+":healthy")
 			case 1:
@@ -681,6 +729,13 @@ func TestClusterChaosSeededFaults(t *testing.T) {
 			case 3:
 				h.SetHang(nil)
 				plan = append(plan, name+":hang")
+			case 4:
+				// Host-wide load skew: every operation is slow, but well
+				// under the deadline, so the host never faults — the
+				// load-aware placer and stealer shoulder the imbalance.
+				d := time.Duration(1+rng.Intn(5)) * time.Millisecond
+				h.SetLatency(d)
+				plan = append(plan, fmt.Sprintf("%s:load_skew(%v)", name, d))
 			}
 		}
 		label := fmt.Sprintf("round %d [%s, no_speculate=%v]", round, strings.Join(plan, " "), rcfg.NoSpeculate)

@@ -182,14 +182,18 @@ func TestResumeFullyWarmSkipsBuilds(t *testing.T) {
 			coldLog, coldCSV := runOn(t, fx, modeCfg)
 
 			before := fx.BuildSystem().Builds()
+			afterCold := fx.BuildSystem().CachedArtifacts()
 			warm := modeCfg
 			warm.Resume = true
 			warmLog, warmCSV := runOn(t, fx, warm)
 			if n := fx.BuildSystem().Builds() - before; n != 0 {
 				t.Errorf("%s: fully-warm resume performed %d builds, want 0", mode.name, n)
 			}
-			if n := fx.BuildSystem().CachedArtifacts(); n != 0 {
-				t.Errorf("%s: fully-warm resume left %d cached artifacts (CleanBuild ran, so any artifact means a build happened)", mode.name, n)
+			// Cross-experiment build sharing keeps the cold run's artifacts
+			// warm (same config hash, so the pre-run CleanBuild is elided);
+			// a fully-warm resume must neither add nor rebuild any.
+			if n := fx.BuildSystem().CachedArtifacts(); n != afterCold {
+				t.Errorf("%s: fully-warm resume changed the artifact cache: %d cached, want %d (shared from the cold run)", mode.name, n, afterCold)
 			}
 			if warmLog != coldLog {
 				t.Errorf("%s: warm log differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", mode.name, coldLog, warmLog)

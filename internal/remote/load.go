@@ -1,0 +1,173 @@
+package remote
+
+// Per-host load collection for the coordinator's placement decisions.
+// The cluster scheduler reacts to faults (probation, eviction); the
+// LoadCollector is the proactive half: it tracks how many cells are in
+// flight on each host and keeps exponentially-weighted moving averages
+// of recent cell durations and probe round-trips, so placement can rank
+// hosts by expected finish time instead of treating every idle host as
+// equal. A chronically slow host — loaded, distant, or underpowered,
+// but not faulty — then absorbs proportionally fewer cells.
+//
+// Snapshots are throttled: Sample returns a cached snapshot until
+// minInterval has elapsed on the injected clock since the host's last
+// refresh, so high-frequency callers (per-placement scoring, progress
+// events) cannot turn load observation into overhead. The collector is
+// event-driven and reads only Clock.Now — it never arms timers — so a
+// virtual clock drives it deterministically without disturbing the
+// scheduler's pending-timer accounting.
+
+import (
+	"sync"
+	"time"
+
+	"fex/internal/clock"
+)
+
+// ewmaNum/ewmaDen set the EWMA smoothing factor (alpha = 3/10): new
+// observations move the average by 30%, so a recovering host sheds its
+// slow history within a few cells while one outlier cannot erase it.
+const (
+	ewmaNum = 3
+	ewmaDen = 10
+)
+
+// LoadSample is one host's published load snapshot.
+type LoadSample struct {
+	// InFlight is the number of cells running on the host at the last
+	// refresh.
+	InFlight int
+	// CellEWMA is the moving average of the host's recent cell
+	// durations; zero until the first completed cell.
+	CellEWMA time.Duration
+	// RTTEWMA is the moving average of recent probe round-trips; zero
+	// until the first observed probe.
+	RTTEWMA time.Duration
+	// Cells counts duration observations contributing to CellEWMA.
+	Cells int
+}
+
+// hostLoad is one host's internal accumulator plus its published,
+// throttled snapshot.
+type hostLoad struct {
+	inFlight int
+	cellEWMA time.Duration
+	rttEWMA  time.Duration
+	cells    int
+
+	published   LoadSample
+	publishedAt time.Time
+	havePublish bool
+}
+
+// LoadCollector accumulates per-host load signals and publishes
+// throttled snapshots. Safe for concurrent use.
+type LoadCollector struct {
+	mu          sync.Mutex
+	clk         clock.Clock
+	minInterval time.Duration
+	hosts       map[string]*hostLoad
+	refreshes   int
+}
+
+// NewLoadCollector returns a collector sampling on clk. minInterval
+// bounds the snapshot refresh rate per host; non-positive disables
+// throttling (every Sample refreshes).
+func NewLoadCollector(clk clock.Clock, minInterval time.Duration) *LoadCollector {
+	return &LoadCollector{
+		clk:         clk,
+		minInterval: minInterval,
+		hosts:       make(map[string]*hostLoad),
+	}
+}
+
+// host returns the accumulator for name, creating it on first use.
+// Called with mu held.
+func (c *LoadCollector) host(name string) *hostLoad {
+	h := c.hosts[name]
+	if h == nil {
+		h = &hostLoad{}
+		c.hosts[name] = h
+	}
+	return h
+}
+
+// JobStarted records one more cell in flight on the host.
+func (c *LoadCollector) JobStarted(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.host(name).inFlight++
+}
+
+// JobFinished records one cell leaving the host (completed or failed).
+func (c *LoadCollector) JobFinished(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h := c.host(name); h.inFlight > 0 {
+		h.inFlight--
+	}
+}
+
+// ObserveDuration folds one completed cell's duration into the host's
+// EWMA. The first observation seeds the average directly.
+func (c *LoadCollector) ObserveDuration(name string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.host(name)
+	if h.cells == 0 {
+		h.cellEWMA = d
+	} else {
+		h.cellEWMA += (d - h.cellEWMA) * ewmaNum / ewmaDen
+	}
+	h.cells++
+}
+
+// ObserveRTT folds one probe round-trip into the host's RTT EWMA.
+func (c *LoadCollector) ObserveRTT(name string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.host(name)
+	if h.rttEWMA == 0 {
+		h.rttEWMA = d
+	} else {
+		h.rttEWMA += (d - h.rttEWMA) * ewmaNum / ewmaDen
+	}
+}
+
+// Sample returns the host's load snapshot. Within minInterval of the
+// host's previous refresh the cached snapshot is returned unchanged;
+// past it the snapshot is recomputed from the live accumulators.
+func (c *LoadCollector) Sample(name string) LoadSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.host(name)
+	now := c.clk.Now()
+	if h.havePublish && c.minInterval > 0 && now.Sub(h.publishedAt) < c.minInterval {
+		return h.published
+	}
+	h.published = LoadSample{
+		InFlight: h.inFlight,
+		CellEWMA: h.cellEWMA,
+		RTTEWMA:  h.rttEWMA,
+		Cells:    h.cells,
+	}
+	h.publishedAt = now
+	h.havePublish = true
+	c.refreshes++
+	return h.published
+}
+
+// Refreshes counts snapshot recomputations across all hosts — the
+// observable the throttling tests pin: however often Sample is called,
+// refreshes are bounded by elapsed time over minInterval.
+func (c *LoadCollector) Refreshes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refreshes
+}

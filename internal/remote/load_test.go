@@ -1,0 +1,101 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"fex/internal/clock"
+)
+
+// TestLoadCollectorThrottlesSampling pins the sampling rate bound: on a
+// virtual clock, any number of Sample calls within minInterval performs
+// exactly one snapshot refresh, and refreshes never exceed one per
+// elapsed interval — the load collector cannot become per-placement
+// overhead no matter how often the scheduler scores hosts.
+func TestLoadCollectorThrottlesSampling(t *testing.T) {
+	start := time.Date(2017, 6, 26, 0, 0, 0, 0, time.UTC)
+	vc := clock.NewVirtual(start)
+	const interval = 100 * time.Millisecond
+	c := NewLoadCollector(vc, interval)
+
+	c.JobStarted("w1")
+	for i := 0; i < 50; i++ {
+		c.ObserveDuration("w1", time.Duration(i+1)*time.Millisecond)
+		if got := c.Sample("w1"); got.InFlight != 1 {
+			t.Fatalf("InFlight = %d, want 1", got.InFlight)
+		}
+	}
+	if got := c.Refreshes(); got != 1 {
+		t.Fatalf("50 samples within one interval refreshed %d times, want exactly 1", got)
+	}
+
+	// The cached snapshot is from the first refresh (one observation had
+	// landed): the other 49 stay unpublished until the interval elapses.
+	if got := c.Sample("w1").Cells; got != 1 {
+		t.Fatalf("throttled snapshot shows %d cells, want 1 (first-refresh cache)", got)
+	}
+
+	vc.Advance(interval)
+	if got := c.Sample("w1"); got.Cells != 50 || got.CellEWMA == 0 {
+		t.Fatalf("post-interval snapshot = %+v, want 50 cells with a nonzero EWMA", got)
+	}
+	if got := c.Refreshes(); got != 2 {
+		t.Fatalf("refreshes = %d after one interval, want 2", got)
+	}
+
+	// Rate bound over many intervals: N advances allow at most N more
+	// refreshes regardless of call volume.
+	for i := 0; i < 10; i++ {
+		vc.Advance(interval)
+		for j := 0; j < 20; j++ {
+			c.Sample("w1")
+		}
+	}
+	if got := c.Refreshes(); got != 12 {
+		t.Fatalf("refreshes = %d after 10 more intervals, want 12", got)
+	}
+
+	// The collector never arms timers: a virtual clock sees no pending
+	// registrations, so it cannot disturb scheduler timer accounting.
+	if got := vc.Pending(); got != 0 {
+		t.Fatalf("collector left %d pending virtual timers, want 0", got)
+	}
+}
+
+// TestLoadCollectorEWMA covers the moving averages: the first
+// observation seeds the average, later ones move it by alpha, and RTT
+// and duration averages are independent.
+func TestLoadCollectorEWMA(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	c := NewLoadCollector(vc, 0) // no throttle: every Sample refreshes
+
+	c.ObserveDuration("w1", 100*time.Millisecond)
+	if got := c.Sample("w1").CellEWMA; got != 100*time.Millisecond {
+		t.Fatalf("first observation EWMA = %v, want 100ms (seeded directly)", got)
+	}
+	c.ObserveDuration("w1", 200*time.Millisecond)
+	// 100ms + (200ms-100ms)*3/10 = 130ms
+	if got := c.Sample("w1").CellEWMA; got != 130*time.Millisecond {
+		t.Fatalf("EWMA after 100ms,200ms = %v, want 130ms", got)
+	}
+
+	c.ObserveRTT("w1", 10*time.Millisecond)
+	c.ObserveRTT("w1", 20*time.Millisecond)
+	if got := c.Sample("w1").RTTEWMA; got != 13*time.Millisecond {
+		t.Fatalf("RTT EWMA = %v, want 13ms", got)
+	}
+	if got := c.Sample("w1").CellEWMA; got != 130*time.Millisecond {
+		t.Fatalf("RTT observations moved the cell EWMA to %v", got)
+	}
+
+	// Unknown hosts sample as zero values rather than erroring.
+	if got := c.Sample("nowhere"); got != (LoadSample{}) {
+		t.Fatalf("unknown host sample = %+v, want zero", got)
+	}
+
+	// JobFinished never underflows the gauge.
+	c.JobFinished("w1")
+	if got := c.Sample("w1").InFlight; got != 0 {
+		t.Fatalf("InFlight after spurious finish = %d, want 0", got)
+	}
+}

@@ -555,8 +555,10 @@ func TestServeClusterRunReportsHostCounters(t *testing.T) {
 	spec.Hosts = []string{"w1", "w2"}
 	spec.HostTimeoutMS = 60000
 	spec.NoSpeculate = true
+	spec.NoSteal = true
+	spec.NoLoadAware = true
 	st := postRun(t, ts, spec)
-	for _, want := range []string{"-hosts w1,w2", "-host-timeout 1m0s", "-no-speculate"} {
+	for _, want := range []string{"-hosts w1,w2", "-host-timeout 1m0s", "-no-speculate", "-no-steal", "-no-load-aware"} {
 		if !strings.Contains(st.Config, want) {
 			t.Errorf("config %q does not render %q", st.Config, want)
 		}
@@ -581,5 +583,19 @@ func TestServeClusterRunReportsHostCounters(t *testing.T) {
 	}
 	if cells != 2 {
 		t.Errorf("hosts completed %d cells in total, want 2", cells)
+	}
+
+	// The load-scheduling counters are part of the JSON surface: every
+	// host snapshot carries steals, backlog depth, and the cost EWMA.
+	body := string(getBody(t, ts, "/api/v1/runs/"+st.ID, http.StatusOK))
+	for _, key := range []string{`"steals"`, `"queued"`, `"load_ewma_ms"`} {
+		if !strings.Contains(body, key) {
+			t.Errorf("run status JSON missing host field %s:\n%s", key, body)
+		}
+	}
+	for _, h := range final.Hosts {
+		if h.Queued != 0 {
+			t.Errorf("host %s finished the run with %d queued cells", h.Host, h.Queued)
+		}
 	}
 }
